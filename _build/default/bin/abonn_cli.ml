@@ -1,0 +1,163 @@
+(* abonn: verify a local-robustness problem from the benchmark zoo.
+
+   Examples:
+     abonn --model mnist_l2 --index 3 --eps 0.02
+     abonn --model cifar_base --index 0 --factor 1.1 --engine bab-baseline
+     abonn --model mnist_l4 --index 1 --factor 1.2 --lambda 0.7 --c 0.5 *)
+
+open Cmdliner
+module Models = Abonn_data.Models
+module Instances = Abonn_data.Instances
+module Synth = Abonn_data.Synth
+module Trainer = Abonn_nn.Trainer
+module Budget = Abonn_util.Budget
+module Result = Abonn_bab.Result
+module Verdict = Abonn_spec.Verdict
+
+let build_problem trained index eps factor =
+  let dataset = trained.Models.dataset in
+  let samples = dataset.Synth.test in
+  if index < 0 || index >= Array.length samples then
+    `Error (false, Printf.sprintf "--index must be in [0, %d)" (Array.length samples))
+  else begin
+    let sample = samples.(index) in
+    let center = sample.Trainer.features in
+    let label = sample.Trainer.label in
+    if Abonn_nn.Network.predict trained.Models.network center <> label then
+      `Error (false, Printf.sprintf "test image %d is misclassified; pick another" index)
+    else begin
+      let affine = Abonn_nn.Affine.of_network trained.Models.network in
+      let num_classes = dataset.Synth.num_classes in
+      let eps =
+        match eps with
+        | Some e -> e
+        | None ->
+          let r = Instances.certified_radius ~affine ~center ~label ~num_classes in
+          r *. factor
+      in
+      let region = Abonn_spec.Region.linf_ball ~clip:(0.0, 1.0) ~center ~eps () in
+      let property = Abonn_spec.Property.robustness ~num_classes ~label in
+      `Ok (Abonn_spec.Problem.of_affine ~affine ~region ~property (), eps)
+    end
+  end
+
+let verify_problem problem engine lambda c heuristic appver calls seconds ~context =
+  let heuristic =
+    match Abonn_bab.Branching.find heuristic with
+    | Some h -> h
+    | None -> Abonn_bab.Branching.default
+  in
+  let appver =
+    if appver = "lp" then Abonn_lp.Lp_verifier.appver
+    else
+      match Abonn_prop.Appver.find appver with
+      | Some v -> v
+      | None -> Abonn_prop.Appver.deeppoly
+  in
+  let budget = Budget.combine ~calls ?seconds () in
+  let result =
+    match engine with
+    | "abonn" ->
+      let config = Abonn_core.Config.make ~lambda ~c ~appver ~heuristic () in
+      Abonn_core.Abonn.verify ~config ~budget problem
+    | "bab-baseline" -> Abonn_bab.Bfs.verify ~appver ~heuristic ~budget problem
+    | "bestfirst" -> Abonn_bab.Bestfirst.verify ~appver ~heuristic ~budget problem
+    | "inputsplit" -> Abonn_bab.Inputsplit.verify ~appver ~budget problem
+    | "ab-crown" -> Abonn_crown.Alphabeta.verify ~budget problem
+    | other ->
+      Printf.eprintf "unknown engine %s; using abonn\n%!" other;
+      Abonn_core.Abonn.verify ~budget problem
+  in
+  Printf.printf "%s engine=%s\n" context engine;
+  Printf.printf "verdict: %s\n" (Verdict.to_string result.Result.verdict);
+  Printf.printf "appver calls: %d\n" result.Result.stats.Result.appver_calls;
+  Printf.printf "tree nodes:   %d (max depth %d)\n" result.Result.stats.Result.nodes
+    result.Result.stats.Result.max_depth;
+  Printf.printf "wall time:    %.3fs\n" result.Result.stats.Result.wall_time;
+  (match Verdict.counterexample result.Result.verdict with
+   | Some x ->
+     let margin = Abonn_spec.Problem.concrete_margin problem x in
+     Printf.printf "counterexample margin: %.6f (<= 0 confirms violation)\n" margin
+   | None -> ());
+  `Ok ()
+
+let run problem_file model_name index eps factor engine lambda c heuristic appver calls
+    seconds models_dir =
+  match problem_file with
+  | Some path ->
+    let problem = Abonn_spec.Problem_file.load path in
+    verify_problem problem engine lambda c heuristic appver calls seconds
+      ~context:(Printf.sprintf "problem=%s" path)
+  | None ->
+  match Models.find model_name with
+  | None ->
+    `Error
+      (false,
+       Printf.sprintf "unknown model %s (try: %s)" model_name
+         (String.concat ", " (List.map (fun s -> s.Models.name) Models.all)))
+  | Some spec ->
+    let trained = Models.train_cached ~dir:models_dir spec in
+    (match build_problem trained index eps factor with
+     | `Error _ as e -> e
+     | `Ok (problem, eps) ->
+       verify_problem problem engine lambda c heuristic appver calls seconds
+         ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps))
+
+let problem_arg =
+  Arg.(value & opt (some string) None
+       & info [ "problem" ] ~docv:"FILE"
+           ~doc:"Verify a problem file (see Abonn_spec.Problem_file) instead of a zoo model.")
+
+let model_arg =
+  Arg.(value & opt string "mnist_l2" & info [ "model" ] ~docv:"NAME" ~doc:"Benchmark model.")
+
+let index_arg =
+  Arg.(value & opt int 0 & info [ "index" ] ~docv:"I" ~doc:"Test-image index.")
+
+let eps_arg =
+  Arg.(value & opt (some float) None & info [ "eps" ] ~docv:"E" ~doc:"Perturbation radius.")
+
+let factor_arg =
+  Arg.(value & opt float 1.1
+       & info [ "factor" ] ~docv:"F"
+           ~doc:"Radius as a multiple of the certified radius (used when --eps is absent).")
+
+let engine_arg =
+  Arg.(value & opt string "abonn"
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"One of abonn, bab-baseline, bestfirst, inputsplit, ab-crown.")
+
+let lambda_arg =
+  Arg.(value & opt float 0.5 & info [ "lambda" ] ~docv:"L" ~doc:"Def. 1 depth weight.")
+
+let c_arg =
+  Arg.(value & opt float 0.2 & info [ "c" ] ~docv:"C" ~doc:"UCB1 exploration constant.")
+
+let heuristic_arg =
+  Arg.(value & opt string "deepsplit"
+       & info [ "heuristic" ] ~docv:"H" ~doc:"deepsplit, babsr, fsb or widest.")
+
+let appver_arg =
+  Arg.(value & opt string "deeppoly"
+       & info [ "appver" ] ~docv:"V" ~doc:"deeppoly, deeppoly-zero, deeppoly-one, zonotope, symbolic, interval or lp.")
+
+let calls_arg =
+  Arg.(value & opt int 2000 & info [ "calls" ] ~docv:"N" ~doc:"AppVer-call budget.")
+
+let seconds_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc:"Wall-clock budget.")
+
+let models_dir_arg =
+  Arg.(value & opt string "models" & info [ "models-dir" ] ~docv:"DIR" ~doc:"Weight cache.")
+
+let cmd =
+  let doc = "ABONN: adaptive branch-and-bound neural-network verification" in
+  Cmd.v
+    (Cmd.info "abonn" ~doc)
+    Term.(
+      ret
+        (const run $ problem_arg $ model_arg $ index_arg $ eps_arg $ factor_arg $ engine_arg
+         $ lambda_arg $ c_arg $ heuristic_arg $ appver_arg $ calls_arg $ seconds_arg
+         $ models_dir_arg))
+
+let () = exit (Cmd.eval cmd)

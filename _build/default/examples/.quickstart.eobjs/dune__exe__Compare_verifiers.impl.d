@@ -1,0 +1,1 @@
+examples/compare_verifiers.ml: Abonn_bab Abonn_data Abonn_harness Abonn_spec Abonn_util List Printf

@@ -1,0 +1,1 @@
+examples/hyperparameter_study.ml: Abonn_bab Abonn_core Abonn_data Abonn_harness Abonn_spec Abonn_util Float List Printf

@@ -1,0 +1,1 @@
+examples/hyperparameter_study.mli:

@@ -1,0 +1,1 @@
+examples/local_robustness.ml: Abonn_bab Abonn_core Abonn_data Abonn_nn Abonn_spec Abonn_tensor Abonn_util Array List Printf

@@ -1,0 +1,1 @@
+examples/lp_certification.ml: Abonn_data Abonn_lp Abonn_nn Abonn_prop Abonn_spec Abonn_util Array List Printf Unix

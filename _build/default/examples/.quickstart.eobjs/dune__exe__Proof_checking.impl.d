@@ -1,0 +1,1 @@
+examples/proof_checking.ml: Abonn_bab Abonn_data Abonn_spec Abonn_util Format List Printf

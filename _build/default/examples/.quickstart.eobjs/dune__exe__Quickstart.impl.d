@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abonn_bab Abonn_core Abonn_nn Abonn_prop Abonn_spec Abonn_util Array Printf

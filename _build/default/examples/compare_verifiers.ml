@@ -1,0 +1,73 @@
+(* Engine comparison on benchmark instances — a miniature of the paper's
+   RQ1 (Table II).
+
+     dune exec examples/compare_verifiers.exe
+
+   Runs BaB-baseline, the αβ-CROWN-style baseline, best-first BaB and
+   ABONN over instances of one model family, printing per-instance
+   verdicts/costs and the aggregate line each engine would contribute to
+   Table II. *)
+
+module Models = Abonn_data.Models
+module Instances = Abonn_data.Instances
+module Runner = Abonn_harness.Runner
+module Result = Abonn_bab.Result
+module Verdict = Abonn_spec.Verdict
+module Table = Abonn_util.Table
+
+let engines =
+  Runner.default_engines
+  @ [ { Runner.name = "bestfirst";
+        run = (fun ~budget problem -> Abonn_bab.Bestfirst.verify ~budget problem) }
+    ]
+
+let () =
+  print_endline "training cifar_base and generating instances...";
+  let trained = Models.train Models.cifar_base in
+  let instances = Instances.generate ~count:6 trained in
+  Printf.printf "%d instances\n\n" (List.length instances);
+
+  let records =
+    List.map
+      (fun engine ->
+        (engine, List.map (fun i -> Runner.run_instance ~calls:400 engine i) instances))
+      engines
+  in
+
+  (* per-instance table *)
+  let header = "Instance" :: List.map (fun ((e : Runner.engine), _) -> e.Runner.name) records in
+  let rows =
+    List.mapi
+      (fun k (inst : Instances.t) ->
+        inst.Instances.id
+        :: List.map
+             (fun (_, rs) ->
+               let r = List.nth rs k in
+               Printf.sprintf "%s/%d"
+                 (Verdict.to_string r.Runner.result.Result.verdict)
+                 r.Runner.result.Result.stats.Result.appver_calls)
+             records)
+      instances
+  in
+  print_endline (Table.render ~header rows);
+  print_newline ();
+
+  (* aggregate *)
+  let agg =
+    List.map
+      (fun (e, rs) ->
+        let solved =
+          List.length
+            (List.filter (fun r -> Verdict.is_solved r.Runner.result.Result.verdict) rs)
+        in
+        let calls =
+          List.fold_left (fun a r -> a + r.Runner.result.Result.stats.Result.appver_calls) 0 rs
+        in
+        [ e.Runner.name; string_of_int solved; string_of_int calls ])
+      records
+  in
+  print_endline
+    (Table.render
+       ~align:[ Table.Left; Table.Right; Table.Right ]
+       ~header:[ "Engine"; "Solved"; "Total AppVer calls" ]
+       agg)

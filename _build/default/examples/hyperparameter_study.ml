@@ -1,0 +1,74 @@
+(* Hyperparameter study — a miniature of the paper's RQ2 (Fig. 5).
+
+     dune exec examples/hyperparameter_study.exe
+
+   Sweeps the potentiality weight λ (Def. 1) and the UCB1 exploration
+   constant c (Alg. 1 Line 13) on a few mnist_l4 instances, printing the
+   grid of average costs; the best cell is starred, illustrating the
+   exploration/exploitation balance the paper discusses. *)
+
+module Models = Abonn_data.Models
+module Instances = Abonn_data.Instances
+module Runner = Abonn_harness.Runner
+module Config = Abonn_core.Config
+module Result = Abonn_bab.Result
+module Table = Abonn_util.Table
+
+let lambdas = [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+let cs = [ 0.0; 0.1; 0.2; 0.5; 1.0 ]
+
+let () =
+  print_endline "training mnist_l4 and generating instances...";
+  let trained = Models.train Models.mnist_l4 in
+  (* Violation-leaning bands: only where a counterexample can be found
+     early can the exploration order (and hence λ, c) change the cost —
+     certified problems cost the same under any order with a
+     deterministic branching heuristic.  A quick screening pass keeps
+     instances whose counterexample needs real search. *)
+  let bands =
+    [ Instances.Above_attack 0.99; Instances.Above_attack 1.0; Instances.Above_attack 1.01;
+      Instances.Between 0.9 ]
+  in
+  let pool = Instances.generate ~count:16 ~bands trained in
+  let needs_search (inst : Instances.t) =
+    let r =
+      Abonn_bab.Bfs.verify ~budget:(Abonn_util.Budget.of_calls 2000) inst.Instances.problem
+    in
+    match r.Result.verdict with
+    | Abonn_spec.Verdict.Falsified _ -> r.Result.stats.Result.appver_calls >= 30
+    | Abonn_spec.Verdict.Verified | Abonn_spec.Verdict.Timeout -> false
+  in
+  let mined = List.filter needs_search pool in
+  let instances = List.filteri (fun i _ -> i < 4) (if mined = [] then pool else mined) in
+  Printf.printf "%d instances; sweeping %d x %d configurations\n\n"
+    (List.length instances) (List.length lambdas) (List.length cs);
+
+  let cell lambda c =
+    let engine =
+      Runner.abonn_named (Printf.sprintf "l%.2f-c%.2f" lambda c) (Config.make ~lambda ~c ())
+    in
+    let total =
+      List.fold_left
+        (fun acc inst ->
+          let r = Runner.run_instance ~calls:300 engine inst in
+          acc + r.Runner.result.Result.stats.Result.appver_calls)
+        0 instances
+    in
+    float_of_int total
+  in
+  let cells = List.map (fun l -> List.map (fun c -> ((l, c), cell l c)) cs) lambdas in
+  let best = List.fold_left (fun a (_, v) -> Float.min a v) infinity (List.concat cells) in
+  let header = "lambda\\c" :: List.map string_of_float cs in
+  let rows =
+    List.map2
+      (fun l row ->
+        string_of_float l
+        :: List.map
+             (fun (_, v) ->
+               Printf.sprintf "%.0f%s" v (if v = best then "*" else ""))
+             row)
+      lambdas cells
+  in
+  print_endline "total AppVer calls over the instance set (lower is better, * = best):";
+  print_endline
+    (Table.render ~align:(Table.Left :: List.map (fun _ -> Table.Right) cs) ~header rows)

@@ -1,0 +1,55 @@
+(* Local robustness of a trained classifier — the workload the paper's
+   introduction motivates (§I: adversarial perturbations of images).
+
+     dune exec examples/local_robustness.exe
+
+   Trains the MNIST-like 2-layer model, picks a test image, and sweeps
+   the perturbation radius ε: below the certified radius the root AppVer
+   call already proves robustness; past it, ABONN either certifies after
+   splitting or produces an adversarial image. *)
+
+module Models = Abonn_data.Models
+module Instances = Abonn_data.Instances
+module Synth = Abonn_data.Synth
+module Trainer = Abonn_nn.Trainer
+module Verdict = Abonn_spec.Verdict
+module Result = Abonn_bab.Result
+module Budget = Abonn_util.Budget
+
+let () =
+  print_endline "training mnist_l2 on the synthetic dataset...";
+  let trained = Models.train Models.mnist_l2 in
+  Printf.printf "test accuracy: %.1f%%\n\n" (100.0 *. trained.Models.test_accuracy);
+
+  let dataset = trained.Models.dataset in
+  let sample = dataset.Synth.test.(0) in
+  let center = sample.Trainer.features in
+  let label = sample.Trainer.label in
+  let affine = Abonn_nn.Affine.of_network trained.Models.network in
+  let num_classes = dataset.Synth.num_classes in
+
+  let radius = Instances.certified_radius ~affine ~center ~label ~num_classes in
+  Printf.printf "image #0 (label %d): certified radius (root DeepPoly) = %.5f\n\n" label radius;
+
+  print_endline "eps sweep with ABONN (budget 600 AppVer calls):";
+  List.iter
+    (fun factor ->
+      let eps = radius *. factor in
+      let region = Abonn_spec.Region.linf_ball ~clip:(0.0, 1.0) ~center ~eps () in
+      let property = Abonn_spec.Property.robustness ~num_classes ~label in
+      let problem = Abonn_spec.Problem.of_affine ~affine ~region ~property () in
+      let r = Abonn_core.Abonn.verify ~budget:(Budget.of_calls 600) problem in
+      Printf.printf "  eps = %.5f (%.2fx): %-9s  calls=%-4d nodes=%-4d depth=%d\n"
+        eps factor
+        (Verdict.to_string r.Result.verdict)
+        r.Result.stats.Result.appver_calls r.Result.stats.Result.nodes
+        r.Result.stats.Result.max_depth;
+      match Verdict.counterexample r.Result.verdict with
+      | Some x ->
+        let flipped = Abonn_nn.Network.predict trained.Models.network x in
+        Printf.printf "      adversarial image found: classified %d instead of %d, \
+                       L_inf distance %.5f\n"
+          flipped label
+          (Abonn_tensor.Vector.norm_inf (Abonn_tensor.Vector.sub x center))
+      | None -> ())
+    [ 0.5; 0.9; 1.05; 1.2; 1.5; 2.5; 4.0 ]

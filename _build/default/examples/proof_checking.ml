@@ -1,0 +1,73 @@
+(* Verification certificates: produce a checkable proof of a Verified
+   verdict and audit it with the independent checker.
+
+     dune exec examples/proof_checking.exe
+
+   A BaB proof is the finite set of discharged leaves covering the split
+   space.  The checker replays every leaf with a fresh AppVer call and
+   verifies the leaves form an exact binary cover, so a "Verified" answer
+   does not have to be taken on faith from the search engine.  The
+   example also shows the checker catching a corrupted certificate. *)
+
+module Models = Abonn_data.Models
+module Instances = Abonn_data.Instances
+module Verdict = Abonn_spec.Verdict
+module Split = Abonn_spec.Split
+module Result = Abonn_bab.Result
+module Bfs = Abonn_bab.Bfs
+module Certificate = Abonn_bab.Certificate
+module Budget = Abonn_util.Budget
+
+let () =
+  print_endline "training mnist_l2 and picking a certifiable-after-split instance...";
+  let trained = Models.train Models.mnist_l2 in
+  let instances =
+    Instances.generate ~count:8 ~bands:[ Instances.Between 0.35; Instances.Between 0.15 ]
+      trained
+  in
+  let verified_instance =
+    List.find_map
+      (fun (inst : Instances.t) ->
+        let result, cert =
+          Bfs.verify_with_certificate ~budget:(Budget.of_calls 2000) inst.Instances.problem
+        in
+        match result.Result.verdict, cert with
+        | Verdict.Verified, Some cert when Certificate.num_leaves cert >= 3 ->
+          Some (inst, result, cert)
+        | _ -> None)
+      instances
+  in
+  match verified_instance with
+  | None -> print_endline "no multi-leaf verified instance in this batch; re-run with more"
+  | Some (inst, result, cert) ->
+    Printf.printf "instance %s: verified with %d AppVer calls\n" inst.Instances.id
+      result.Result.stats.Result.appver_calls;
+    Printf.printf "certificate: %d discharged leaves, AppVer %s\n\n"
+      (Certificate.num_leaves cert) cert.Certificate.appver_name;
+
+    print_endline "first leaves of the proof:";
+    List.iteri
+      (fun i (leaf : Certificate.leaf) ->
+        if i < 6 then
+          Printf.printf "  Γ = %-24s p-hat = %s%s\n"
+            (Split.to_string leaf.Certificate.gamma)
+            (Abonn_util.Table.fmt_float ~digits:4 leaf.Certificate.phat)
+            (if leaf.Certificate.by_exact then "  (exact LP)" else ""))
+      cert.Certificate.leaves;
+    if Certificate.num_leaves cert > 6 then
+      Printf.printf "  ... and %d more\n" (Certificate.num_leaves cert - 6);
+
+    print_newline ();
+    (match Certificate.check inst.Instances.problem cert with
+     | Ok () -> print_endline "independent check: certificate ACCEPTED"
+     | Error e ->
+       Format.printf "independent check: REJECTED (%a)@." Certificate.pp_error e);
+
+    (* tamper with the proof: drop a leaf *)
+    let corrupted =
+      { cert with Certificate.leaves = List.tl cert.Certificate.leaves }
+    in
+    (match Certificate.check inst.Instances.problem corrupted with
+     | Ok () -> print_endline "BUG: corrupted certificate accepted"
+     | Error e ->
+       Format.printf "corrupted certificate correctly rejected: %a@." Certificate.pp_error e)

@@ -1,0 +1,1 @@
+lib/attack/attack.ml: Abonn_nn Abonn_spec Abonn_tensor Abonn_util Array List

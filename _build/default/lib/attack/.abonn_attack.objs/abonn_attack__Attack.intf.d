@@ -1,0 +1,1 @@
+lib/attack/attack.mli: Abonn_spec Abonn_util

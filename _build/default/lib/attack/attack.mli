@@ -1,0 +1,31 @@
+(** Adversarial attacks: fast counterexample search inside Φ.
+
+    Attacks complement verification (§VI "Testing and Attacks"): they
+    cannot prove anything, but a hit is a genuine counterexample and
+    terminates verification immediately.  The αβ-CROWN-style baseline
+    ([Abonn_crown]) warm-starts with PGD exactly like the real tool.
+
+    All attacks minimise the property margin [min_i (C·N(x) + d)_i] over
+    the region and return the first input whose concrete margin is ≤ 0.
+    They are deterministic given the [Rng.t]. *)
+
+type t = {
+  name : string;
+  run : Abonn_util.Rng.t -> Abonn_spec.Problem.t -> float array option;
+}
+
+val fgsm : t
+(** One signed-gradient step from the region centre per property row. *)
+
+val pgd : ?restarts:int -> ?steps:int -> ?step_frac:float -> unit -> t
+(** Projected gradient descent on the worst margin row: [restarts]
+    random starts (default 3, first start is the centre), [steps]
+    iterations (default 40), per-step size [step_frac] of the region
+    radius (default 0.1). *)
+
+val random_search : ?samples:int -> unit -> t
+(** Uniform sampling plus random corners (default 200 evaluations). *)
+
+val best_effort : t
+(** The portfolio used by baselines: FGSM, then PGD, then random
+    search, stopping at the first hit. *)

@@ -1,0 +1,1 @@
+lib/bab/bestfirst.ml: Abonn_prop Abonn_spec Abonn_util Branching Exact Result Stdlib Unix

@@ -1,0 +1,1 @@
+lib/bab/bestfirst.mli: Abonn_prop Abonn_spec Abonn_util Branching Result

@@ -1,0 +1,1 @@
+lib/bab/bfs.ml: Abonn_prop Abonn_spec Abonn_util Branching Certificate Exact List Queue Result Stdlib Unix

@@ -1,0 +1,1 @@
+lib/bab/bfs.mli: Abonn_prop Abonn_spec Abonn_util Branching Certificate Result

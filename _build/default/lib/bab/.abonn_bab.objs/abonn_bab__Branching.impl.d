@@ -1,0 +1,1 @@
+lib/bab/branching.ml: Abonn_nn Abonn_prop Abonn_spec Abonn_tensor Array Float List

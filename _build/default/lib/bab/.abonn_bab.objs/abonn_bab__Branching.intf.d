@@ -1,0 +1,1 @@
+lib/bab/branching.mli: Abonn_prop Abonn_spec

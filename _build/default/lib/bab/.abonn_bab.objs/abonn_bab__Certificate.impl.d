@@ -1,0 +1,1 @@
+lib/bab/certificate.ml: Abonn_prop Abonn_spec Exact Format List Option

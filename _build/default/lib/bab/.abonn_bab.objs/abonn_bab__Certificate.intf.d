@@ -1,0 +1,1 @@
+lib/bab/certificate.mli: Abonn_prop Abonn_spec Format

@@ -1,0 +1,1 @@
+lib/bab/exact.ml: Abonn_lp Abonn_nn Abonn_prop Abonn_spec Abonn_tensor Array Float

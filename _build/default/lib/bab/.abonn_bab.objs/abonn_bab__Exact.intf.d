@@ -1,0 +1,1 @@
+lib/bab/exact.mli: Abonn_spec

@@ -1,0 +1,1 @@
+lib/bab/inputsplit.ml: Abonn_nn Abonn_prop Abonn_spec Abonn_tensor Abonn_util Array Float Queue Result Stdlib Unix

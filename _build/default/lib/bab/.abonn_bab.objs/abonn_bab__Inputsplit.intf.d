@@ -1,0 +1,1 @@
+lib/bab/inputsplit.mli: Abonn_prop Abonn_spec Abonn_util Result

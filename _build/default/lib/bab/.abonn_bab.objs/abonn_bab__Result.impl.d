@@ -1,0 +1,1 @@
+lib/bab/result.ml: Abonn_spec Format

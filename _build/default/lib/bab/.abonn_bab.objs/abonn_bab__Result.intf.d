@@ -1,0 +1,1 @@
+lib/bab/result.mli: Abonn_spec Format

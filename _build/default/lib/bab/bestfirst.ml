@@ -1,0 +1,71 @@
+module Budget = Abonn_util.Budget
+module Heap = Abonn_util.Heap
+module Split = Abonn_spec.Split
+module Verdict = Abonn_spec.Verdict
+module Problem = Abonn_spec.Problem
+module Outcome = Abonn_prop.Outcome
+module Appver = Abonn_prop.Appver
+
+type frontier_node = {
+  gamma : Split.gamma;
+  depth : int;
+  outcome : Outcome.t;
+}
+
+exception Found of float array
+
+let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget problem =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let started = Unix.gettimeofday () in
+  let choose = heuristic.Branching.prepare problem in
+  let heap : frontier_node Heap.t = Heap.create () in
+  let nodes = ref 0 and max_depth = ref 0 in
+  let finish verdict =
+    Result.make ~verdict ~appver_calls:(Budget.calls_used budget) ~nodes:!nodes
+      ~max_depth:!max_depth
+      ~wall_time:(Unix.gettimeofday () -. started)
+  in
+  (* Evaluate a node; push it when undecided; raise [Found] on a real
+     counterexample. *)
+  let evaluate gamma depth =
+    Budget.record_call budget;
+    nodes := !nodes + 1;
+    max_depth := Stdlib.max !max_depth depth;
+    let outcome = appver.Appver.run problem gamma in
+    if Outcome.proved outcome then ()
+    else begin
+      match outcome.Outcome.candidate with
+      | Some x when Problem.is_counterexample problem x -> raise (Found x)
+      | Some _ | None -> Heap.push heap outcome.Outcome.phat { gamma; depth; outcome }
+    end
+  in
+  match
+    (try
+       evaluate [] 0;
+       let rec loop () =
+         if Heap.is_empty heap then `Done Verdict.Verified
+         else if Budget.exhausted budget then `Done Verdict.Timeout
+         else begin
+           match Heap.pop heap with
+           | None -> `Done Verdict.Verified
+           | Some (_, node) ->
+             begin match
+               choose ~gamma:node.gamma ~pre_bounds:node.outcome.Outcome.pre_bounds
+             with
+             | Some relu ->
+               evaluate (Split.extend node.gamma ~relu ~phase:Split.Active) (node.depth + 1);
+               evaluate (Split.extend node.gamma ~relu ~phase:Split.Inactive) (node.depth + 1);
+               loop ()
+             | None ->
+               Budget.record_call budget;
+               begin match Exact.resolve problem node.gamma with
+               | `Verified -> loop ()
+               | `Falsified x -> `Done (Verdict.Falsified x)
+               end
+             end
+         end
+       in
+       loop ()
+     with Found x -> `Done (Verdict.Falsified x))
+  with
+  | `Done verdict -> finish verdict

@@ -1,0 +1,16 @@
+(** Best-first branch-and-bound.
+
+    A stronger classical exploration order than the breadth-first
+    baseline: the frontier is a priority queue keyed by the certified
+    bound [p̂], so the sub-problem the relaxation considers *most
+    violated* is always expanded next.  Children are evaluated when
+    enqueued (their bound is the key).  This engine is the search
+    backbone of the αβ-CROWN-style baseline ([Abonn_crown]). *)
+
+val verify :
+  ?appver:Abonn_prop.Appver.t ->
+  ?heuristic:Branching.t ->
+  ?budget:Abonn_util.Budget.t ->
+  Abonn_spec.Problem.t ->
+  Result.t
+(** Defaults: DeepPoly AppVer, DeepSplit heuristic, unlimited budget. *)

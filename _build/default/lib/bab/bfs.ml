@@ -1,0 +1,79 @@
+module Budget = Abonn_util.Budget
+module Split = Abonn_spec.Split
+module Verdict = Abonn_spec.Verdict
+module Problem = Abonn_spec.Problem
+module Outcome = Abonn_prop.Outcome
+module Appver = Abonn_prop.Appver
+
+(* Core loop shared by [verify] and [verify_with_certificate]: [record]
+   is called once per discharged leaf. *)
+let run_bfs ~appver ~heuristic ~budget ~record problem =
+  let started = Unix.gettimeofday () in
+  let choose = heuristic.Branching.prepare problem in
+  let queue = Queue.create () in
+  Queue.add ([], 0) queue;
+  let nodes = ref 1 and max_depth = ref 0 in
+  let finish verdict =
+    Result.make ~verdict ~appver_calls:(Budget.calls_used budget) ~nodes:!nodes
+      ~max_depth:!max_depth
+      ~wall_time:(Unix.gettimeofday () -. started)
+  in
+  let rec loop () =
+    if Queue.is_empty queue then finish Verdict.Verified
+    else if Budget.exhausted budget then finish Verdict.Timeout
+    else begin
+      let gamma, depth = Queue.pop queue in
+      Budget.record_call budget;
+      let outcome = appver.Appver.run problem gamma in
+      if Outcome.proved outcome then begin
+        record { Certificate.gamma; phat = outcome.Outcome.phat; by_exact = false };
+        loop ()
+      end
+      else begin
+        let valid_cex =
+          match outcome.Outcome.candidate with
+          | Some x when Problem.is_counterexample problem x -> Some x
+          | Some _ | None -> None
+        in
+        match valid_cex with
+        | Some x -> finish (Verdict.Falsified x)
+        | None ->
+          begin match choose ~gamma ~pre_bounds:outcome.Outcome.pre_bounds with
+          | Some relu ->
+            Queue.add (Split.extend gamma ~relu ~phase:Split.Active, depth + 1) queue;
+            Queue.add (Split.extend gamma ~relu ~phase:Split.Inactive, depth + 1) queue;
+            nodes := !nodes + 2;
+            max_depth := Stdlib.max !max_depth (depth + 1);
+            loop ()
+          | None ->
+            (* Fully stabilised leaf: decide exactly with one LP call. *)
+            Budget.record_call budget;
+            begin match Exact.resolve problem gamma with
+            | `Verified ->
+              record { Certificate.gamma; phat = infinity; by_exact = true };
+              loop ()
+            | `Falsified x -> finish (Verdict.Falsified x)
+            end
+          end
+      end
+    end
+  in
+  loop ()
+
+let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget problem =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  run_bfs ~appver ~heuristic ~budget ~record:(fun _ -> ()) problem
+
+let verify_with_certificate ?(appver = Appver.deeppoly) ?(heuristic = Branching.default)
+    ?budget problem =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let leaves = ref [] in
+  let record leaf = leaves := leaf :: !leaves in
+  let result = run_bfs ~appver ~heuristic ~budget ~record problem in
+  let certificate =
+    match result.Result.verdict with
+    | Verdict.Verified ->
+      Some { Certificate.leaves = List.rev !leaves; appver_name = appver.Appver.name }
+    | Verdict.Falsified _ | Verdict.Timeout -> None
+  in
+  (result, certificate)

@@ -1,0 +1,26 @@
+(** BaB-baseline: breadth-first branch-and-bound (§III, §V).
+
+    The naive strategy the paper compares against: sub-problems are
+    visited in first-come-first-served order.  Each visited node gets one
+    AppVer call; a positive bound prunes it, a validated counterexample
+    terminates the run, and otherwise the node is split on the ReLU
+    chosen by the branching heuristic, appending both children to the
+    FIFO queue.  An exhausted queue proves the property. *)
+
+val verify :
+  ?appver:Abonn_prop.Appver.t ->
+  ?heuristic:Branching.t ->
+  ?budget:Abonn_util.Budget.t ->
+  Abonn_spec.Problem.t ->
+  Result.t
+(** Defaults: DeepPoly AppVer, DeepSplit heuristic, unlimited budget.
+    Returns [Timeout] when the budget trips before the queue empties. *)
+
+val verify_with_certificate :
+  ?appver:Abonn_prop.Appver.t ->
+  ?heuristic:Branching.t ->
+  ?budget:Abonn_util.Budget.t ->
+  Abonn_spec.Problem.t ->
+  Result.t * Certificate.t option
+(** Like [verify], additionally returning the discharged-leaf
+    certificate when the verdict is [Verified] (see [Certificate]). *)

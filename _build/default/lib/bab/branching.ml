@@ -1,0 +1,162 @@
+module Matrix = Abonn_tensor.Matrix
+module Affine = Abonn_nn.Affine
+module Split = Abonn_spec.Split
+module Problem = Abonn_spec.Problem
+module Property = Abonn_spec.Property
+module Bounds = Abonn_prop.Bounds
+
+type chooser =
+  gamma:Abonn_spec.Split.gamma ->
+  pre_bounds:Abonn_prop.Bounds.t array ->
+  int option
+
+type t = { name : string; prepare : Problem.t -> chooser }
+
+(* Enumerate splittable neurons: unstable under the node's bounds and not
+   already constrained on the path. *)
+let candidates affine gamma pre_bounds =
+  let acc = ref [] in
+  Array.iteri
+    (fun l (b : Bounds.t) ->
+      List.iter
+        (fun idx ->
+          let relu = Affine.relu_index affine ~layer:l ~idx in
+          if Split.constrained gamma ~relu = None then acc := (relu, l, idx) :: !acc)
+        (Bounds.unstable_indices b))
+    pre_bounds;
+  List.rev !acc
+
+let argmax_by score cands =
+  match cands with
+  | [] -> None
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun (bc, bs) c ->
+          let s = score c in
+          if s > bs then (c, s) else (bc, bs))
+        (first, score first) rest
+    in
+    let (relu, _, _), _ = best in
+    Some relu
+
+(* Gap of the triangle relaxation at ẑ = 0: the chord evaluates to
+   u·(−l)/(u−l) where the true ReLU is 0 — the BaBSR improvement proxy. *)
+let relaxation_gap lo hi = hi *. -.lo /. (hi -. lo)
+
+let widest =
+  { name = "widest";
+    prepare =
+      (fun problem ->
+        let affine = problem.Problem.affine in
+        fun ~gamma ~pre_bounds ->
+          let score (_, l, i) = Bounds.width pre_bounds.(l) i in
+          argmax_by score (candidates affine gamma pre_bounds)) }
+
+let babsr =
+  { name = "babsr";
+    prepare =
+      (fun problem ->
+        let affine = problem.Problem.affine in
+        fun ~gamma ~pre_bounds ->
+          let score (_, l, i) =
+            relaxation_gap pre_bounds.(l).Bounds.lower.(i) pre_bounds.(l).Bounds.upper.(i)
+          in
+          argmax_by score (candidates affine gamma pre_bounds)) }
+
+(* Per-layer sensitivity of each hidden neuron: total absolute weight
+   mass over all paths from the neuron's ReLU output to the property
+   rows.  Computed once per problem with absolute-value matrix chains. *)
+let sensitivities problem =
+  let affine = problem.Problem.affine in
+  let prop = problem.Problem.property in
+  let n_layers = Affine.num_layers affine in
+  let n_hidden = n_layers - 1 in
+  let abs_m = Matrix.map Float.abs in
+  let sens = Array.make n_hidden [||] in
+  (* s over post-activation of hidden layer (n_hidden - 1): |C|·|W_last| *)
+  let rec walk l acc =
+    (* acc: m × width(l) absolute-coefficient matrix over post-activation
+       of hidden layer l *)
+    let colsum = Array.init acc.Matrix.cols (fun j ->
+        let s = ref 0.0 in
+        for r = 0 to acc.Matrix.rows - 1 do
+          s := !s +. Matrix.get acc r j
+        done;
+        !s)
+    in
+    sens.(l) <- colsum;
+    if l > 0 then walk (l - 1) (Matrix.matmul acc (abs_m Affine.(affine.weights.(l))))
+  in
+  if n_hidden > 0 then
+    walk (n_hidden - 1) (Matrix.matmul (abs_m prop.Property.c) (abs_m Affine.(affine.weights.(n_layers - 1))));
+  sens
+
+let deepsplit =
+  { name = "deepsplit";
+    prepare =
+      (fun problem ->
+        let affine = problem.Problem.affine in
+        let sens = sensitivities problem in
+        fun ~gamma ~pre_bounds ->
+          let score (_, l, i) =
+            relaxation_gap pre_bounds.(l).Bounds.lower.(i) pre_bounds.(l).Bounds.upper.(i)
+            *. sens.(l).(i)
+          in
+          argmax_by score (candidates affine gamma pre_bounds)) }
+
+let fsb_shortlist = 4
+
+let fsb =
+  { name = "fsb";
+    prepare =
+      (fun problem ->
+        let affine = problem.Problem.affine in
+        let sens = sensitivities problem in
+        fun ~gamma ~pre_bounds ->
+          let cands = candidates affine gamma pre_bounds in
+          match cands with
+          | [] -> None
+          | _ ->
+            let scored =
+              List.map
+                (fun ((_, l, i) as c) ->
+                  let s =
+                    relaxation_gap pre_bounds.(l).Bounds.lower.(i)
+                      pre_bounds.(l).Bounds.upper.(i)
+                    *. sens.(l).(i)
+                  in
+                  (c, s))
+                cands
+            in
+            let sorted = List.sort (fun (_, a) (_, b) -> compare b a) scored in
+            let top = List.filteri (fun i _ -> i < fsb_shortlist) sorted in
+            (* Look-ahead: clamp each shortlisted neuron both ways and
+               propagate cheap interval bounds; prefer the split whose
+               *worse* child gets the best certified bound. *)
+            let lookahead ((relu, _, _), _) =
+              let child phase =
+                let gamma' = Split.extend gamma ~relu ~phase in
+                (Abonn_prop.Interval.run problem gamma').Abonn_prop.Outcome.phat
+              in
+              Float.min (child Split.Active) (child Split.Inactive)
+            in
+            begin match top with
+            | [] -> None
+            | first :: rest ->
+              let best =
+                List.fold_left
+                  (fun (bc, bs) c ->
+                    let s = lookahead c in
+                    if s > bs then (c, s) else (bc, bs))
+                  (first, lookahead first) rest
+              in
+              let ((relu, _, _), _), _ = best in
+              Some relu
+            end) }
+
+let all = [ deepsplit; babsr; fsb; widest ]
+
+let find name = List.find_opt (fun h -> h.name = name) all
+
+let default = deepsplit

@@ -1,0 +1,47 @@
+(** ReLU selection heuristics — the [H] of Alg. 1.
+
+    Given a node Γ and the AppVer's pre-activation bounds at that node, a
+    heuristic picks the global index of an *unstable, not yet
+    constrained* ReLU to split on, or [None] when no such ReLU exists
+    (the node is then resolved exactly, see [Abonn_bab.Exact]).
+
+    Heuristics are two-stage: [prepare] runs once per verification
+    problem (pre-computing, e.g., layer-sensitivity matrices) and yields
+    a cheap per-node chooser.  Following the paper (§III), the default is
+    the DeepSplit-style indirect-effect heuristic [14]; BaBSR [10],
+    FSB-lite [15] and a widest-interval baseline are also provided, and
+    ABONN is orthogonal to this choice. *)
+
+type chooser =
+  gamma:Abonn_spec.Split.gamma ->
+  pre_bounds:Abonn_prop.Bounds.t array ->
+  int option
+
+type t = {
+  name : string;
+  prepare : Abonn_spec.Problem.t -> chooser;
+}
+
+val widest : t
+(** Split the unstable neuron with the widest pre-activation interval. *)
+
+val babsr : t
+(** BaBSR-style score: the triangle relaxation's intercept gap
+    [u·(−l)/(u−l)], i.e. how much slack the relaxation introduces at this
+    neuron. *)
+
+val deepsplit : t
+(** DeepSplit-style indirect effect: relaxation gap weighted by the
+    neuron's sensitivity — the accumulated absolute weight mass on every
+    path from the neuron to the property outputs.  Default heuristic. *)
+
+val fsb : t
+(** Filtered smart branching: shortlist the top candidates by
+    [deepsplit] score, then evaluate each by actually clamping the
+    neuron and propagating cheap interval bounds for both children;
+    pick the candidate whose worse child improves most. *)
+
+val all : t list
+val find : string -> t option
+val default : t
+(** [deepsplit]. *)

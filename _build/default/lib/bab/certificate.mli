@@ -1,0 +1,47 @@
+(** Verification certificates: checkable evidence for a [Verified] verdict.
+
+    A BaB run that proves a property implicitly covers the input region
+    with a finite set of leaves, each discharged by one AppVer call (or
+    an exact LP).  This module makes that object explicit — the list of
+    discharged leaves with the split sequence Γ that identifies each —
+    and provides an {e independent checker} that replays every leaf with
+    a fresh AppVer call and verifies the leaves cover the split space.
+
+    The checker trusts only the bound propagation (which the test suite
+    validates against sampling separately); it does not trust the search
+    that produced the certificate.  This mirrors the proof-production
+    facilities of modern verifiers and makes "Verified" auditable.
+
+    Certificates are produced by [Bfs.verify_with_certificate]; any
+    engine could emit one, the BFS engine is the natural reference. *)
+
+type leaf = {
+  gamma : Abonn_spec.Split.gamma;
+  phat : float;            (** certified bound recorded at discharge *)
+  by_exact : bool;         (** discharged by the exact leaf LP *)
+}
+
+type t = {
+  leaves : leaf list;
+  appver_name : string;
+}
+
+type check_error =
+  | Leaf_not_proved of Abonn_spec.Split.gamma * float
+      (** replay returned this non-positive bound *)
+  | Coverage_gap of Abonn_spec.Split.gamma
+      (** a region of the split space is not covered by any leaf *)
+  | Duplicate_or_overlap of Abonn_spec.Split.gamma
+
+val check :
+  ?appver:Abonn_prop.Appver.t ->
+  Abonn_spec.Problem.t ->
+  t ->
+  (unit, check_error) result
+(** Replay every leaf and verify the leaves form a partition of the
+    split space (an exact binary-tree cover: for every internal node,
+    both phases of the split ReLU are covered). *)
+
+val num_leaves : t -> int
+
+val pp_error : Format.formatter -> check_error -> unit

@@ -1,0 +1,24 @@
+(** Exact resolution of fully-stabilised BaB leaves.
+
+    When a node has no splittable ReLU left (every unit is stable under
+    its bounds or fixed by Γ), the network restricted to the node is
+    affine, and the node's LP relaxation is *exact*: its feasible set is
+    precisely [{x ∈ Φ : Γ(x)}] and its optimum is the true minimum
+    margin.  Such leaves are therefore decided by one LP call instead of
+    being split forever: a positive optimum certifies the leaf, a
+    negative one yields a genuine counterexample (the LP minimiser).
+
+    This situation is rare — an invalid candidate at a fully-split node —
+    but every complete engine needs the case handled to terminate. *)
+
+exception Unresolvable of string
+(** Raised if the LP reports a clearly negative optimum (< −1e−7) whose
+    minimiser nevertheless fails concrete validation; never expected in
+    practice.  Ties (margin exactly 0) are settled by concrete
+    validation and count as violations, consistent with
+    [Abonn_spec.Property.violated]. *)
+
+val resolve :
+  Abonn_spec.Problem.t ->
+  Abonn_spec.Split.gamma ->
+  [ `Verified | `Falsified of float array ]

@@ -1,0 +1,133 @@
+module Budget = Abonn_util.Budget
+module Region = Abonn_spec.Region
+module Verdict = Abonn_spec.Verdict
+module Problem = Abonn_spec.Problem
+module Property = Abonn_spec.Property
+module Outcome = Abonn_prop.Outcome
+module Appver = Abonn_prop.Appver
+module Matrix = Abonn_tensor.Matrix
+
+type strategy = Widest | Gradient_weighted
+
+let widest_dim (region : Region.t) =
+  let best = ref 0 and best_w = ref neg_infinity in
+  Array.iteri
+    (fun i lo ->
+      let w = region.Region.upper.(i) -. lo in
+      if w > !best_w then begin
+        best := i;
+        best_w := w
+      end)
+    region.Region.lower;
+  (!best, !best_w)
+
+let gradient_dim (problem : Problem.t) (region : Region.t) =
+  let centre = Region.center region in
+  let y = Abonn_nn.Network.forward problem.Problem.network centre in
+  let prop = problem.Problem.property in
+  (* gradient of the worst margin row at the centre *)
+  let vals = Matrix.mv prop.Property.c y in
+  let worst = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v +. prop.Property.d.(i) < vals.(!worst) +. prop.Property.d.(!worst) then worst := i)
+    vals;
+  let d_out = Matrix.row prop.Property.c !worst in
+  let g = Abonn_nn.Network.input_gradient problem.Problem.network centre ~d_out in
+  let best = ref 0 and best_s = ref neg_infinity in
+  Array.iteri
+    (fun i lo ->
+      let w = region.Region.upper.(i) -. lo in
+      let s = w *. Float.abs g.(i) in
+      if s > !best_s then begin
+        best := i;
+        best_s := s
+      end)
+    region.Region.lower;
+  (* A vanishing gradient (dead ReLU region at the centre) carries no
+     signal: fall back to the widest dimension rather than starving the
+     others. *)
+  if !best_s > 0.0 then (!best, region.Region.upper.(!best) -. region.Region.lower.(!best))
+  else widest_dim region
+
+let bisect (region : Region.t) dim =
+  let mid = (region.Region.lower.(dim) +. region.Region.upper.(dim)) /. 2.0 in
+  let upper_left = Array.copy region.Region.upper in
+  upper_left.(dim) <- mid;
+  let lower_right = Array.copy region.Region.lower in
+  lower_right.(dim) <- mid;
+  ( Region.create ~lower:region.Region.lower ~upper:upper_left,
+    Region.create ~lower:lower_right ~upper:region.Region.upper )
+
+let verify ?(appver = Appver.deeppoly) ?(strategy = Gradient_weighted) ?budget
+    ?(min_width = 1e-6) problem =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let started = Unix.gettimeofday () in
+  let affine = problem.Problem.affine in
+  let property = problem.Problem.property in
+  let sub_problem region = Problem.of_affine ~affine ~region ~property () in
+  let queue = Queue.create () in
+  Queue.add (problem.Problem.region, 0) queue;
+  let nodes = ref 1 and max_depth = ref 0 in
+  (* Point-sized boxes that resist proving (margin touching 0 on a null
+     set) cannot be soundly pruned; they downgrade Verified to Timeout. *)
+  let unresolved_points = ref 0 in
+  let finish verdict =
+    let verdict =
+      match verdict with
+      | Verdict.Verified when !unresolved_points > 0 -> Verdict.Timeout
+      | Verdict.Verified | Verdict.Falsified _ | Verdict.Timeout -> verdict
+    in
+    Result.make ~verdict ~appver_calls:(Budget.calls_used budget) ~nodes:!nodes
+      ~max_depth:!max_depth
+      ~wall_time:(Unix.gettimeofday () -. started)
+  in
+  let rec loop () =
+    if Queue.is_empty queue then finish Verdict.Verified
+    else if Budget.exhausted budget then finish Verdict.Timeout
+    else begin
+      let region, depth = Queue.pop queue in
+      Budget.record_call budget;
+      let sub = sub_problem region in
+      let outcome = appver.Appver.run sub [] in
+      if Outcome.proved outcome then loop ()
+      else begin
+        let valid_cex =
+          match outcome.Outcome.candidate with
+          | Some x when Problem.is_counterexample problem x -> Some x
+          | Some _ | None -> None
+        in
+        match valid_cex with
+        | Some x -> finish (Verdict.Falsified x)
+        | None ->
+          let dim, _ =
+            match strategy with
+            | Widest -> widest_dim region
+            | Gradient_weighted -> gradient_dim sub region
+          in
+          (* Termination must consider the whole box: prune as a point
+             only when *every* dimension has collapsed. *)
+          let _, widest = widest_dim region in
+          if widest < min_width then begin
+            (* numerically a point: a concrete violation at the centre
+               concludes; otherwise stay sound and leave it unresolved *)
+            let centre = Region.center region in
+            if Problem.is_counterexample problem centre then
+              finish (Verdict.Falsified centre)
+            else begin
+              incr unresolved_points;
+              loop ()
+            end
+          end
+          else begin
+            let left, right = bisect region dim in
+            Queue.add (left, depth + 1) queue;
+            Queue.add (right, depth + 1) queue;
+            nodes := !nodes + 2;
+            max_depth := Stdlib.max !max_depth (depth + 1);
+            loop ()
+          end
+      end
+    end
+  in
+  loop ()

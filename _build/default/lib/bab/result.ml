@@ -1,0 +1,18 @@
+type stats = {
+  appver_calls : int;
+  nodes : int;
+  max_depth : int;
+  wall_time : float;
+}
+
+type t = {
+  verdict : Abonn_spec.Verdict.t;
+  stats : stats;
+}
+
+let make ~verdict ~appver_calls ~nodes ~max_depth ~wall_time =
+  { verdict; stats = { appver_calls; nodes; max_depth; wall_time } }
+
+let pp fmt t =
+  Format.fprintf fmt "%a (calls=%d nodes=%d depth=%d time=%.3fs)" Abonn_spec.Verdict.pp
+    t.verdict t.stats.appver_calls t.stats.nodes t.stats.max_depth t.stats.wall_time

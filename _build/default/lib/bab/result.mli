@@ -1,0 +1,29 @@
+(** Outcome of one verification run: the verdict plus search statistics.
+
+    All engines (BaB-baseline, best-first, ABONN, the αβ-CROWN-style
+    baseline) report through this type so the experiment harness can
+    compare them uniformly.  [appver_calls] is the cost unit used in the
+    reproduced tables (DESIGN.md §4: deterministic substitute for
+    wall-clock). *)
+
+type stats = {
+  appver_calls : int;  (** number of AppVer invocations *)
+  nodes : int;         (** BaB-tree nodes created, root included *)
+  max_depth : int;     (** deepest node created *)
+  wall_time : float;   (** seconds *)
+}
+
+type t = {
+  verdict : Abonn_spec.Verdict.t;
+  stats : stats;
+}
+
+val make :
+  verdict:Abonn_spec.Verdict.t ->
+  appver_calls:int ->
+  nodes:int ->
+  max_depth:int ->
+  wall_time:float ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/abonn.ml: Abonn_bab Abonn_prop Abonn_spec Abonn_util Config Float Potentiality Stdlib Unix

@@ -1,0 +1,1 @@
+lib/core/abonn.mli: Abonn_bab Abonn_spec Abonn_util Config

@@ -1,0 +1,166 @@
+module Budget = Abonn_util.Budget
+module Rng = Abonn_util.Rng
+module Split = Abonn_spec.Split
+module Verdict = Abonn_spec.Verdict
+module Problem = Abonn_spec.Problem
+module Outcome = Abonn_prop.Outcome
+module Appver = Abonn_prop.Appver
+module Branching = Abonn_bab.Branching
+module Result = Abonn_bab.Result
+module Exact = Abonn_bab.Exact
+
+type node = {
+  gamma : Split.gamma;
+  depth : int;
+  outcome : Outcome.t;
+  mutable reward : float;
+  mutable size : int;  (* |T(Γ)|: nodes in the sub-tree rooted here *)
+  mutable children : (node * node) option;
+}
+
+type search = {
+  problem : Problem.t;
+  config : Config.t;
+  budget : Budget.t;
+  choose : Branching.chooser;
+  num_relus : int;
+  phat_min : float;  (* Def. 1 normaliser: the root's p̂ *)
+  rng : Rng.t option;  (* only for the Uniform_random ablation *)
+  trace : depth:int -> gamma:Split.gamma -> reward:float -> unit;
+  mutable found_cex : float array option;
+  mutable nodes_created : int;
+  mutable max_depth : int;
+}
+
+let potentiality s ~depth ~phat ~valid_cex =
+  Potentiality.value ~lambda:s.config.Config.lambda ~num_relus:s.num_relus
+    ~phat_min:s.phat_min ~depth ~phat ~valid_cex
+
+(* Evaluate one fresh node: AppVer call, candidate validation, reward. *)
+let eval_node s gamma depth =
+  Budget.record_call s.budget;
+  s.nodes_created <- s.nodes_created + 1;
+  s.max_depth <- Stdlib.max s.max_depth depth;
+  let outcome = s.config.Config.appver.Appver.run s.problem gamma in
+  let valid_cex =
+    match outcome.Outcome.candidate with
+    | Some x when Problem.is_counterexample s.problem x ->
+      s.found_cex <- Some x;
+      true
+    | Some _ | None -> false
+  in
+  let reward = potentiality s ~depth ~phat:outcome.Outcome.phat ~valid_cex in
+  s.trace ~depth ~gamma ~reward;
+  { gamma; depth; outcome; reward; size = 1; children = None }
+
+(* UCB1 (Alg. 1 Line 13). *)
+let ucb1 s parent child =
+  child.reward
+  +. s.config.Config.c
+     *. sqrt (2.0 *. log (float_of_int parent.size) /. float_of_int child.size)
+
+let select s parent (plus, minus) =
+  match s.rng with
+  | Some rng ->
+    (* ablation: ignore rewards entirely *)
+    let live c = c.reward > neg_infinity in
+    begin match live plus, live minus with
+    | true, true -> if Rng.bool rng then plus else minus
+    | true, false -> plus
+    | false, true -> minus
+    | false, false -> plus (* caller prunes via reward update *)
+    end
+  | None ->
+    let sp = ucb1 s parent plus and sm = ucb1 s parent minus in
+    if sp >= sm then plus else minus
+
+(* Expansion (Lines 16–19): split on H's ReLU and evaluate both
+   children; fully-stabilised leaves are decided exactly instead. *)
+let expand s node =
+  match
+    s.choose ~gamma:node.gamma ~pre_bounds:node.outcome.Outcome.pre_bounds
+  with
+  | Some relu ->
+    let plus = eval_node s (Split.extend node.gamma ~relu ~phase:Split.Active) (node.depth + 1) in
+    let minus =
+      eval_node s (Split.extend node.gamma ~relu ~phase:Split.Inactive) (node.depth + 1)
+    in
+    node.children <- Some (plus, minus)
+  | None ->
+    Budget.record_call s.budget;
+    begin match Exact.resolve s.problem node.gamma with
+    | `Verified -> node.reward <- neg_infinity
+    | `Falsified x ->
+      s.found_cex <- Some x;
+      node.reward <- infinity
+    end
+
+(* One MCTS-BAB descent (Alg. 1 Lines 10–21).  Rewards and sizes are
+   refreshed on the way back up so every ancestor sees the new frontier. *)
+let rec mcts_bab s node =
+  begin match node.children with
+  | Some ((plus, minus) as pair) ->
+    if Float.max plus.reward minus.reward = neg_infinity then
+      (* both sub-trees proved: nothing to descend into *)
+      ()
+    else mcts_bab s (select s node pair)
+  | None -> expand s node
+  end;
+  match node.children with
+  | Some (plus, minus) ->
+    node.reward <- Float.max plus.reward minus.reward;
+    node.size <- 1 + plus.size + minus.size
+  | None -> ()
+
+let verify ?(config = Config.default) ?budget ?trace problem =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let trace = match trace with Some t -> t | None -> fun ~depth:_ ~gamma:_ ~reward:_ -> () in
+  let started = Unix.gettimeofday () in
+  let rng = match config.Config.selection with
+    | Config.Ucb1 -> None
+    | Config.Uniform_random seed -> Some (Rng.create seed)
+  in
+  (* Initialisation (Lines 1–4): evaluate the root.  The normaliser needs
+     the root p̂ before the search record exists, so bootstrap with a
+     placeholder and patch it. *)
+  let s =
+    { problem;
+      config;
+      budget;
+      choose = config.Config.heuristic.Branching.prepare problem;
+      num_relus = Stdlib.max 1 (Problem.num_relus problem);
+      phat_min = -1.0;
+      rng;
+      trace;
+      found_cex = None;
+      nodes_created = 0;
+      max_depth = 0 }
+  in
+  let root0 = eval_node s [] 0 in
+  let s = { s with phat_min = Float.min root0.outcome.Outcome.phat (-1e-12) } in
+  (* Recompute the root reward under the final normaliser. *)
+  let root =
+    { root0 with
+      reward =
+        potentiality s ~depth:0 ~phat:root0.outcome.Outcome.phat
+          ~valid_cex:(s.found_cex <> None) }
+  in
+  let finish verdict =
+    Result.make ~verdict ~appver_calls:(Budget.calls_used budget) ~nodes:s.nodes_created
+      ~max_depth:s.max_depth
+      ~wall_time:(Unix.gettimeofday () -. started)
+  in
+  (* Termination (Line 5 / Lines 6–9). *)
+  let rec loop () =
+    if root.reward = infinity then
+      match s.found_cex with
+      | Some x -> finish (Verdict.Falsified x)
+      | None -> finish Verdict.Timeout (* unreachable: +∞ implies a stored cex *)
+    else if root.reward = neg_infinity then finish Verdict.Verified
+    else if Budget.exhausted budget then finish Verdict.Timeout
+    else begin
+      mcts_bab s root;
+      loop ()
+    end
+  in
+  loop ()

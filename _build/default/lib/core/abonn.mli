@@ -1,0 +1,33 @@
+(** ABONN — Adaptive BaB with Order for Neural Network verification.
+
+    Faithful implementation of the paper's Alg. 1: the BaB tree is grown
+    MCTS-style, guided by the counterexample potentiality of Def. 1.
+
+    - {b Initialisation}: the root problem gets one AppVer call; a
+      positive bound or a validated counterexample concludes immediately.
+    - {b Selection}: at an expanded node, the child maximising
+      [R(child) + c·sqrt(2·ln |T(node)| / |T(child)|)] (UCB1, Line 13) is
+      descended into; proved sub-trees carry reward −∞ and are never
+      re-entered.
+    - {b Expansion}: at an unexpanded node, the heuristic [H] picks a
+      ReLU, both children get AppVer calls, their potentialities become
+      their rewards.
+    - {b Back-propagation}: rewards are max-combined and sub-tree sizes
+      summed along the path back to the root (Lines 20–21) — including
+      after recursive selection returns, so the root's reward is the
+      exact max over the frontier.
+    - {b Termination}: root reward +∞ ⇒ [Falsified]; −∞ ⇒ [Verified];
+      exhausted budget ⇒ [Timeout].
+
+    Fully-stabilised leaves (no splittable ReLU, yet an invalidated
+    negative bound) are decided exactly with one LP call
+    ([Abonn_bab.Exact]), preserving completeness. *)
+
+val verify :
+  ?config:Config.t ->
+  ?budget:Abonn_util.Budget.t ->
+  ?trace:(depth:int -> gamma:Abonn_spec.Split.gamma -> reward:float -> unit) ->
+  Abonn_spec.Problem.t ->
+  Abonn_bab.Result.t
+(** [trace] is invoked at every node expansion with the new child's
+    reward (used by the test suite to observe the exploration order). *)

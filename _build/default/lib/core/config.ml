@@ -1,0 +1,22 @@
+type selection = Ucb1 | Uniform_random of int
+
+type t = {
+  lambda : float;
+  c : float;
+  appver : Abonn_prop.Appver.t;
+  heuristic : Abonn_bab.Branching.t;
+  selection : selection;
+}
+
+let default =
+  { lambda = 0.5;
+    c = 0.2;
+    appver = Abonn_prop.Appver.deeppoly;
+    heuristic = Abonn_bab.Branching.default;
+    selection = Ucb1 }
+
+let make ?(lambda = default.lambda) ?(c = default.c) ?(appver = default.appver)
+    ?(heuristic = default.heuristic) ?(selection = default.selection) () =
+  if lambda < 0.0 || lambda > 1.0 then invalid_arg "Config.make: lambda outside [0,1]";
+  if c < 0.0 then invalid_arg "Config.make: negative exploration constant";
+  { lambda; c; appver; heuristic; selection }

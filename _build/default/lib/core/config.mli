@@ -1,0 +1,33 @@
+(** ABONN hyper-parameters (Alg. 1 inputs).
+
+    The paper's default tool configuration is [λ = 0.5], [c = 0.2]
+    (§V-A); RQ2 sweeps both.  [selection] exists for the ablation study:
+    [Ucb1] is Alg. 1 Line 13 (with [c = 0] degenerating to pure greedy
+    exploitation), [Uniform_random] replaces the selection step by a coin
+    flip to isolate the value of reward guidance. *)
+
+type selection =
+  | Ucb1
+  | Uniform_random of int  (** seed *)
+
+type t = {
+  lambda : float;        (** weight of node depth in Def. 1 *)
+  c : float;             (** UCB1 exploration constant *)
+  appver : Abonn_prop.Appver.t;
+  heuristic : Abonn_bab.Branching.t;
+  selection : selection;
+}
+
+val default : t
+(** λ=0.5, c=0.2, DeepPoly AppVer, DeepSplit heuristic, UCB1. *)
+
+val make :
+  ?lambda:float ->
+  ?c:float ->
+  ?appver:Abonn_prop.Appver.t ->
+  ?heuristic:Abonn_bab.Branching.t ->
+  ?selection:selection ->
+  unit ->
+  t
+(** [default] with overrides.  Raises [Invalid_argument] for λ outside
+    [\[0,1\]] or negative [c]. *)

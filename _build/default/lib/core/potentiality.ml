@@ -1,0 +1,13 @@
+let value ~lambda ~num_relus ~phat_min ~depth ~phat ~valid_cex =
+  if lambda < 0.0 || lambda > 1.0 then invalid_arg "Potentiality.value: lambda outside [0,1]";
+  if num_relus <= 0 then invalid_arg "Potentiality.value: num_relus must be positive";
+  if phat > 0.0 then neg_infinity
+  else if phat < 0.0 && valid_cex then infinity
+  else begin
+    (* Normalise p̂ by the reference minimum; both are <= 0, so the ratio
+       is non-negative and ~1 at the most violated node seen.  A
+       degenerate p̂_min (>= 0) can only arise on already-proved roots,
+       where this branch is unreachable; guard anyway. *)
+    let ratio = if phat_min < 0.0 then phat /. phat_min else 0.0 in
+    (lambda *. float_of_int depth /. float_of_int num_relus) +. ((1.0 -. lambda) *. ratio)
+  end

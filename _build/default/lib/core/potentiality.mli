@@ -1,0 +1,29 @@
+(** Counterexample potentiality — Def. 1 of the paper.
+
+    The "importance" [[Γ]] of a BaB node, characterising how likely a
+    real counterexample hides in its sub-problem:
+
+    - [-∞] when the sub-problem is proved ([p̂ > 0], including vacuously
+      proved infeasible splits);
+    - [+∞] when the AppVer's candidate counterexample validates on the
+      concrete network;
+    - [λ·depth(Γ)/K + (1−λ)·p̂/p̂_min] otherwise — deeper nodes carry
+      less over-approximation, and more-negative [p̂] signals stronger
+      (apparent) violation.
+
+    [p̂_min] is the normaliser making the second term dimensionless; the
+    paper does not pin its definition, and we use the root problem's [p̂]
+    (the most negative bound the search starts from), kept constant so
+    rewards remain comparable across the whole run. *)
+
+val value :
+  lambda:float ->
+  num_relus:int ->
+  phat_min:float ->
+  depth:int ->
+  phat:float ->
+  valid_cex:bool ->
+  float
+(** [value ~lambda ~num_relus ~phat_min ~depth ~phat ~valid_cex].
+    Raises [Invalid_argument] if [lambda] is outside [\[0, 1\]] or
+    [num_relus <= 0]. *)

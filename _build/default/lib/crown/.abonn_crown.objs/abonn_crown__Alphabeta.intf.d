@@ -1,0 +1,1 @@
+lib/crown/alphabeta.mli: Abonn_attack Abonn_bab Abonn_spec Abonn_util

@@ -1,0 +1,23 @@
+module Budget = Abonn_util.Budget
+module Rng = Abonn_util.Rng
+module Verdict = Abonn_spec.Verdict
+module Result = Abonn_bab.Result
+module Branching = Abonn_bab.Branching
+module Attack = Abonn_attack.Attack
+
+let verify ?(attack = Attack.best_effort) ?(attack_seed = 0)
+    ?(heuristic = Branching.fsb) ?budget problem =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let started = Unix.gettimeofday () in
+  let rng = Rng.create attack_seed in
+  match attack.Attack.run rng problem with
+  | Some x ->
+    Result.make ~verdict:(Verdict.Falsified x) ~appver_calls:(Budget.calls_used budget)
+      ~nodes:0 ~max_depth:0
+      ~wall_time:(Unix.gettimeofday () -. started)
+  | None ->
+    let result = Abonn_bab.Bestfirst.verify ~heuristic ~budget problem in
+    { result with
+      Result.stats =
+        { result.Result.stats with
+          Result.wall_time = Unix.gettimeofday () -. started } }

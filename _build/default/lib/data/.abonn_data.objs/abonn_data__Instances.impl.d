@@ -1,0 +1,1 @@
+lib/data/instances.ml: Abonn_attack Abonn_nn Abonn_prop Abonn_spec Abonn_util Array List Models Printf Synth

@@ -1,0 +1,1 @@
+lib/data/instances.mli: Abonn_nn Abonn_spec Models

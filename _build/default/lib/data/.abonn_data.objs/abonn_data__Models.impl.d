@@ -1,0 +1,1 @@
+lib/data/models.ml: Abonn_nn Abonn_util Filename List Synth Sys

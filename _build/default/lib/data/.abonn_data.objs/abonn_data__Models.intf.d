@@ -1,0 +1,1 @@
+lib/data/models.mli: Abonn_nn Abonn_util Synth

@@ -1,0 +1,1 @@
+lib/data/synth.ml: Abonn_nn Abonn_util Array Float

@@ -1,0 +1,1 @@
+lib/data/synth.mli: Abonn_nn

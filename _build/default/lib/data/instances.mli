@@ -1,0 +1,75 @@
+(** Verification-instance generator (§V-A "Benchmarks").
+
+    The paper selects L∞ local-robustness problems that are "neither too
+    easy nor too hard".  We reproduce that selection pressure
+    quantitatively with two per-image calibration radii:
+
+    - the {e certified radius} [r_cert]: the largest ε the root DeepPoly
+      call proves outright (bisection);
+    - the {e attack radius} [r_att]: the smallest ε at which the
+      best-effort attack portfolio (FGSM/PGD/random) finds a concrete
+      adversarial example (bisection above [r_cert]).
+
+    Instances are then placed in {e bands} spanning the interesting
+    range: between the radii live certifiable-but-hard and
+    deep-violation problems (BaB must work for its verdict); just above
+    [r_att] live violated problems whose counterexamples are easy for an
+    attack but may sit deep in the BaB tree; far above it everything is
+    trivially violated.  Problems the root call already decides are
+    discarded (the paper's Fig. 3 keeps only trees that actually
+    branch). *)
+
+type band =
+  | Between of float
+      (** [Between f], f ∈ [0,1]: ε = r_cert + f·(r_att − r_cert); the
+          certifiable-hard / deep-violation band *)
+  | Above_attack of float
+      (** [Above_attack f], f ≥ 1: ε = f·r_att; shallow-violation band *)
+
+type t = {
+  id : string;            (** e.g. ["cifar_base/07#b0.50"] *)
+  model : string;
+  index : int;            (** test-image index *)
+  eps : float;
+  factor : float;         (** ε / r_cert, for reporting *)
+  band : band;
+  problem : Abonn_spec.Problem.t;
+}
+
+val certified_radius :
+  affine:Abonn_nn.Affine.t ->
+  center:float array ->
+  label:int ->
+  num_classes:int ->
+  float
+(** Largest ε (within [\[0, 0.5\]], 10 bisection steps) whose clipped
+    L∞ ball the root DeepPoly call certifies. *)
+
+val attack_radius :
+  affine:Abonn_nn.Affine.t ->
+  center:float array ->
+  label:int ->
+  num_classes:int ->
+  r_cert:float ->
+  float option
+(** Smallest ε (10 bisection steps in [(r_cert, 8·r_cert]]) at which the
+    attack portfolio succeeds; [None] when even the largest probe
+    resists attack. *)
+
+val default_bands : band list
+(** [Between 0.35; Above_attack 0.99; Above_attack 1.01; Between 0.85;
+    Above_attack 1.2; Between 0.15] — a mixture of certifiable (easy and
+    hard), attack-boundary deep-violation, and shallow-violation
+    problems.  The 0.99/1.01 bands straddle the attack radius, where
+    counterexamples exist but sit deep in the BaB tree — the regime the
+    paper's speedups live in. *)
+
+val generate :
+  ?count:int ->
+  ?bands:band list ->
+  Models.trained ->
+  t list
+(** [generate trained] builds up to [count] (default 20) instances,
+    cycling over [bands] and the correctly-classified test images,
+    keeping only problems the root AppVer call cannot decide.
+    Deterministic. *)

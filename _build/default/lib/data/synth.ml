@@ -1,0 +1,73 @@
+module Rng = Abonn_util.Rng
+module Trainer = Abonn_nn.Trainer
+
+type t = {
+  name : string;
+  channels : int;
+  height : int;
+  width : int;
+  num_classes : int;
+  train : Trainer.sample array;
+  test : Trainer.sample array;
+}
+
+let input_dim d = d.channels * d.height * d.width
+
+let clip01 v = Float.max 0.0 (Float.min 1.0 v)
+
+(* Class prototypes mix a class-positioned Gaussian blob with a
+   class-frequency stripe pattern, giving moderately separated classes
+   whose decision boundaries still cut through the pixel box. *)
+let prototype_pixel ~num_classes ~height ~width ~cls ~ch ~y ~x =
+  let fy = float_of_int y /. float_of_int (height - 1) in
+  let fx = float_of_int x /. float_of_int (width - 1) in
+  let angle = 2.0 *. Float.pi *. float_of_int cls /. float_of_int num_classes in
+  let cy = 0.5 +. (0.3 *. sin angle) in
+  let cx = 0.5 +. (0.3 *. cos angle) in
+  let d2 = ((fy -. cy) ** 2.0) +. ((fx -. cx) ** 2.0) in
+  let blob = exp (-.d2 /. 0.05) in
+  let stripes =
+    0.5 +. (0.5 *. sin ((float_of_int (cls + 2) *. 3.0 *. (fx +. fy)) +. float_of_int ch))
+  in
+  clip01 ((0.6 *. blob) +. (0.3 *. stripes) +. 0.05)
+
+let make_prototype ~num_classes ~channels ~height ~width cls =
+  Array.init (channels * height * width) (fun k ->
+      let ch = k / (height * width) in
+      let rem = k mod (height * width) in
+      let y = rem / width and x = rem mod width in
+      prototype_pixel ~num_classes ~height ~width ~cls ~ch ~y ~x)
+
+let noise_sigma = 0.18
+
+let make_samples rng protos n =
+  let num_classes = Array.length protos in
+  Array.init n (fun i ->
+      let label = i mod num_classes in
+      let proto = protos.(label) in
+      let features =
+        Array.map (fun p -> clip01 (p +. (noise_sigma *. Rng.gaussian rng))) proto
+      in
+      { Trainer.features; label })
+
+let make ~name ~channels ~height ~width ~num_classes ~train_size ~test_size ~seed =
+  let protos =
+    Array.init num_classes (make_prototype ~num_classes ~channels ~height ~width)
+  in
+  let rng = Rng.create seed in
+  let train = make_samples rng protos train_size in
+  let test = make_samples rng protos test_size in
+  { name; channels; height; width; num_classes; train; test }
+
+let mnist_like ?(train_size = 600) ?(test_size = 120) ?(seed = 2025) () =
+  make ~name:"mnist-like" ~channels:1 ~height:10 ~width:10 ~num_classes:10 ~train_size
+    ~test_size ~seed
+
+let cifar_like ?(train_size = 600) ?(test_size = 120) ?(seed = 2026) () =
+  make ~name:"cifar-like" ~channels:3 ~height:8 ~width:8 ~num_classes:10 ~train_size
+    ~test_size ~seed
+
+let prototype d cls =
+  if cls < 0 || cls >= d.num_classes then invalid_arg "Synth.prototype: bad class";
+  make_prototype ~num_classes:d.num_classes ~channels:d.channels ~height:d.height
+    ~width:d.width cls

@@ -1,0 +1,34 @@
+(** Synthetic image datasets — the offline substitute for MNIST and
+    CIFAR-10 (DESIGN.md §4).
+
+    Each class has a deterministic prototype image built from
+    class-dependent blobs and stripe patterns; samples add Gaussian pixel
+    noise and are clipped to [\[0, 1\]].  The generative seeds are fixed,
+    so every run of the repository sees byte-identical data.
+
+    Resolutions are scaled down from the paper's 28×28/32×32 so that
+    pure-OCaml verification keeps the BaB trees in the paper's regime
+    (Fig. 3) at CI-friendly wall-clock. *)
+
+type t = {
+  name : string;
+  channels : int;
+  height : int;
+  width : int;
+  num_classes : int;
+  train : Abonn_nn.Trainer.sample array;
+  test : Abonn_nn.Trainer.sample array;
+}
+
+val input_dim : t -> int
+
+val mnist_like : ?train_size:int -> ?test_size:int -> ?seed:int -> unit -> t
+(** 1×10×10 grayscale, 10 classes (defaults: 600 train / 120 test,
+    seed 2025). *)
+
+val cifar_like : ?train_size:int -> ?test_size:int -> ?seed:int -> unit -> t
+(** 3×8×8 colour, 10 classes (defaults: 600 train / 120 test,
+    seed 2026). *)
+
+val prototype : t -> int -> float array
+(** The noiseless class prototype (for documentation and tests). *)

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Abonn_bab Abonn_core Abonn_crown Abonn_data Abonn_nn Abonn_prop Abonn_spec Abonn_util Array Hashtbl List Option Printf Runner Stdlib

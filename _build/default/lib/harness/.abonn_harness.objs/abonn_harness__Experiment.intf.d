@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Abonn_data Abonn_util Runner

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Abonn_bab Abonn_data Abonn_spec Abonn_util Array Buffer Experiment Float List Printf Runner Stdlib

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Abonn_bab Abonn_core Abonn_crown Abonn_data Abonn_prop Abonn_spec Abonn_util Array Hashtbl Unix

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Abonn_bab Abonn_core Abonn_data Abonn_spec Abonn_util

@@ -1,0 +1,337 @@
+module Models = Abonn_data.Models
+module Instances = Abonn_data.Instances
+module Synth = Abonn_data.Synth
+module Result = Abonn_bab.Result
+module Verdict = Abonn_spec.Verdict
+module Config = Abonn_core.Config
+module Stats = Abonn_util.Stats
+
+type suite = {
+  trained : Models.trained list;
+  instances : Instances.t list;
+}
+
+let build_suite ?(instances_per_model = 12) ?(epochs = 15) ?(models = Models.all) () =
+  let trained = List.map (fun spec -> Models.train ~epochs spec) models in
+  let instances =
+    List.concat_map (fun t -> Instances.generate ~count:instances_per_model t) trained
+  in
+  { trained; instances }
+
+(* --- Table I --- *)
+
+type table1_row = {
+  model : string;
+  architecture : string;
+  dataset : string;
+  neurons : int;
+  num_instances : int;
+}
+
+let table1 suite =
+  List.map
+    (fun (t : Models.trained) ->
+      let name = t.Models.spec.Models.name in
+      { model = name;
+        architecture = t.Models.spec.Models.architecture;
+        dataset = t.Models.dataset.Synth.name;
+        neurons = Abonn_nn.Network.num_neurons t.Models.network;
+        num_instances =
+          List.length (List.filter (fun (i : Instances.t) -> i.Instances.model = name) suite.instances)
+      })
+    suite.trained
+
+(* --- RQ1 --- *)
+
+type rq1 = {
+  records : Runner.record list;
+  calls_budget : int;
+}
+
+let rq1 ?(calls = 800) ?(engines = Runner.default_engines) suite =
+  let records =
+    List.concat_map
+      (fun engine ->
+        List.map (fun inst -> Runner.run_instance ~calls engine inst) suite.instances)
+      engines
+  in
+  { records; calls_budget = calls }
+
+type table2_cell = {
+  engine : string;
+  solved : int;
+  avg_time : float;
+}
+
+let model_names suite_records =
+  List.sort_uniq compare
+    (List.map (fun (r : Runner.record) -> r.Runner.instance.Instances.model) suite_records)
+
+let engine_names suite_records =
+  (* preserve first-seen order *)
+  List.fold_left
+    (fun acc (r : Runner.record) ->
+      if List.mem r.Runner.engine acc then acc else acc @ [ r.Runner.engine ])
+    [] suite_records
+
+let table2 (rq : rq1) =
+  let models = model_names rq.records in
+  let engines = engine_names rq.records in
+  List.map
+    (fun model ->
+      let rows =
+        List.map
+          (fun engine ->
+            let rs =
+              List.filter
+                (fun (r : Runner.record) ->
+                  r.Runner.engine = engine && r.Runner.instance.Instances.model = model)
+                rq.records
+            in
+            let solved =
+              List.length
+                (List.filter
+                   (fun (r : Runner.record) -> Verdict.is_solved r.Runner.result.Result.verdict)
+                   rs)
+            in
+            let times = Array.of_list (List.map (fun r -> r.Runner.model_time) rs) in
+            { engine; solved; avg_time = Stats.mean times })
+          engines
+      in
+      (model, rows))
+    models
+
+let find_record rq ~engine ~id =
+  List.find_opt
+    (fun (r : Runner.record) ->
+      r.Runner.engine = engine && r.Runner.instance.Instances.id = id)
+    rq.records
+
+let fig4 (rq : rq1) =
+  let models = model_names rq.records in
+  List.map
+    (fun model ->
+      let points =
+        rq.records
+        |> List.filter_map (fun (r : Runner.record) ->
+               if r.Runner.engine = "abonn" && r.Runner.instance.Instances.model = model then begin
+                 match find_record rq ~engine:"bab-baseline" ~id:r.Runner.instance.Instances.id with
+                 | Some base
+                   when r.Runner.model_time > 0.0
+                        && not
+                             (Verdict.is_timeout r.Runner.result.Result.verdict
+                              && Verdict.is_timeout base.Runner.result.Result.verdict) ->
+                   (* double timeouts carry no signal: both burned the
+                      same budget *)
+                   Some (r.Runner.model_time, base.Runner.model_time /. r.Runner.model_time)
+                 | Some _ | None -> None
+               end
+               else None)
+      in
+      (model, points))
+    models
+
+let fig3 (rq : rq1) =
+  rq.records
+  |> List.filter (fun (r : Runner.record) -> r.Runner.engine = "bab-baseline")
+  |> List.map (fun (r : Runner.record) -> float_of_int r.Runner.result.Result.stats.Result.nodes)
+  |> Array.of_list
+
+(* --- RQ2 --- *)
+
+type grid = {
+  lambdas : float list;
+  cs : float list;
+  cells : ((float * float) * float) list;
+}
+
+(* Hyperparameters only influence the visiting order, and with a
+   deterministic branching heuristic every order expands the same tree on
+   certified problems — so the sweep is informative only on problems
+   where a counterexample can be found early.  Prefer the
+   larger-perturbation instances (factor >= 1.2), falling back to the
+   head of the list when a model family has none. *)
+let rq2_candidates suite model max_instances =
+  let mine = List.filter (fun (i : Instances.t) -> i.Instances.model = model) suite.instances in
+  let violated_leaning =
+    List.filter
+      (fun (i : Instances.t) ->
+        match i.Instances.band with
+        | Instances.Above_attack _ -> true
+        | Instances.Between f -> f >= 0.5)
+      mine
+  in
+  let pool = if violated_leaning = [] then mine else violated_leaning in
+  List.filteri (fun k _ -> k < max_instances) pool
+
+let rq2 ?(calls = 400) ?(lambdas = [ 0.0; 0.25; 0.5; 0.75; 1.0 ])
+    ?(cs = [ 0.0; 0.1; 0.2; 0.5; 1.0 ]) ?(max_instances = 6) suite =
+  let models = List.sort_uniq compare (List.map (fun (i : Instances.t) -> i.Instances.model) suite.instances) in
+  List.map
+    (fun model ->
+      let insts = rq2_candidates suite model max_instances in
+      let cells =
+        List.concat_map
+          (fun lambda ->
+            List.map
+              (fun c ->
+                let engine =
+                  Runner.abonn_named
+                    (Printf.sprintf "abonn[l=%.2f,c=%.2f]" lambda c)
+                    (Config.make ~lambda ~c ())
+                in
+                let times =
+                  List.map
+                    (fun inst -> (Runner.run_instance ~calls engine inst).Runner.model_time)
+                    insts
+                in
+                ((lambda, c), Stats.mean (Array.of_list times)))
+              cs)
+          lambdas
+      in
+      (model, { lambdas; cs; cells }))
+    models
+
+(* --- RQ3 --- *)
+
+type rq3_box = {
+  engine : string;
+  verdict_class : string;
+  count : int;
+  box : Stats.box option;
+}
+
+(* Consensus verdict class of an instance: whichever engine solved it
+   decides; unsolved-by-both instances are dropped (the paper's boxes
+   only cover concluded problems, timeouts saturate at the budget). *)
+let verdict_class rq id =
+  let verdict_of engine =
+    Option.map (fun (r : Runner.record) -> r.Runner.result.Result.verdict)
+      (find_record rq ~engine ~id)
+  in
+  let classify = function
+    | Some (Verdict.Falsified _) -> Some "violated"
+    | Some Verdict.Verified -> Some "certified"
+    | Some Verdict.Timeout | None -> None
+  in
+  match classify (verdict_of "bab-baseline") with
+  | Some c -> Some c
+  | None -> classify (verdict_of "abonn")
+
+let rq3 (rq : rq1) =
+  let models = model_names rq.records in
+  List.map
+    (fun model ->
+      let boxes =
+        List.concat_map
+          (fun engine ->
+            List.map
+              (fun cls ->
+                let times =
+                  rq.records
+                  |> List.filter_map (fun (r : Runner.record) ->
+                         if
+                           r.Runner.engine = engine
+                           && r.Runner.instance.Instances.model = model
+                           && verdict_class rq r.Runner.instance.Instances.id = Some cls
+                         then Some r.Runner.model_time
+                         else None)
+                  |> Array.of_list
+                in
+                { engine;
+                  verdict_class = cls;
+                  count = Array.length times;
+                  box = (if Array.length times = 0 then None else Some (Stats.box_plot times))
+                })
+              [ "violated"; "certified" ])
+          [ "bab-baseline"; "abonn" ]
+      in
+      (model, boxes))
+    models
+
+(* --- Ablation --- *)
+
+let ablation ?(calls = 400) ?(max_instances = 6) suite =
+  let insts =
+    let by_model = Hashtbl.create 8 in
+    List.filter
+      (fun (i : Instances.t) ->
+        let k = Option.value ~default:0 (Hashtbl.find_opt by_model i.Instances.model) in
+        Hashtbl.replace by_model i.Instances.model (k + 1);
+        k < max_instances)
+      suite.instances
+  in
+  let variants =
+    [ Runner.abonn_named "abonn(default)" Config.default;
+      Runner.abonn_named "abonn(c=0,greedy)" (Config.make ~c:0.0 ());
+      Runner.abonn_named "abonn(c=2,explore)" (Config.make ~c:2.0 ());
+      Runner.abonn_named "abonn(lambda=1,depth-only)" (Config.make ~lambda:1.0 ());
+      Runner.abonn_named "abonn(lambda=0,bound-only)" (Config.make ~lambda:0.0 ());
+      Runner.abonn_named "abonn(random-selection)"
+        (Config.make ~selection:(Config.Uniform_random 17) ());
+      Runner.abonn_named "abonn(babsr)" (Config.make ~heuristic:Abonn_bab.Branching.babsr ());
+      Runner.abonn_named "abonn(widest)" (Config.make ~heuristic:Abonn_bab.Branching.widest ());
+      Runner.abonn_named "abonn(zonotope-appver)"
+        (Config.make ~appver:Abonn_prop.Appver.zonotope ());
+      { Runner.name = "bestfirst";
+        run = (fun ~budget problem -> Abonn_bab.Bestfirst.verify ~budget problem) };
+      { Runner.name = "inputsplit";
+        run = (fun ~budget problem -> Abonn_bab.Inputsplit.verify ~budget problem) };
+      Runner.bab_baseline
+    ]
+  in
+  List.map
+    (fun engine ->
+      let records = List.map (fun inst -> Runner.run_instance ~calls engine inst) insts in
+      let solved =
+        List.length
+          (List.filter
+             (fun (r : Runner.record) -> Verdict.is_solved r.Runner.result.Result.verdict)
+             records)
+      in
+      let times = Array.of_list (List.map (fun r -> r.Runner.model_time) records) in
+      (engine.Runner.name, { engine = engine.Runner.name; solved; avg_time = Stats.mean times }))
+    variants
+
+(* --- Deep-violation study --- *)
+
+type deepviolated_row = {
+  instance_id : string;
+  bfs_calls : int;
+  abonn_calls : int;
+  crown_calls : int;
+  abonn_speedup : float;
+}
+
+let deepviolated ?(screen_calls = 1500) ?(pool_per_model = 16) ?(min_calls = 40)
+    ?(models = [ Abonn_data.Models.mnist_l2; Abonn_data.Models.mnist_l4 ]) () =
+  let bands =
+    [ Instances.Above_attack 0.99; Instances.Above_attack 1.0; Instances.Above_attack 1.01;
+      Instances.Between 0.95 ]
+  in
+  List.concat_map
+    (fun spec ->
+      let trained = Models.train spec in
+      let pool = Instances.generate ~count:pool_per_model ~bands trained in
+      List.filter_map
+        (fun (inst : Instances.t) ->
+          let budget () = Abonn_util.Budget.of_calls screen_calls in
+          let bfs = Abonn_bab.Bfs.verify ~budget:(budget ()) inst.Instances.problem in
+          match bfs.Result.verdict with
+          | Verdict.Falsified _ when bfs.Result.stats.Result.appver_calls >= min_calls ->
+            let abonn = Abonn_core.Abonn.verify ~budget:(budget ()) inst.Instances.problem in
+            let crown =
+              Abonn_crown.Alphabeta.verify ~budget:(budget ()) inst.Instances.problem
+            in
+            let bfs_calls = bfs.Result.stats.Result.appver_calls in
+            let abonn_calls = abonn.Result.stats.Result.appver_calls in
+            Some
+              { instance_id = inst.Instances.id;
+                bfs_calls;
+                abonn_calls;
+                crown_calls = crown.Result.stats.Result.appver_calls;
+                abonn_speedup = float_of_int bfs_calls /. float_of_int (Stdlib.max 1 abonn_calls)
+              }
+          | Verdict.Falsified _ | Verdict.Verified | Verdict.Timeout -> None)
+        pool)
+    models

@@ -1,0 +1,128 @@
+(** Experiment drivers reproducing every table and figure of §V.
+
+    Each function is deterministic given its inputs and returns plain
+    data; [Report] renders the paper-style artifacts.  The benchmark
+    suite (models + instances) is built once and shared across RQs, like
+    the paper's 552-problem benchmark set. *)
+
+type suite = {
+  trained : Abonn_data.Models.trained list;
+  instances : Abonn_data.Instances.t list;  (** all models, flattened *)
+}
+
+val build_suite :
+  ?instances_per_model:int ->
+  ?epochs:int ->
+  ?models:Abonn_data.Models.spec list ->
+  unit ->
+  suite
+(** Train every model family (default: all five of Table I) and generate
+    its instances (default 12 per model). *)
+
+(** {1 Table I} *)
+
+type table1_row = {
+  model : string;
+  architecture : string;
+  dataset : string;
+  neurons : int;
+  num_instances : int;
+}
+
+val table1 : suite -> table1_row list
+
+(** {1 RQ1 — Table II and Fig. 4} *)
+
+type rq1 = {
+  records : Runner.record list;  (** every (engine × instance) run *)
+  calls_budget : int;
+}
+
+val rq1 : ?calls:int -> ?engines:Runner.engine list -> suite -> rq1
+(** Default budget: 800 AppVer calls per instance (the 1000 s analogue,
+    see DESIGN.md §4). *)
+
+type table2_cell = {
+  engine : string;
+  solved : int;
+  avg_time : float;  (** mean model-time over all instances, seconds *)
+}
+
+val table2 : rq1 -> (string * table2_cell list) list
+(** Per model family, one cell per engine. *)
+
+val fig4 : rq1 -> (string * (float * float) list) list
+(** Per model family: scatter points [(t_ABONN, speedup)] with
+    [speedup = t_BaB-baseline / t_ABONN], for instances where both
+    engines produced a verdict or timeout (paper Fig. 4). *)
+
+(** {1 Fig. 3 — BaB tree sizes} *)
+
+val fig3 : rq1 -> float array
+(** Tree sizes (node counts) of the BaB-baseline runs. *)
+
+(** {1 RQ2 — Fig. 5 hyper-parameter grids} *)
+
+type grid = {
+  lambdas : float list;
+  cs : float list;
+  cells : ((float * float) * float) list;  (** ((λ, c), avg model-time) *)
+}
+
+val rq2 :
+  ?calls:int ->
+  ?lambdas:float list ->
+  ?cs:float list ->
+  ?max_instances:int ->
+  suite ->
+  (string * grid) list
+(** Per model family (defaults: λ ∈ {0, 0.25, 0.5, 0.75, 1},
+    c ∈ {0, 0.1, 0.2, 0.5, 1}, 6 instances per model). *)
+
+(** {1 RQ3 — Fig. 6 violated vs certified breakdown} *)
+
+type rq3_box = {
+  engine : string;
+  verdict_class : string;  (** "violated" or "certified" *)
+  count : int;
+  box : Abonn_util.Stats.box option;  (** None when count = 0 *)
+}
+
+val rq3 : rq1 -> (string * rq3_box list) list
+(** Per model family: model-time box summaries of BaB-baseline and ABONN
+    split by the instance's consensus verdict class (instances where the
+    two engines disagree on solvedness are classified by whichever
+    solved it). *)
+
+(** {1 Ablation (extension beyond the paper)} *)
+
+val ablation : ?calls:int -> ?max_instances:int -> suite -> (string * table2_cell) list
+(** One row per variant: ABONN default, pure exploitation (c=0), heavy
+    exploration (c=2), depth-only reward (λ=1), bound-only reward (λ=0),
+    uniform-random selection, best-first BaB and the BFS baseline —
+    aggregated over the whole suite. *)
+
+(** {1 Deep-violation study (extension: the regime of the paper's Fig. 4
+    speedups)} *)
+
+type deepviolated_row = {
+  instance_id : string;
+  bfs_calls : int;
+  abonn_calls : int;
+  crown_calls : int;
+  abonn_speedup : float;   (** bfs_calls / abonn_calls *)
+}
+
+val deepviolated :
+  ?screen_calls:int ->
+  ?pool_per_model:int ->
+  ?min_calls:int ->
+  ?models:Abonn_data.Models.spec list ->
+  unit ->
+  deepviolated_row list
+(** Mine attack-boundary instances (bands straddling the attack radius)
+    whose counterexample needs at least [min_calls] (default 40)
+    BaB-baseline calls — violations that hide deep in the tree — then
+    compare BaB-baseline, ABONN and the αβ-CROWN-style baseline on them.
+    Defaults: screening budget 1500 calls, pool of 16 candidate
+    instances per model, MNIST models only (CNN mining is expensive). *)

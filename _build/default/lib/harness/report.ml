@@ -1,0 +1,221 @@
+module Table = Abonn_util.Table
+module Stats = Abonn_util.Stats
+
+let f = Table.fmt_float
+
+let table1 rows =
+  let body =
+    List.map
+      (fun (r : Experiment.table1_row) ->
+        [ r.Experiment.model;
+          r.Experiment.architecture;
+          r.Experiment.dataset;
+          string_of_int r.Experiment.neurons;
+          string_of_int r.Experiment.num_instances ])
+      rows
+  in
+  "Table I: Details of the benchmarks\n"
+  ^ Table.render
+      ~align:[ Table.Left; Table.Left; Table.Left; Table.Right; Table.Right ]
+      ~header:[ "Model"; "Architecture"; "Dataset"; "#Neurons"; "#Instances" ]
+      body
+
+let table2 per_model =
+  let engines =
+    match per_model with
+    | (_, cells) :: _ -> List.map (fun (c : Experiment.table2_cell) -> c.Experiment.engine) cells
+    | [] -> []
+  in
+  let header =
+    "Model" :: List.concat_map (fun e -> [ e ^ " solved"; e ^ " time" ]) engines
+  in
+  let body =
+    List.map
+      (fun (model, cells) ->
+        model
+        :: List.concat_map
+             (fun (c : Experiment.table2_cell) ->
+               [ string_of_int c.Experiment.solved; f ~digits:3 c.Experiment.avg_time ])
+             cells)
+      per_model
+  in
+  "Table II (RQ1): solved instances and average time (model seconds)\n"
+  ^ Table.render
+      ~align:(Table.Left :: List.concat_map (fun _ -> [ Table.Right; Table.Right ]) engines)
+      ~header body
+
+let fig3 ?(bins = 8) sizes =
+  if Array.length sizes = 0 then "Fig. 3: no data\n"
+  else begin
+    let h = Stats.log_histogram ~bins sizes in
+    let vmax =
+      float_of_int (Array.fold_left Stdlib.max 1 h.Stats.counts)
+    in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      "Fig. 3: distribution of BaB-baseline tree sizes (log-scale bins)\n";
+    Array.iteri
+      (fun i count ->
+        Buffer.add_string buf
+          (Printf.sprintf "  [%8.0f, %8.0f) %4d %s\n" h.Stats.edges.(i)
+             h.Stats.edges.(i + 1) count
+             (Table.bar ~width:40 (float_of_int count) vmax)))
+      h.Stats.counts;
+    Buffer.contents buf
+  end
+
+let fig4 per_model =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Fig. 4 (RQ1): per-instance comparison, speedup = T_BaB-baseline / T_ABONN\n";
+  List.iter
+    (fun (model, points) ->
+      Buffer.add_string buf (Printf.sprintf "-- %s (%d instances)\n" model (List.length points));
+      List.iter
+        (fun (t, s) ->
+          Buffer.add_string buf
+            (Printf.sprintf "   t_abonn=%8s  speedup=%8s %s\n" (f ~digits:4 t) (f ~digits:2 s)
+               (if s > 1.0 then "+" else "")))
+        points;
+      let speedups = Array.of_list (List.map snd points) in
+      if Array.length speedups > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "   summary: median speedup %s, max %s, sped-up fraction %s\n"
+             (f (Stats.median speedups))
+             (f (Stats.max speedups))
+             (f
+                (float_of_int (Array.length (Array.of_list (List.filter (fun (_, s) -> s > 1.0) points)))
+                /. float_of_int (Array.length speedups)))))
+    per_model;
+  Buffer.contents buf
+
+let fig5 per_model =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Fig. 5 (RQ2): average time (model seconds) per (lambda, c); * marks the best cell\n";
+  List.iter
+    (fun (model, (g : Experiment.grid)) ->
+      Buffer.add_string buf (Printf.sprintf "-- %s\n" model);
+      let best =
+        List.fold_left
+          (fun acc (_, v) -> Float.min acc v)
+          infinity g.Experiment.cells
+      in
+      let header = "lambda\\c" :: List.map (fun c -> f c) g.Experiment.cs in
+      let body =
+        List.map
+          (fun lambda ->
+            f lambda
+            :: List.map
+                 (fun c ->
+                   let v = List.assoc (lambda, c) g.Experiment.cells in
+                   (f ~digits:3 v) ^ (if v = best then "*" else ""))
+                 g.Experiment.cs)
+          g.Experiment.lambdas
+      in
+      Buffer.add_string buf
+        (Table.render
+           ~align:(Table.Left :: List.map (fun _ -> Table.Right) g.Experiment.cs)
+           ~header body);
+      Buffer.add_char buf '\n')
+    per_model;
+  Buffer.contents buf
+
+let fig6 per_model =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Fig. 6 (RQ3): time breakdown by verdict class (model seconds)\n";
+  List.iter
+    (fun (model, boxes) ->
+      Buffer.add_string buf (Printf.sprintf "-- %s\n" model);
+      let body =
+        List.map
+          (fun (b : Experiment.rq3_box) ->
+            match b.Experiment.box with
+            | None ->
+              [ b.Experiment.engine; b.Experiment.verdict_class; "0"; "-"; "-"; "-"; "-"; "-" ]
+            | Some box ->
+              [ b.Experiment.engine;
+                b.Experiment.verdict_class;
+                string_of_int b.Experiment.count;
+                f ~digits:3 box.Stats.whisker_lo;
+                f ~digits:3 box.Stats.q1;
+                f ~digits:3 box.Stats.med;
+                f ~digits:3 box.Stats.q3;
+                f ~digits:3 box.Stats.whisker_hi ])
+          boxes
+      in
+      Buffer.add_string buf
+        (Table.render
+           ~align:
+             [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+               Table.Right; Table.Right ]
+           ~header:[ "Engine"; "Class"; "n"; "lo"; "Q1"; "med"; "Q3"; "hi" ]
+           body);
+      Buffer.add_char buf '\n')
+    per_model;
+  Buffer.contents buf
+
+let ablation rows =
+  let body =
+    List.map
+      (fun (name, (c : Experiment.table2_cell)) ->
+        [ name; string_of_int c.Experiment.solved; f ~digits:3 c.Experiment.avg_time ])
+      rows
+  in
+  "Ablation: ABONN variants over the shared instance subset\n"
+  ^ Table.render
+      ~align:[ Table.Left; Table.Right; Table.Right ]
+      ~header:[ "Variant"; "Solved"; "Avg time" ]
+      body
+
+let csv records =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "instance,model,band_factor,eps,engine,verdict,appver_calls,nodes,max_depth,wall_time,model_time\n";
+  List.iter
+    (fun (r : Runner.record) ->
+      let inst = r.Runner.instance in
+      let res = r.Runner.result in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%.4f,%.6f,%s,%s,%d,%d,%d,%.6f,%.6f\n"
+           inst.Abonn_data.Instances.id inst.Abonn_data.Instances.model
+           inst.Abonn_data.Instances.factor inst.Abonn_data.Instances.eps r.Runner.engine
+           (Abonn_spec.Verdict.to_string res.Abonn_bab.Result.verdict)
+           res.Abonn_bab.Result.stats.Abonn_bab.Result.appver_calls
+           res.Abonn_bab.Result.stats.Abonn_bab.Result.nodes
+           res.Abonn_bab.Result.stats.Abonn_bab.Result.max_depth
+           res.Abonn_bab.Result.stats.Abonn_bab.Result.wall_time r.Runner.model_time))
+    records;
+  Buffer.contents buf
+
+let deepviolated rows =
+  let body =
+    List.map
+      (fun (r : Experiment.deepviolated_row) ->
+        [ r.Experiment.instance_id;
+          string_of_int r.Experiment.bfs_calls;
+          string_of_int r.Experiment.abonn_calls;
+          string_of_int r.Experiment.crown_calls;
+          f ~digits:2 r.Experiment.abonn_speedup ])
+      rows
+  in
+  let header = [ "Instance"; "BaB-baseline"; "ABONN"; "ab-crown"; "speedup" ] in
+  let summary =
+    if rows = [] then "no deep-violation instances mined; enlarge the pool\n"
+    else begin
+      let speedups = Array.of_list (List.map (fun r -> r.Experiment.abonn_speedup) rows) in
+      let wins = List.length (List.filter (fun r -> r.Experiment.abonn_speedup > 1.0) rows) in
+      Printf.sprintf
+        "summary: %d instances; ABONN faster on %d; median speedup %s; max %s; geometric mean %s\n"
+        (List.length rows) wins
+        (f (Stats.median speedups))
+        (f (Stats.max speedups))
+        (f (Stats.geometric_mean speedups))
+    end
+  in
+  "Deep-violation study (AppVer calls to falsify; mined attack-boundary instances)\n"
+  ^ Table.render
+      ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ~header body
+  ^ "\n" ^ summary

@@ -1,0 +1,35 @@
+(** Paper-style textual rendering of the experiment results.
+
+    Each function turns one [Experiment] artifact into the table/figure
+    analogue the paper prints; EXPERIMENTS.md archives the outputs next
+    to the paper's numbers. *)
+
+val table1 : Experiment.table1_row list -> string
+
+val table2 : (string * Experiment.table2_cell list) list -> string
+
+val fig3 : ?bins:int -> float array -> string
+(** Log-scale histogram of BaB tree sizes, drawn with ASCII bars. *)
+
+val fig4 : (string * (float * float) list) list -> string
+(** Per-model scatter listing: time vs speedup rows plus summary
+    (median / max speedup, fraction of instances sped up). *)
+
+val fig5 : (string * Experiment.grid) list -> string
+(** λ × c grids of average solve time; the best cell per model is
+    marked with [*] (the paper's "darker is better"). *)
+
+val fig6 : (string * Experiment.rq3_box list) list -> string
+(** Violated/certified box-plot summaries per model and engine. *)
+
+val ablation : (string * Experiment.table2_cell) list -> string
+
+val csv : Runner.record list -> string
+(** Machine-readable export of raw run records: one line per
+    (engine × instance) with verdict, calls, nodes, depth, wall and
+    model time.  Written next to the textual artifacts by
+    [bin/experiments.exe]. *)
+
+val deepviolated : Experiment.deepviolated_row list -> string
+(** Per-instance call counts and speedups on the mined deep-violation
+    set, with the aggregate ABONN-vs-baseline summary. *)

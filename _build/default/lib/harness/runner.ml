@@ -1,0 +1,60 @@
+module Budget = Abonn_util.Budget
+module Result = Abonn_bab.Result
+
+type engine = {
+  name : string;
+  run : budget:Budget.t -> Abonn_spec.Problem.t -> Result.t;
+}
+
+let bab_baseline =
+  { name = "bab-baseline"; run = (fun ~budget problem -> Abonn_bab.Bfs.verify ~budget problem) }
+
+let alphabeta_crown =
+  { name = "ab-crown";
+    run = (fun ~budget problem -> Abonn_crown.Alphabeta.verify ~budget problem) }
+
+let abonn_named name config =
+  { name;
+    run = (fun ~budget problem -> Abonn_core.Abonn.verify ~config ~budget problem) }
+
+let abonn ?(config = Abonn_core.Config.default) () = abonn_named "abonn" config
+
+let default_engines = [ bab_baseline; alphabeta_crown; abonn () ]
+
+let per_call_cost problem =
+  let times =
+    Array.init 3 (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Abonn_prop.Deeppoly.run problem []);
+        Unix.gettimeofday () -. t0)
+  in
+  Abonn_util.Stats.median times
+
+type record = {
+  instance : Abonn_data.Instances.t;
+  engine : string;
+  result : Result.t;
+  model_time : float;
+}
+
+(* The per-call cost only depends on the network, so measure it once per
+   model family. *)
+let cost_cache : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let cached_cost instance =
+  let model = instance.Abonn_data.Instances.model in
+  match Hashtbl.find_opt cost_cache model with
+  | Some c -> c
+  | None ->
+    let c = per_call_cost instance.Abonn_data.Instances.problem in
+    Hashtbl.replace cost_cache model c;
+    c
+
+let run_instance ?(calls = 1000) ?seconds engine instance =
+  let budget = Budget.combine ~calls ?seconds () in
+  let problem = instance.Abonn_data.Instances.problem in
+  let result = engine.run ~budget problem in
+  { instance;
+    engine = engine.name;
+    result;
+    model_time = cached_cost instance *. float_of_int result.Result.stats.Result.appver_calls }

@@ -1,0 +1,1 @@
+lib/lp/boxlp.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/lp/lp_problem.ml: Abonn_tensor Array Boxlp Float Hashtbl List Option Printf Simplex

@@ -1,0 +1,1 @@
+lib/lp/lp_verifier.ml: Abonn_nn Abonn_prop Abonn_spec Abonn_tensor Array Float Lp_problem Printf

@@ -1,0 +1,1 @@
+lib/lp/lp_verifier.mli: Abonn_prop Abonn_spec

@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Abonn_tensor Array Float Option

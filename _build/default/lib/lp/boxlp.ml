@@ -1,0 +1,289 @@
+type sense = Le | Ge | Eq
+
+type row = {
+  coefs : (int * float) list;
+  sense : sense;
+  rhs : float;
+}
+
+type status = Optimal | Infeasible | Unbounded
+
+type solution = { status : status; objective : float; x : float array; iterations : int }
+
+let eps = 1e-9
+
+type var_status = Basic | At_lower | At_upper
+
+(* Working state.  [tab] is B⁻¹·A kept explicitly (dense, m × total);
+   [xb] holds the current values of the basic variables; [z] is the
+   reduced-cost row of the current phase, updated by the same pivots. *)
+type state = {
+  m : int;
+  total : int;            (* structural + slacks + artificials *)
+  n_real : int;           (* structural + slacks: artificials excluded from entering *)
+  tab : float array array;
+  basis : int array;
+  xb : float array;
+  status : var_status array;
+  lo : float array;
+  hi : float array;
+  z : float array;
+  mutable iters : int;
+}
+
+let bound_value st j =
+  match st.status.(j) with
+  | At_lower -> st.lo.(j)
+  | At_upper -> st.hi.(j)
+  | Basic -> invalid_arg "Boxlp: bound_value of basic variable"
+
+let pivot st ~row ~col =
+  let t = st.tab in
+  let piv = t.(row).(col) in
+  let r = t.(row) in
+  for j = 0 to st.total - 1 do
+    r.(j) <- r.(j) /. piv
+  done;
+  for i = 0 to st.m - 1 do
+    if i <> row then begin
+      let f = t.(i).(col) in
+      if f <> 0.0 then begin
+        let ri = t.(i) in
+        for j = 0 to st.total - 1 do
+          ri.(j) <- ri.(j) -. (f *. r.(j))
+        done
+      end
+    end
+  done;
+  let f = st.z.(col) in
+  if f <> 0.0 then
+    for j = 0 to st.total - 1 do
+      st.z.(j) <- st.z.(j) -. (f *. r.(j))
+    done
+
+(* One simplex phase on the current [z] row.  Entering variables are
+   restricted to indices < [allowed] (phase 2 locks artificials out).
+   Bland's rule: smallest eligible entering index; leaving row with the
+   tightest ratio, ties by smallest basis index. *)
+let run_phase st ~allowed ~max_iters =
+  let rec entering j =
+    if j >= allowed then None
+    else
+      match st.status.(j) with
+      | At_lower when st.z.(j) < -.eps -> Some (j, 1.0)
+      | At_upper when st.z.(j) > eps -> Some (j, -1.0)
+      | At_lower | At_upper | Basic -> entering (j + 1)
+  in
+  let rec loop () =
+    st.iters <- st.iters + 1;
+    if st.iters > max_iters then failwith "Boxlp: iteration limit exceeded";
+    match entering 0 with
+    | None -> `Optimal
+    | Some (j, dir) ->
+      (* The entering variable moves by t ≥ 0 in direction [dir]; basic
+         variable i moves by t · delta_i. *)
+      let span = st.hi.(j) -. st.lo.(j) in
+      let best = ref None in (* (t, row) *)
+      for i = 0 to st.m - 1 do
+        let delta = -.dir *. st.tab.(i).(j) in
+        let bi = st.basis.(i) in
+        let limit =
+          if delta > eps then (st.hi.(bi) -. st.xb.(i)) /. delta
+          else if delta < -.eps then (st.lo.(bi) -. st.xb.(i)) /. delta
+          else infinity
+        in
+        if limit < infinity then begin
+          let limit = Float.max 0.0 limit in
+          match !best with
+          | None -> best := Some (limit, i)
+          | Some (t, r) ->
+            if limit < t -. eps || (limit < t +. eps && bi < st.basis.(r)) then
+              best := Some (limit, i)
+        end
+      done;
+      let t_rows, row = match !best with Some (t, r) -> (t, Some r) | None -> (infinity, None) in
+      let t = Float.min span t_rows in
+      if t = infinity then `Unbounded
+      else if t >= span -. eps && span <= t_rows then begin
+        (* bound flip: no basis change *)
+        for i = 0 to st.m - 1 do
+          st.xb.(i) <- st.xb.(i) +. (t *. -.dir *. st.tab.(i).(j))
+        done;
+        st.status.(j) <- (match st.status.(j) with At_lower -> At_upper | At_upper -> At_lower | Basic -> Basic);
+        loop ()
+      end
+      else begin
+        match row with
+        | None -> `Unbounded (* unreachable: t finite implies a limiting row *)
+        | Some r ->
+          let entering_value = bound_value st j +. (dir *. t) in
+          let leaving = st.basis.(r) in
+          (* leaving variable stops at whichever of its bounds it hit *)
+          let delta_r = -.dir *. st.tab.(r).(j) in
+          let leaving_status = if delta_r > 0.0 then At_upper else At_lower in
+          for i = 0 to st.m - 1 do
+            if i <> r then st.xb.(i) <- st.xb.(i) +. (t *. -.dir *. st.tab.(i).(j))
+          done;
+          pivot st ~row:r ~col:j;
+          st.basis.(r) <- j;
+          st.xb.(r) <- entering_value;
+          st.status.(j) <- Basic;
+          st.status.(leaving) <- leaving_status;
+          loop ()
+      end
+  in
+  loop ()
+
+(* Reduced-cost row for objective [c] (length total) under the current
+   basis: z = c - c_B^T · tab. *)
+let set_costs st c =
+  Array.blit c 0 st.z 0 st.total;
+  for i = 0 to st.m - 1 do
+    let cb = c.(st.basis.(i)) in
+    if cb <> 0.0 then begin
+      let row = st.tab.(i) in
+      for j = 0 to st.total - 1 do
+        st.z.(j) <- st.z.(j) -. (cb *. row.(j))
+      done
+    end
+  done
+
+let solve ?(max_iters = 100_000) ~c ~lo ~hi ~rows () =
+  let n = Array.length c in
+  if Array.length lo <> n || Array.length hi <> n then
+    invalid_arg "Boxlp.solve: bound array length mismatch";
+  Array.iteri
+    (fun j l ->
+      if l > hi.(j) then invalid_arg "Boxlp.solve: lo > hi";
+      if l = neg_infinity && hi.(j) = infinity then
+        invalid_arg "Boxlp.solve: free variable (need one finite bound)")
+    lo;
+  let rows = Array.of_list rows in
+  let m = Array.length rows in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun (j, _) -> if j < 0 || j >= n then invalid_arg "Boxlp.solve: unknown variable")
+        r.coefs)
+    rows;
+  (* columns: structural 0..n-1, slacks n..n+m-1, artificials appended *)
+  let n_real = n + m in
+  let total = n_real + m (* room for at most one artificial per row *) in
+  let tab = Array.make_matrix m total 0.0 in
+  let glo = Array.make total 0.0 and ghi = Array.make total 0.0 in
+  Array.blit lo 0 glo 0 n;
+  Array.blit hi 0 ghi 0 n;
+  Array.iteri
+    (fun i r ->
+      List.iter (fun (j, v) -> tab.(i).(j) <- tab.(i).(j) +. v) r.coefs;
+      tab.(i).(n + i) <- 1.0;
+      let slo, shi =
+        match r.sense with
+        | Le -> (0.0, infinity)
+        | Ge -> (neg_infinity, 0.0)
+        | Eq -> (0.0, 0.0)
+      in
+      glo.(n + i) <- slo;
+      ghi.(n + i) <- shi)
+    rows;
+  let status = Array.make total At_lower in
+  (* structural variables start at a finite bound (prefer lower) *)
+  for j = 0 to n - 1 do
+    status.(j) <- (if glo.(j) > neg_infinity then At_lower else At_upper)
+  done;
+  let basis = Array.init m (fun i -> n + i) in
+  let xb = Array.make m 0.0 in
+  let st = { m; total; n_real; tab; basis; xb; status; lo = glo; hi = ghi; z = Array.make total 0.0; iters = 0 } in
+  (* initial basic (slack) values: s_i = b_i - Σ A_ij · xval_j *)
+  let structural_value j = match status.(j) with At_upper -> ghi.(j) | At_lower | Basic -> glo.(j) in
+  let n_artificials = ref 0 in
+  for i = 0 to m - 1 do
+    let acc = ref rows.(i).rhs in
+    List.iter (fun (j, v) -> acc := !acc -. (v *. structural_value j)) rows.(i).coefs;
+    let s = !acc in
+    let slo = glo.(n + i) and shi = ghi.(n + i) in
+    if s >= slo -. eps && s <= shi +. eps then begin
+      st.basis.(i) <- n + i;
+      st.status.(n + i) <- Basic;
+      st.xb.(i) <- s
+    end
+    else begin
+      (* violated: park the slack at the violated bound and absorb the
+         residual into a fresh artificial (always ≥ 0) *)
+      let a = n_real + !n_artificials in
+      incr n_artificials;
+      let excess_high = s > shi in
+      let bound = if excess_high then shi else slo in
+      st.status.(n + i) <- (if excess_high then At_upper else At_lower);
+      let sigma = if excess_high then 1.0 else -1.0 in
+      (* The artificial's basis column must be +e_i: the artificial
+         enters the equation with coefficient sigma, so scale the whole
+         row by sigma to normalise it. *)
+      for j = 0 to total - 1 do
+        st.tab.(i).(j) <- sigma *. st.tab.(i).(j)
+      done;
+      st.tab.(i).(a) <- 1.0;
+      glo.(a) <- 0.0;
+      ghi.(a) <- infinity;
+      st.basis.(i) <- a;
+      st.status.(a) <- Basic;
+      st.xb.(i) <- sigma *. (s -. bound)
+    end
+  done;
+  (* hide unused artificial columns *)
+  for a = n_real + !n_artificials to total - 1 do
+    glo.(a) <- 0.0;
+    ghi.(a) <- 0.0
+  done;
+  let fail_result status =
+    { status; objective = 0.0; x = Array.make n 0.0; iterations = st.iters }
+  in
+  (* phase 1 *)
+  let infeasible =
+    if !n_artificials = 0 then false
+    else begin
+      let c1 = Array.make total 0.0 in
+      for a = n_real to n_real + !n_artificials - 1 do
+        c1.(a) <- 1.0
+      done;
+      set_costs st c1;
+      (match run_phase st ~allowed:n_real ~max_iters with
+       | `Unbounded -> failwith "Boxlp: phase 1 unbounded (cannot happen)"
+       | `Optimal -> ());
+      let resid = ref 0.0 in
+      for i = 0 to m - 1 do
+        if st.basis.(i) >= n_real then resid := !resid +. st.xb.(i)
+      done;
+      (* pin artificials so phase 2 cannot move them *)
+      for a = n_real to total - 1 do
+        glo.(a) <- 0.0;
+        ghi.(a) <- 0.0
+      done;
+      !resid > 1e-7
+    end
+  in
+  if infeasible then fail_result Infeasible
+  else begin
+    let c2 = Array.make total 0.0 in
+    Array.blit c 0 c2 0 n;
+    set_costs st c2;
+    match run_phase st ~allowed:n_real ~max_iters with
+    | `Unbounded -> { (fail_result Unbounded) with objective = neg_infinity }
+    | `Optimal ->
+      let x = Array.make n 0.0 in
+      for j = 0 to n - 1 do
+        x.(j) <-
+          (match st.status.(j) with
+           | At_lower -> glo.(j)
+           | At_upper -> ghi.(j)
+           | Basic -> 0.0)
+      done;
+      for i = 0 to m - 1 do
+        if st.basis.(i) < n then x.(st.basis.(i)) <- st.xb.(i)
+      done;
+      let objective = ref 0.0 in
+      for j = 0 to n - 1 do
+        objective := !objective +. (c.(j) *. x.(j))
+      done;
+      { status = Optimal; objective = !objective; x; iterations = st.iters }
+  end

@@ -1,0 +1,50 @@
+(** Dense simplex with bounded variables (Chvátal ch. 8).
+
+    Solves   minimize c·x   subject to   A x {≤,=,≥} b,   l ≤ x ≤ u,
+
+    keeping variable bounds *implicit*: non-basic variables sit at a
+    finite bound instead of being forced to 0, and upper bounds never
+    become tableau rows.  For the verification LPs built by this
+    repository — a few dozen constraint rows over a few hundred
+    box-bounded variables — this is one to two orders of magnitude faster
+    than the textbook standard-form reduction in {!Simplex}, which must
+    add one row per finite upper bound.
+
+    Every variable needs at least one finite bound (no free variables);
+    [Lp_problem] falls back to {!Simplex} when that is violated.  Bland's
+    rule is used for entering/leaving selection, so the method terminates
+    on degenerate instances.  Feasibility is established by a bounded
+    phase-1 with one artificial per initially-violated row. *)
+
+type sense = Le | Ge | Eq
+
+type row = {
+  coefs : (int * float) list;  (** sparse (variable, coefficient) *)
+  sense : sense;
+  rhs : float;
+}
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+
+type solution = {
+  status : status;
+  objective : float;
+  x : float array;   (** structural variables only *)
+  iterations : int;
+}
+
+val solve :
+  ?max_iters:int ->
+  c:float array ->
+  lo:float array ->
+  hi:float array ->
+  rows:row list ->
+  unit ->
+  solution
+(** [solve ~c ~lo ~hi ~rows ()].  Raises [Invalid_argument] if array
+    lengths differ, some [lo > hi], a variable has two infinite bounds,
+    or a row references an unknown variable; raises [Failure] past
+    [max_iters] (default 100_000) pivots. *)

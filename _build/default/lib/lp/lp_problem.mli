@@ -1,0 +1,39 @@
+(** General-form linear programs over bounded/free variables.
+
+    A thin modelling layer over [Simplex]: variables may carry arbitrary
+    (possibly infinite) bounds, constraints may be ≤ / ≥ / =, and the
+    objective is minimisation.  [solve] performs the classical reduction
+    to standard form (shifting lower bounds, splitting free variables,
+    adding slack/surplus variables, turning finite upper bounds into rows)
+    and maps the solution back to the original variables. *)
+
+type t
+type var
+
+type sense = Le | Ge | Eq
+
+type outcome =
+  | Optimal of { objective : float; values : var -> float }
+  | Infeasible
+  | Unbounded
+
+val create : unit -> t
+
+val add_var : ?lo:float -> ?hi:float -> ?name:string -> t -> var
+(** Fresh variable with bounds [\[lo, hi\]] (defaults: free).  Raises
+    [Invalid_argument] if [lo > hi]. *)
+
+val num_vars : t -> int
+val num_constraints : t -> int
+
+val add_constraint : t -> (float * var) list -> sense -> float -> unit
+(** [add_constraint t terms sense rhs] adds [Σ coef·x  sense  rhs].
+    Repeated variables in [terms] are summed. *)
+
+val set_objective : ?constant:float -> t -> (float * var) list -> unit
+(** Minimise [Σ coef·x + constant].  Defaults to the zero objective
+    (pure feasibility). *)
+
+val solve : ?max_iters:int -> t -> outcome
+(** Solve by two-phase simplex.  The builder may be reused (and further
+    extended) after solving. *)

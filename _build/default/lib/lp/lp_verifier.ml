@@ -1,0 +1,108 @@
+module Matrix = Abonn_tensor.Matrix
+module Affine = Abonn_nn.Affine
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Problem = Abonn_spec.Problem
+module Bounds = Abonn_prop.Bounds
+module Outcome = Abonn_prop.Outcome
+
+(* One neuron of the relaxation: a pre-activation variable constrained to
+   equal the affine image of the previous layer, and a post-activation
+   variable related to it according to the neuron's (split-clamped)
+   stability state. *)
+let encode_neuron lp ~prev ~w ~bias ~layer ~i ~lo ~hi ~state =
+  let z = Lp_problem.add_var ~lo ~hi ~name:(Printf.sprintf "z%d_%d" layer i) lp in
+  let terms = ref [ (1.0, z) ] in
+  for j = 0 to Array.length prev - 1 do
+    let wij = Matrix.get w i j in
+    if wij <> 0.0 then terms := (-.wij, prev.(j)) :: !terms
+  done;
+  Lp_problem.add_constraint lp !terms Lp_problem.Eq bias;
+  match state with
+  | Bounds.Stable_inactive ->
+    Lp_problem.add_var ~lo:0.0 ~hi:0.0 ~name:(Printf.sprintf "p%d_%d" layer i) lp
+  | Bounds.Stable_active ->
+    let p =
+      Lp_problem.add_var ~lo:(Float.max 0.0 lo) ~hi:(Float.max 0.0 hi)
+        ~name:(Printf.sprintf "p%d_%d" layer i) lp
+    in
+    Lp_problem.add_constraint lp [ (1.0, p); (-1.0, z) ] Lp_problem.Eq 0.0;
+    p
+  | Bounds.Unstable ->
+    let p =
+      Lp_problem.add_var ~lo:0.0 ~hi:(Float.max 0.0 hi)
+        ~name:(Printf.sprintf "p%d_%d" layer i) lp
+    in
+    (* p ≥ z, and the triangle's chord p ≤ s·(z − lo) with s = hi/(hi−lo). *)
+    Lp_problem.add_constraint lp [ (1.0, p); (-1.0, z) ] Lp_problem.Ge 0.0;
+    let s = hi /. (hi -. lo) in
+    Lp_problem.add_constraint lp [ (1.0, p); (-.s, z) ] Lp_problem.Le (-.s *. lo);
+    p
+
+(* Build the relaxation LP; returns the builder, the input variables and
+   the post-activation variables of the deepest hidden layer. *)
+let encode (problem : Problem.t) (pre_bounds : Bounds.t array) =
+  let affine = problem.Problem.affine in
+  let region = problem.Problem.region in
+  let lp = Lp_problem.create () in
+  let inputs =
+    Array.init Affine.(affine.input_dim) (fun j ->
+        Lp_problem.add_var ~lo:region.Region.lower.(j) ~hi:region.Region.upper.(j)
+          ~name:(Printf.sprintf "in%d" j) lp)
+  in
+  let encode_layer prev l =
+    let w = Affine.(affine.weights.(l)) and bias = Affine.(affine.biases.(l)) in
+    let b = pre_bounds.(l) in
+    Array.init w.Matrix.rows (fun i ->
+        encode_neuron lp ~prev ~w ~bias:bias.(i) ~layer:l ~i ~lo:b.Bounds.lower.(i)
+          ~hi:b.Bounds.upper.(i) ~state:(Bounds.relu_state_of b i))
+  in
+  let rec walk prev l =
+    if l >= Array.length pre_bounds then prev else walk (encode_layer prev l) (l + 1)
+  in
+  let last_post = walk inputs 0 in
+  (lp, inputs, last_post)
+
+let run (problem : Problem.t) gamma =
+  match Abonn_prop.Deeppoly.hidden_bounds problem gamma with
+  | None -> Outcome.vacuous ~pre_bounds:[||]
+  | Some pre_bounds ->
+    let affine = problem.Problem.affine in
+    let prop = problem.Problem.property in
+    let lp, inputs, last_post = encode problem pre_bounds in
+    let last = Affine.num_layers affine - 1 in
+    let w = Affine.(affine.weights.(last)) and bias = Affine.(affine.biases.(last)) in
+    let nrows = prop.Property.c.Matrix.rows in
+    let row_lower = Array.make nrows infinity in
+    let best_candidate = ref None in
+    let best_value = ref infinity in
+    for r = 0 to nrows - 1 do
+      (* Minimise (cᵀW)·x_last + cᵀb + d over the relaxation. *)
+      let crow = Matrix.row prop.Property.c r in
+      let coefs = Matrix.tmv w crow in
+      let constant = Abonn_tensor.Vector.dot crow bias +. prop.Property.d.(r) in
+      let terms = ref [] in
+      Array.iteri (fun j c -> if c <> 0.0 then terms := (c, last_post.(j)) :: !terms) coefs;
+      Lp_problem.set_objective ~constant lp !terms;
+      begin match Lp_problem.solve lp with
+      | Lp_problem.Optimal { objective; values } ->
+        row_lower.(r) <- objective;
+        if objective < !best_value then begin
+          best_value := objective;
+          best_candidate := Some (Array.map values inputs)
+        end
+      | Lp_problem.Infeasible ->
+        (* The relaxation admits no point at all, so the sub-problem is
+           vacuous for this (and every) row. *)
+        row_lower.(r) <- infinity
+      | Lp_problem.Unbounded ->
+        (* Cannot happen: every variable is bounded through the input box
+           and the relaxation constraints.  Stay sound regardless. *)
+        row_lower.(r) <- neg_infinity
+      end
+    done;
+    let phat = Array.fold_left Float.min infinity row_lower in
+    let candidate = if phat > 0.0 then None else !best_candidate in
+    Outcome.make ~phat ?candidate ~pre_bounds ~row_lower ()
+
+let appver = { Abonn_prop.Appver.name = "lp"; run }

@@ -1,0 +1,22 @@
+(** LP-based approximate verifier over the triangle relaxation.
+
+    Encodes the (split-constrained) network as the standard LP relaxation
+    — exact affine layers, triangle-relaxed unstable ReLUs — and minimises
+    each property row with the in-repo simplex.  This is the tightest
+    AppVer in the repository (it reasons about all neurons jointly, where
+    [Abonn_prop.Deeppoly] commits to one linear bound per neuron), at a
+    much higher per-call cost; the paper's pipeline reserves LP-grade
+    reasoning for the solver backend and we use this engine as a
+    cross-check oracle in tests and as an optional AppVer for small
+    networks.
+
+    The candidate counterexample is the input part of the LP minimiser —
+    a vertex of the relaxation, mirroring what a Gurobi-backed BaB
+    implementation validates. *)
+
+val run : Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Abonn_prop.Outcome.t
+(** Pre-activation bounds are taken from [Abonn_prop.Deeppoly] (and are
+    part of the returned outcome, as for every AppVer). *)
+
+val appver : Abonn_prop.Appver.t
+(** [run] registered under the name ["lp"]. *)

@@ -1,0 +1,169 @@
+module Matrix = Abonn_tensor.Matrix
+
+type status = Optimal | Infeasible | Unbounded
+
+type solution = { status : status; objective : float; x : float array; iterations : int }
+
+let eps = 1e-9
+
+(* Tableau layout: rows 0..m-1 are constraints, columns 0..total-1 are
+   variables, column [total] is the right-hand side.  [basis.(r)] is the
+   variable basic in row r.  [cost] is the current reduced-cost row and
+   [obj] the (negated) objective value, both maintained incrementally by
+   pivoting. *)
+type tableau = {
+  m : int;
+  total : int;
+  tab : float array array;  (* m rows × (total + 1) *)
+  basis : int array;
+  cost : float array;       (* length total + 1; last entry = -objective *)
+}
+
+let pivot t ~row ~col =
+  let width = t.total + 1 in
+  let piv = t.tab.(row).(col) in
+  let r = t.tab.(row) in
+  for j = 0 to width - 1 do
+    r.(j) <- r.(j) /. piv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let factor = t.tab.(i).(col) in
+      if Float.abs factor > 0.0 then begin
+        let ri = t.tab.(i) in
+        for j = 0 to width - 1 do
+          ri.(j) <- ri.(j) -. (factor *. r.(j))
+        done
+      end
+    end
+  done;
+  let factor = t.cost.(col) in
+  if Float.abs factor > 0.0 then
+    for j = 0 to width - 1 do
+      t.cost.(j) <- t.cost.(j) -. (factor *. r.(j))
+    done;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering = smallest index with negative reduced cost;
+   leaving = row minimising the ratio, ties broken by smallest basis
+   variable index.  Guarantees termination. *)
+let entering t ~allowed =
+  let rec loop j =
+    if j >= allowed then None else if t.cost.(j) < -.eps then Some j else loop (j + 1)
+  in
+  loop 0
+
+let leaving t ~col =
+  let best = ref None in
+  for i = 0 to t.m - 1 do
+    let aij = t.tab.(i).(col) in
+    if aij > eps then begin
+      let ratio = t.tab.(i).(t.total) /. aij in
+      match !best with
+      | None -> best := Some (i, ratio)
+      | Some (bi, bratio) ->
+        if ratio < bratio -. eps || (Float.abs (ratio -. bratio) <= eps && t.basis.(i) < t.basis.(bi))
+        then best := Some (i, ratio)
+    end
+  done;
+  Option.map fst !best
+
+let run_phase t ~allowed ~max_iters ~iters =
+  let rec loop () =
+    if !iters > max_iters then failwith "Simplex: iteration limit exceeded";
+    match entering t ~allowed with
+    | None -> `Optimal
+    | Some col ->
+      begin match leaving t ~col with
+      | None -> `Unbounded
+      | Some row ->
+        incr iters;
+        pivot t ~row ~col;
+        loop ()
+      end
+  in
+  loop ()
+
+let solve ?(max_iters = 50_000) ~c ~(a : Matrix.t) ~b () =
+  let m = a.Matrix.rows and n = a.Matrix.cols in
+  if Array.length b <> m then invalid_arg "Simplex.solve: b length mismatch";
+  if Array.length c <> n then invalid_arg "Simplex.solve: c length mismatch";
+  let total = n + m in
+  (* Constraint rows with b >= 0 (flip signs as needed) and artificial
+     variables n..n+m-1 forming the initial identity basis. *)
+  let tab =
+    Array.init m (fun i ->
+        let row = Array.make (total + 1) 0.0 in
+        let flip = if b.(i) < 0.0 then -1.0 else 1.0 in
+        for j = 0 to n - 1 do
+          row.(j) <- flip *. Matrix.get a i j
+        done;
+        row.(n + i) <- 1.0;
+        row.(total) <- flip *. b.(i);
+        row)
+  in
+  let basis = Array.init m (fun i -> n + i) in
+  (* Phase-1 cost: sum of artificials, expressed over the current basis
+     (subtract each constraint row once). *)
+  let cost = Array.make (total + 1) 0.0 in
+  for j = n to total - 1 do
+    cost.(j) <- 1.0
+  done;
+  for i = 0 to m - 1 do
+    for j = 0 to total do
+      cost.(j) <- cost.(j) -. tab.(i).(j)
+    done
+  done;
+  let t = { m; total; tab; basis; cost } in
+  let iters = ref 0 in
+  begin match run_phase t ~allowed:total ~max_iters ~iters with
+  | `Unbounded -> failwith "Simplex: phase 1 unbounded (cannot happen)"
+  | `Optimal -> ()
+  end;
+  let phase1_obj = -.t.cost.(total) in
+  if phase1_obj > 1e-7 then
+    { status = Infeasible; objective = 0.0; x = Array.make n 0.0; iterations = !iters }
+  else begin
+    (* Drive any residual artificial variables out of the basis; rows
+       whose coefficients over the structural variables are all zero are
+       redundant constraints and may keep a zero-valued artificial. *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= n then begin
+        let rec find j =
+          if j >= n then None else if Float.abs t.tab.(i).(j) > eps then Some j else find (j + 1)
+        in
+        match find 0 with
+        | Some j -> incr iters; pivot t ~row:i ~col:j
+        | None -> ()
+      end
+    done;
+    (* Phase-2 cost row: original objective expressed over the basis. *)
+    Array.fill t.cost 0 (total + 1) 0.0;
+    for j = 0 to n - 1 do
+      t.cost.(j) <- c.(j)
+    done;
+    for i = 0 to m - 1 do
+      let bi = t.basis.(i) in
+      if bi < n && Float.abs c.(bi) > 0.0 then begin
+        let cb = c.(bi) in
+        for j = 0 to total do
+          t.cost.(j) <- t.cost.(j) -. (cb *. t.tab.(i).(j))
+        done
+      end
+    done;
+    (* Forbid artificial variables from re-entering: restrict entering
+       column search to structural variables. *)
+    match run_phase t ~allowed:n ~max_iters ~iters with
+    | `Unbounded ->
+      { status = Unbounded; objective = neg_infinity; x = Array.make n 0.0; iterations = !iters }
+    | `Optimal ->
+      let x = Array.make n 0.0 in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < n then x.(t.basis.(i)) <- t.tab.(i).(total)
+      done;
+      let objective = ref 0.0 in
+      for j = 0 to n - 1 do
+        objective := !objective +. (c.(j) *. x.(j))
+      done;
+      { status = Optimal; objective = !objective; x; iterations = !iters }
+  end

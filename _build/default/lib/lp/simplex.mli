@@ -1,0 +1,36 @@
+(** Dense two-phase primal simplex for linear programs in standard form:
+
+      minimize    c·x
+      subject to  A x = b,   x ≥ 0.
+
+    This is the in-repo substitute for the commercial solver (GUROBI
+    9.1.2) the paper's experiments used — see DESIGN.md §4.  Bland's
+    anti-cycling rule is applied throughout, so the method terminates on
+    every input at the cost of speed; the verification LPs built by
+    [Encoding] are small enough for this to be a non-issue.
+
+    Callers with inequality constraints or bounded variables should go
+    through [Lp_problem], which performs the standard-form reduction. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+
+type solution = {
+  status : status;
+  objective : float;     (** meaningful only when [status = Optimal] *)
+  x : float array;       (** primal solution, length = #variables *)
+  iterations : int;
+}
+
+val solve :
+  ?max_iters:int ->
+  c:float array ->
+  a:Abonn_tensor.Matrix.t ->
+  b:float array ->
+  unit ->
+  solution
+(** [solve ~c ~a ~b ()] where [a] is [m × n], [b] length [m], [c] length
+    [n].  Raises [Invalid_argument] on dimension mismatch and [Failure]
+    if [max_iters] (default [50_000]) pivots are exceeded. *)

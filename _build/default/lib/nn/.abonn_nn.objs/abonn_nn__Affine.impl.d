@@ -1,0 +1,1 @@
+lib/nn/affine.ml: Abonn_tensor Array Conv Float Layer List Network Stdlib

@@ -1,0 +1,1 @@
+lib/nn/affine.mli: Abonn_tensor Network

@@ -1,0 +1,1 @@
+lib/nn/builder.ml: Conv Layer List Network

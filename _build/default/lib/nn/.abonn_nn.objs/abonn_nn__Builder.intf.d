@@ -1,0 +1,1 @@
+lib/nn/builder.mli: Abonn_util Network

@@ -1,0 +1,1 @@
+lib/nn/conv.ml: Abonn_tensor Abonn_util Array

@@ -1,0 +1,1 @@
+lib/nn/conv.mli: Abonn_tensor Abonn_util

@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Abonn_tensor Array Conv Float Printf

@@ -1,0 +1,1 @@
+lib/nn/layer.mli: Abonn_tensor Abonn_util Conv

@@ -1,0 +1,1 @@
+lib/nn/network.ml: Abonn_tensor Array Layer Printf

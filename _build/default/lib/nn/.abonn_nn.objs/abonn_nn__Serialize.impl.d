@@ -1,0 +1,1 @@
+lib/nn/serialize.ml: Abonn_tensor Array Buffer Conv Fun Layer List Network Printf String

@@ -1,0 +1,1 @@
+lib/nn/trainer.ml: Abonn_tensor Abonn_util Array Conv Float Layer Network Printf Stdlib

@@ -1,0 +1,1 @@
+lib/nn/trainer.mli: Abonn_util Network

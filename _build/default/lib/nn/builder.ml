@@ -1,0 +1,42 @@
+let mlp rng ~dims =
+  match dims with
+  | [] | [ _ ] -> invalid_arg "Builder.mlp: need at least input and output dims"
+  | in_dim :: rest ->
+    let rec build cur_dim remaining acc =
+      match remaining with
+      | [] -> List.rev acc
+      | [ out_dim ] ->
+        List.rev (Layer.random_linear rng ~in_dim:cur_dim ~out_dim :: acc)
+      | hidden :: rest ->
+        let acc =
+          Layer.Relu hidden :: Layer.random_linear rng ~in_dim:cur_dim ~out_dim:hidden :: acc
+        in
+        build hidden rest acc
+    in
+    Network.create (build in_dim rest [])
+
+type conv_spec = { out_channels : int; kernel : int; stride : int; padding : int }
+
+let convnet rng ~in_channels ~in_h ~in_w ~convs ~dense ~num_classes =
+  let layers = ref [] in
+  let c = ref in_channels and h = ref in_h and w = ref in_w in
+  List.iter
+    (fun spec ->
+      let conv =
+        Conv.create rng ~in_channels:!c ~in_h:!h ~in_w:!w ~out_channels:spec.out_channels
+          ~kernel:spec.kernel ~stride:spec.stride ~padding:spec.padding
+      in
+      layers := Layer.Relu (Conv.output_dim conv) :: Layer.Conv2d conv :: !layers;
+      c := spec.out_channels;
+      h := Conv.out_h conv;
+      w := Conv.out_w conv)
+    convs;
+  let flat = !c * !h * !w in
+  let cur = ref flat in
+  List.iter
+    (fun width ->
+      layers := Layer.Relu width :: Layer.random_linear rng ~in_dim:!cur ~out_dim:width :: !layers;
+      cur := width)
+    dense;
+  layers := Layer.random_linear rng ~in_dim:!cur ~out_dim:num_classes :: !layers;
+  Network.create (List.rev !layers)

@@ -1,0 +1,30 @@
+(** Convenience constructors for the network shapes used in the paper.
+
+    Table I architectures: MNIST models are stacks of equal-width linear
+    layers; CIFAR-10 models are 2–4 convolutions followed by 2 linear
+    layers.  The builders produce He-initialised untrained networks;
+    [Abonn_data.Models] trains them. *)
+
+val mlp : Abonn_util.Rng.t -> dims:int list -> Network.t
+(** [mlp rng ~dims:[in; h1; …; out]] builds Linear/ReLU/…/Linear.
+    Needs at least two entries. *)
+
+type conv_spec = {
+  out_channels : int;
+  kernel : int;
+  stride : int;
+  padding : int;
+}
+
+val convnet :
+  Abonn_util.Rng.t ->
+  in_channels:int ->
+  in_h:int ->
+  in_w:int ->
+  convs:conv_spec list ->
+  dense:int list ->
+  num_classes:int ->
+  Network.t
+(** Convolutional tower followed by dense head.  [dense] lists the hidden
+    dense widths (may be empty); a final linear layer maps to
+    [num_classes].  ReLU after every conv and every hidden dense layer. *)

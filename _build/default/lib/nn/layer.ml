@@ -1,0 +1,74 @@
+module Matrix = Abonn_tensor.Matrix
+
+type t =
+  | Linear of { weight : Matrix.t; bias : float array }
+  | Conv2d of Conv.t
+  | Relu of int
+
+let input_dim = function
+  | Linear { weight; _ } -> weight.Matrix.cols
+  | Conv2d c -> Conv.input_dim c
+  | Relu n -> n
+
+let output_dim = function
+  | Linear { weight; _ } -> weight.Matrix.rows
+  | Conv2d c -> Conv.output_dim c
+  | Relu n -> n
+
+let forward layer x =
+  if Array.length x <> input_dim layer then
+    invalid_arg
+      (Printf.sprintf "Layer.forward: expected input of size %d, got %d" (input_dim layer)
+         (Array.length x));
+  match layer with
+  | Linear { weight; bias } ->
+    let y = Matrix.mv weight x in
+    Array.mapi (fun i yi -> yi +. bias.(i)) y
+  | Conv2d c -> Conv.forward c x
+  | Relu _ -> Array.map (fun v -> Float.max 0.0 v) x
+
+let is_affine = function Linear _ | Conv2d _ -> true | Relu _ -> false
+
+let linear weight bias =
+  if Array.length bias <> weight.Matrix.rows then
+    invalid_arg "Layer.linear: bias length must equal row count";
+  Linear { weight; bias }
+
+let random_linear rng ~in_dim ~out_dim =
+  let stddev = sqrt (2.0 /. float_of_int in_dim) in
+  let weight = Matrix.random_gaussian rng out_dim in_dim ~stddev in
+  Linear { weight; bias = Array.make out_dim 0.0 }
+
+let num_params = function
+  | Linear { weight; bias } -> (weight.Matrix.rows * weight.Matrix.cols) + Array.length bias
+  | Conv2d c -> Array.length c.Conv.weight + Array.length c.Conv.bias
+  | Relu _ -> 0
+
+type grads =
+  | Linear_grads of { d_weight : Matrix.t; d_bias : float array }
+  | Conv_grads of Conv.grads
+  | No_grads
+
+let backward layer ~input ~d_out =
+  match layer with
+  | Linear { weight; _ } ->
+    let d_in = Matrix.tmv weight d_out in
+    let d_weight = Matrix.outer d_out input in
+    (d_in, Linear_grads { d_weight; d_bias = Array.copy d_out })
+  | Conv2d c ->
+    let d_in, g = Conv.backward c ~input ~d_out in
+    (d_in, Conv_grads g)
+  | Relu _ ->
+    let d_in = Array.mapi (fun i g -> if input.(i) > 0.0 then g else 0.0) d_out in
+    (d_in, No_grads)
+
+let apply_grads layer grads ~lr =
+  match layer, grads with
+  | Linear { weight; bias }, Linear_grads g ->
+    let weight = Matrix.sub weight (Matrix.scale lr g.d_weight) in
+    let bias = Array.mapi (fun i b -> b -. (lr *. g.d_bias.(i))) bias in
+    Linear { weight; bias }
+  | Conv2d c, Conv_grads g -> Conv2d (Conv.apply_grads c g ~lr)
+  | Relu n, No_grads -> Relu n
+  | (Linear _ | Conv2d _ | Relu _), _ ->
+    invalid_arg "Layer.apply_grads: gradient does not match layer"

@@ -1,0 +1,41 @@
+(** Network layers.
+
+    A network is a sequence of layers applied left to right to a flat
+    float vector.  [Linear] and [Conv2d] are affine; [Relu] is the only
+    non-linearity (following the paper, §III). *)
+
+type t =
+  | Linear of { weight : Abonn_tensor.Matrix.t; bias : float array }
+      (** [y = W x + b] *)
+  | Conv2d of Conv.t
+  | Relu of int  (** element-wise [max 0] on a vector of the given width *)
+
+val input_dim : t -> int
+val output_dim : t -> int
+
+val forward : t -> float array -> float array
+(** Concrete evaluation; checks the input dimension. *)
+
+val is_affine : t -> bool
+
+val linear : Abonn_tensor.Matrix.t -> float array -> t
+(** Checked constructor: bias length must equal the matrix row count. *)
+
+val random_linear : Abonn_util.Rng.t -> in_dim:int -> out_dim:int -> t
+(** He-initialised dense layer with zero bias. *)
+
+val num_params : t -> int
+
+type grads =
+  | Linear_grads of { d_weight : Abonn_tensor.Matrix.t; d_bias : float array }
+  | Conv_grads of Conv.grads
+  | No_grads
+
+val backward : t -> input:float array -> d_out:float array -> float array * grads
+(** [backward layer ~input ~d_out] propagates the output gradient to the
+    input and collects parameter gradients.  For [Relu], [input] must be
+    the pre-activation vector. *)
+
+val apply_grads : t -> grads -> lr:float -> t
+(** One SGD step; [No_grads] and mismatched constructors are rejected
+    with [Invalid_argument]. *)

@@ -1,0 +1,127 @@
+module Matrix = Abonn_tensor.Matrix
+
+let floats_to_line arr =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") arr))
+
+let floats_of_line line =
+  line |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun s ->
+         match float_of_string_opt s with
+         | Some f -> f
+         | None -> failwith (Printf.sprintf "Serialize: bad float %S" s))
+  |> Array.of_list
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  let layers = Network.layers net in
+  Buffer.add_string buf (Printf.sprintf "abonn-network 1 %d\n" (List.length layers));
+  List.iter
+    (fun layer ->
+      match layer with
+      | Layer.Relu n -> Buffer.add_string buf (Printf.sprintf "relu %d\n" n)
+      | Layer.Linear { weight; bias } ->
+        Buffer.add_string buf (Printf.sprintf "linear %d %d\n" weight.Matrix.rows weight.Matrix.cols);
+        Buffer.add_string buf (floats_to_line weight.Matrix.data);
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (floats_to_line bias);
+        Buffer.add_char buf '\n'
+      | Layer.Conv2d c ->
+        Buffer.add_string buf
+          (Printf.sprintf "conv %d %d %d %d %d %d %d %d\n" c.Conv.in_channels c.Conv.in_h
+             c.Conv.in_w c.Conv.out_channels c.Conv.kernel_h c.Conv.kernel_w c.Conv.stride
+             c.Conv.padding);
+        Buffer.add_string buf (floats_to_line c.Conv.weight);
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (floats_to_line c.Conv.bias);
+        Buffer.add_char buf '\n')
+    layers;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | [] -> failwith "Serialize: empty input"
+  | header :: rest ->
+    let nlayers =
+      match String.split_on_char ' ' header with
+      | [ "abonn-network"; "1"; n ] ->
+        (match int_of_string_opt n with
+         | Some n -> n
+         | None -> failwith "Serialize: bad layer count")
+      | _ -> failwith "Serialize: bad header"
+    in
+    let rec parse lines acc count =
+      if count = nlayers then begin
+        if lines <> [] then failwith "Serialize: trailing data";
+        List.rev acc
+      end
+      else
+        match lines with
+        | [] -> failwith "Serialize: truncated input"
+        | decl :: rest ->
+          begin match String.split_on_char ' ' decl with
+          | [ "relu"; n ] ->
+            let n =
+              match int_of_string_opt n with
+              | Some n -> n
+              | None -> failwith "Serialize: bad relu width"
+            in
+            parse rest (Layer.Relu n :: acc) (count + 1)
+          | [ "linear"; rows; cols ] ->
+            let rows = int_of_string rows and cols = int_of_string cols in
+            begin match rest with
+            | wline :: bline :: rest ->
+              let data = floats_of_line wline in
+              if Array.length data <> rows * cols then failwith "Serialize: bad linear weights";
+              let weight = Matrix.init rows cols (fun i j -> data.((i * cols) + j)) in
+              let bias = floats_of_line bline in
+              if Array.length bias <> rows then failwith "Serialize: bad linear bias";
+              parse rest (Layer.linear weight bias :: acc) (count + 1)
+            | [ _ ] | [] -> failwith "Serialize: truncated linear layer"
+            end
+          | [ "conv"; ic; ih; iw; oc; kh; kw; st; pd ] ->
+            begin match rest with
+            | wline :: bline :: rest ->
+              let conv =
+                { Conv.in_channels = int_of_string ic;
+                  in_h = int_of_string ih;
+                  in_w = int_of_string iw;
+                  out_channels = int_of_string oc;
+                  kernel_h = int_of_string kh;
+                  kernel_w = int_of_string kw;
+                  stride = int_of_string st;
+                  padding = int_of_string pd;
+                  weight = floats_of_line wline;
+                  bias = floats_of_line bline }
+              in
+              let expected =
+                conv.Conv.out_channels * conv.Conv.in_channels * conv.Conv.kernel_h
+                * conv.Conv.kernel_w
+              in
+              if Array.length conv.Conv.weight <> expected then
+                failwith "Serialize: bad conv weights";
+              if Array.length conv.Conv.bias <> conv.Conv.out_channels then
+                failwith "Serialize: bad conv bias";
+              parse rest (Layer.Conv2d conv :: acc) (count + 1)
+            | [ _ ] | [] -> failwith "Serialize: truncated conv layer"
+            end
+          | _ -> failwith (Printf.sprintf "Serialize: bad layer declaration %S" decl)
+          end
+    in
+    Network.create (parse rest [] 0)
+
+let save net path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string net))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_string s)

@@ -1,0 +1,15 @@
+(** Plain-text network (de)serialisation.
+
+    A self-describing line-oriented format so trained benchmark models can
+    be cached on disk and inspected by hand.  Round-trips exactly (floats
+    are printed with ["%h"] hexadecimal notation). *)
+
+val to_string : Network.t -> string
+val of_string : string -> Network.t
+(** Raises [Failure] with a descriptive message on malformed input. *)
+
+val save : Network.t -> string -> unit
+(** [save net path] writes [to_string net] to [path]. *)
+
+val load : string -> Network.t
+(** Raises [Sys_error] if the file is missing, [Failure] if malformed. *)

@@ -1,0 +1,123 @@
+type sample = { features : float array; label : int }
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  lr_decay : float;
+  verbose : bool;
+}
+
+let default_config =
+  { epochs = 12; batch_size = 16; learning_rate = 0.05; lr_decay = 0.9; verbose = false }
+
+let softmax logits =
+  let m = Array.fold_left Float.max logits.(0) logits in
+  let exps = Array.map (fun v -> exp (v -. m)) logits in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  Array.map (fun e -> e /. z) exps
+
+let cross_entropy_grad logits label =
+  let probs = softmax logits in
+  let loss = -.log (Float.max 1e-12 probs.(label)) in
+  let grad = Array.mapi (fun i p -> if i = label then p -. 1.0 else p) probs in
+  (loss, grad)
+
+(* Accumulate parameter gradients of a batch into the first sample's
+   gradients; Layer.grads are summed structurally. *)
+let add_grads acc more =
+  Array.mapi
+    (fun i ai ->
+      match ai, more.(i) with
+      | Layer.No_grads, Layer.No_grads -> Layer.No_grads
+      | Layer.Linear_grads a, Layer.Linear_grads b ->
+        Layer.Linear_grads
+          { d_weight = Abonn_tensor.Matrix.add a.d_weight b.d_weight;
+            d_bias = Array.mapi (fun k v -> v +. b.d_bias.(k)) a.d_bias }
+      | Layer.Conv_grads a, Layer.Conv_grads b ->
+        Layer.Conv_grads
+          { Conv.d_weight = Array.mapi (fun k v -> v +. b.Conv.d_weight.(k)) a.Conv.d_weight;
+            d_bias = Array.mapi (fun k v -> v +. b.Conv.d_bias.(k)) a.Conv.d_bias }
+      | (Layer.No_grads | Layer.Linear_grads _ | Layer.Conv_grads _), _ ->
+        invalid_arg "Trainer: inconsistent gradient shapes")
+    acc
+
+let scale_grads s g =
+  Array.map
+    (function
+      | Layer.No_grads -> Layer.No_grads
+      | Layer.Linear_grads a ->
+        Layer.Linear_grads
+          { d_weight = Abonn_tensor.Matrix.scale s a.d_weight;
+            d_bias = Array.map (fun v -> s *. v) a.d_bias }
+      | Layer.Conv_grads a ->
+        Layer.Conv_grads
+          { Conv.d_weight = Array.map (fun v -> s *. v) a.Conv.d_weight;
+            d_bias = Array.map (fun v -> s *. v) a.Conv.d_bias })
+    g
+
+let train ?(config = default_config) rng net samples =
+  if Array.length samples = 0 then invalid_arg "Trainer.train: no samples";
+  let order = Array.init (Array.length samples) (fun i -> i) in
+  let net = ref net in
+  let lr = ref config.learning_rate in
+  for epoch = 1 to config.epochs do
+    Abonn_util.Rng.shuffle rng order;
+    let i = ref 0 in
+    let n = Array.length order in
+    while !i < n do
+      let batch_end = Stdlib.min n (!i + config.batch_size) in
+      let batch_n = batch_end - !i in
+      let acc = ref None in
+      for k = !i to batch_end - 1 do
+        let s = samples.(order.(k)) in
+        let logits = Network.forward !net s.features in
+        let _, d_out = cross_entropy_grad logits s.label in
+        let _, grads = Network.backprop !net s.features ~d_out in
+        acc := Some (match !acc with None -> grads | Some a -> add_grads a grads)
+      done;
+      begin match !acc with
+      | None -> ()
+      | Some g ->
+        let g = scale_grads (1.0 /. float_of_int batch_n) g in
+        net := Network.apply_grads !net g ~lr:!lr
+      end;
+      i := batch_end
+    done;
+    lr := !lr *. config.lr_decay;
+    if config.verbose then
+      Printf.printf "epoch %d: loss=%.4f acc=%.3f\n%!" epoch
+        (let total = ref 0.0 in
+         Array.iter
+           (fun s ->
+             let logits = Network.forward !net s.features in
+             let loss, _ = cross_entropy_grad logits s.label in
+             total := !total +. loss)
+           samples;
+         !total /. float_of_int (Array.length samples))
+        (let correct = ref 0 in
+         Array.iter (fun s -> if Network.predict !net s.features = s.label then incr correct) samples;
+         float_of_int !correct /. float_of_int (Array.length samples))
+  done;
+  !net
+
+let accuracy net samples =
+  if Array.length samples = 0 then 0.0
+  else begin
+    let correct = ref 0 in
+    Array.iter (fun s -> if Network.predict net s.features = s.label then incr correct) samples;
+    float_of_int !correct /. float_of_int (Array.length samples)
+  end
+
+let average_loss net samples =
+  if Array.length samples = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    Array.iter
+      (fun s ->
+        let logits = Network.forward net s.features in
+        let loss, _ = cross_entropy_grad logits s.label in
+        total := !total +. loss)
+      samples;
+    !total /. float_of_int (Array.length samples)
+  end

@@ -1,0 +1,1 @@
+lib/prop/appver.ml: Abonn_spec Deeppoly Interval List Outcome Symbolic Zonotope

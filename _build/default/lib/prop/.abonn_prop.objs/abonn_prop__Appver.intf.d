@@ -1,0 +1,1 @@
+lib/prop/appver.mli: Abonn_spec Outcome

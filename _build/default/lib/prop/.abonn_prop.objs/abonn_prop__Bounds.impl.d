@@ -1,0 +1,1 @@
+lib/prop/bounds.ml: Abonn_spec Abonn_tensor Array Float List

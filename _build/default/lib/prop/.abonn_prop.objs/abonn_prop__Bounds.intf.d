@@ -1,0 +1,1 @@
+lib/prop/bounds.mli: Abonn_spec Abonn_tensor

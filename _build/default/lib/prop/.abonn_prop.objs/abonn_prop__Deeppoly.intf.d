@@ -1,0 +1,1 @@
+lib/prop/deeppoly.mli: Abonn_spec Bounds Outcome

@@ -1,0 +1,1 @@
+lib/prop/interval.ml: Abonn_nn Abonn_spec Abonn_tensor Array Bounds Float List Outcome

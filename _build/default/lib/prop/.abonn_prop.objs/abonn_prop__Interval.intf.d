@@ -1,0 +1,1 @@
+lib/prop/interval.mli: Abonn_spec Bounds Outcome

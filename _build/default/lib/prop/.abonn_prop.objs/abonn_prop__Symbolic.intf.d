@@ -1,0 +1,1 @@
+lib/prop/symbolic.mli: Abonn_spec Bounds Outcome

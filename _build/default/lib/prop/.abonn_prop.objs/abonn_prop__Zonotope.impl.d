@@ -1,0 +1,1 @@
+lib/prop/zonotope.ml: Abonn_nn Abonn_spec Abonn_tensor Array Bounds Float Hashtbl List Outcome

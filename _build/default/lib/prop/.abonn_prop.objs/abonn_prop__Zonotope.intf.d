@@ -1,0 +1,1 @@
+lib/prop/zonotope.mli: Abonn_spec Bounds Outcome

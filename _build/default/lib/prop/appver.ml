@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  run : Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Outcome.t;
+}
+
+let deeppoly = { name = "deeppoly"; run = Deeppoly.run ~slope:Deeppoly.Adaptive }
+
+let deeppoly_zero = { name = "deeppoly-zero"; run = Deeppoly.run ~slope:Deeppoly.Always_zero }
+
+let deeppoly_one = { name = "deeppoly-one"; run = Deeppoly.run ~slope:Deeppoly.Always_one }
+
+let interval = { name = "interval"; run = Interval.run }
+
+let zonotope = { name = "zonotope"; run = Zonotope.run }
+
+let symbolic = { name = "symbolic"; run = Symbolic.run }
+
+let all = [ deeppoly; deeppoly_zero; deeppoly_one; zonotope; symbolic; interval ]
+
+let find name = List.find_opt (fun v -> v.name = name) all

@@ -1,0 +1,37 @@
+(** The [AppVer] abstraction of §III: a named approximate verifier.
+
+    BaB engines are parametric in the AppVer they call on every
+    sub-problem, exactly as Alg. 1 takes [AppVer(·)] as an input.  All
+    engines in this repository count calls through
+    [Abonn_util.Budget]; the AppVer itself is pure. *)
+
+type t = {
+  name : string;
+  run : Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Outcome.t;
+}
+
+val deeppoly : t
+(** DeepPoly back-substitution with the adaptive lower slope — the
+    default AppVer, mirroring the paper's [7],[16] stack. *)
+
+val deeppoly_zero : t
+(** DeepPoly with the always-0 lower slope (looser; for ablations). *)
+
+val deeppoly_one : t
+(** DeepPoly with the always-1 lower slope (looser; for ablations). *)
+
+val interval : t
+(** Interval bound propagation (loosest, fastest). *)
+
+val zonotope : t
+(** DeepZ-style zonotope propagation — the paper's second AppVer
+    reference [16]; incomparable in tightness with [deeppoly]. *)
+
+val symbolic : t
+(** Forward symbolic intervals (ReluVal/Neurify-style): one cheap
+    forward pass keeping linear input dependencies. *)
+
+val all : t list
+
+val find : string -> t option
+(** Look up by [name]. *)

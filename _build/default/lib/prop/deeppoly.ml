@@ -1,0 +1,217 @@
+module Matrix = Abonn_tensor.Matrix
+module Affine = Abonn_nn.Affine
+module Split = Abonn_spec.Split
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Problem = Abonn_spec.Problem
+
+type slope = Adaptive | Always_zero | Always_one
+
+let lower_slope slope ~lo ~hi =
+  match slope with
+  | Always_zero -> 0.0
+  | Always_one -> 1.0
+  | Adaptive -> if hi > -.lo then 1.0 else 0.0
+
+(* One symbolic bound: coefficients over some layer's (post-)activations
+   plus a constant.  [lo_coef]/[lo_const] lower-bound the target,
+   [hi_coef]/[hi_const] upper-bound it. *)
+type sym = {
+  mutable lo_coef : float array;
+  mutable lo_const : float;
+  mutable hi_coef : float array;
+  mutable hi_const : float;
+}
+
+(* Rewrite a symbolic bound over x_{k+1} = relu(ẑ_k) into one over ẑ_k,
+   using the triangle relaxation driven by the (split-clamped) bounds of
+   layer k.  Soundness: for the lower bound, positive coefficients take a
+   lower relaxation of the ReLU and negative coefficients an upper
+   relaxation; mirrored for the upper bound. *)
+let relax_relu slope (b : Bounds.t) sym =
+  let n = Array.length sym.lo_coef in
+  let lo_coef = Array.make n 0.0 and hi_coef = Array.make n 0.0 in
+  let lo_const = ref sym.lo_const and hi_const = ref sym.hi_const in
+  for j = 0 to n - 1 do
+    let lo = b.Bounds.lower.(j) and hi = b.Bounds.upper.(j) in
+    let al = sym.lo_coef.(j) and ah = sym.hi_coef.(j) in
+    if lo >= 0.0 then begin
+      (* stable active: x = ẑ *)
+      lo_coef.(j) <- al;
+      hi_coef.(j) <- ah
+    end
+    else if hi <= 0.0 then begin
+      (* stable inactive: x = 0; coefficients vanish *)
+      ()
+    end
+    else begin
+      let s = hi /. (hi -. lo) in
+      let alpha = lower_slope slope ~lo ~hi in
+      (* lower bound of target *)
+      if al >= 0.0 then lo_coef.(j) <- al *. alpha
+      else begin
+        lo_coef.(j) <- al *. s;
+        lo_const := !lo_const -. (al *. s *. lo)
+      end;
+      (* upper bound of target *)
+      if ah >= 0.0 then begin
+        hi_coef.(j) <- ah *. s;
+        hi_const := !hi_const -. (ah *. s *. lo)
+      end
+      else hi_coef.(j) <- ah *. alpha
+    end
+  done;
+  sym.lo_coef <- lo_coef;
+  sym.hi_coef <- hi_coef;
+  sym.lo_const <- !lo_const;
+  sym.hi_const <- !hi_const
+
+(* Rewrite a symbolic bound over ẑ_k = W_k x_k + b_k into one over x_k. *)
+let through_affine (w : Matrix.t) (b : float array) sym =
+  let dot coef = Abonn_tensor.Vector.dot coef b in
+  sym.lo_const <- sym.lo_const +. dot sym.lo_coef;
+  sym.hi_const <- sym.hi_const +. dot sym.hi_coef;
+  sym.lo_coef <- Matrix.tmv w sym.lo_coef;
+  sym.hi_coef <- Matrix.tmv w sym.hi_coef
+
+(* Concretise a symbolic bound over the input box. *)
+let concretize (region : Region.t) sym =
+  let lo = ref sym.lo_const and hi = ref sym.hi_const in
+  let rl = region.Region.lower and ru = region.Region.upper in
+  for j = 0 to Array.length sym.lo_coef - 1 do
+    let a = sym.lo_coef.(j) in
+    lo := !lo +. (if a > 0.0 then a *. rl.(j) else a *. ru.(j));
+    let a = sym.hi_coef.(j) in
+    hi := !hi +. (if a > 0.0 then a *. ru.(j) else a *. rl.(j))
+  done;
+  (!lo, !hi)
+
+(* The input-box corner minimising the symbolic lower bound. *)
+let minimizer_corner (region : Region.t) lo_coef =
+  Array.mapi
+    (fun j a -> if a > 0.0 then region.Region.lower.(j) else region.Region.upper.(j))
+    lo_coef
+
+(* Back-substitute a batch of targets whose coefficients currently range
+   over post-activations x_[start_layer] (x_0 = input).  [pre_bounds]
+   must contain clamped bounds for all hidden layers < start_layer. *)
+let backsub slope affine region ~pre_bounds ~start_layer syms =
+  for k = start_layer - 1 downto 0 do
+    Array.iter (relax_relu slope pre_bounds.(k)) syms;
+    Array.iter (through_affine Affine.(affine.weights.(k)) Affine.(affine.biases.(k))) syms
+  done;
+  Array.map (concretize region) syms
+
+let sym_of_row coef const =
+  { lo_coef = Array.copy coef; lo_const = const; hi_coef = Array.copy coef; hi_const = const }
+
+(* Bounds of pre-activation layer l given bounds of previous layers;
+   clamps in the split constraints for layer l afterwards. *)
+let layer_bounds slope affine region ~pre_bounds l =
+  let w = Affine.(affine.weights.(l)) and b = Affine.(affine.biases.(l)) in
+  let syms = Array.init w.Matrix.rows (fun i -> sym_of_row (Matrix.row w i) b.(i)) in
+  let pairs = backsub slope affine region ~pre_bounds ~start_layer:l syms in
+  Bounds.create ~lower:(Array.map fst pairs) ~upper:(Array.map snd pairs)
+
+(* Splits touching hidden layer [l], applied as soon as that layer's
+   bounds exist so deeper layers see the clamped intervals. *)
+let splits_for_layer affine gamma l =
+  List.filter_map
+    (fun (c : Split.constr) ->
+      let layer, idx = Affine.relu_position affine c.Split.relu in
+      if layer = l then Some (idx, c.Split.phase) else None)
+    gamma
+
+(* Forward interval image of one affine layer (for the CROWN-IBP style
+   intersection: back-substituted bounds are not uniformly tighter than
+   plain interval propagation on deep networks, so we keep the tighter of
+   the two per neuron). *)
+let affine_interval w b ~lo ~hi = Bounds.affine_image w b ~lo ~hi
+
+let intersect (a : Bounds.t) ~lo ~hi = Bounds.intersect a ~lo ~hi
+
+(* Hidden-layer bounds plus the forward interval of the deepest
+   post-activation layer (used to clamp the property rows as well). *)
+let compute_hidden_bounds slope (problem : Problem.t) gamma =
+  let affine = problem.Problem.affine in
+  let region = problem.Problem.region in
+  let n_hidden = Affine.num_layers affine - 1 in
+  let pre_bounds = Array.make n_hidden (Bounds.create ~lower:[||] ~upper:[||]) in
+  let rec loop l lo hi =
+    if l >= n_hidden then Ok (pre_bounds, lo, hi)
+    else begin
+      let zlo, zhi = affine_interval Affine.(affine.weights.(l)) Affine.(affine.biases.(l)) ~lo ~hi in
+      let b = layer_bounds slope affine region ~pre_bounds l in
+      let b = intersect b ~lo:zlo ~hi:zhi in
+      let b =
+        List.fold_left
+          (fun b (idx, phase) -> Bounds.apply_split b ~idx ~phase)
+          b (splits_for_layer affine gamma l)
+      in
+      if Bounds.is_infeasible b then Error (Array.sub pre_bounds 0 l)
+      else begin
+        pre_bounds.(l) <- b;
+        let post_lo = Array.map (fun v -> Float.max 0.0 v) b.Bounds.lower in
+        let post_hi = Array.map (fun v -> Float.max 0.0 v) b.Bounds.upper in
+        loop (l + 1) post_lo post_hi
+      end
+    end
+  in
+  loop 0 (Array.copy region.Region.lower) (Array.copy region.Region.upper)
+
+let property_syms (problem : Problem.t) =
+  let affine = problem.Problem.affine in
+  let prop = problem.Problem.property in
+  let c = prop.Property.c and d = prop.Property.d in
+  let last = Affine.num_layers affine - 1 in
+  let w = Affine.(affine.weights.(last)) and b = Affine.(affine.biases.(last)) in
+  (* Fold the output affine layer into the property rows so coefficients
+     range over x_last (the post-activation of the deepest hidden layer). *)
+  Array.init c.Matrix.rows (fun i ->
+      let row = Matrix.row c i in
+      let sym = sym_of_row row d.(i) in
+      through_affine w b sym;
+      sym)
+
+(* Interval-based lower bound of each property row over the output box
+   reached from the last hidden layer's post-activation interval. *)
+let interval_row_lower (problem : Problem.t) ~lo ~hi =
+  let affine = problem.Problem.affine in
+  let prop = problem.Problem.property in
+  let last = Affine.num_layers affine - 1 in
+  let ylo, yhi = affine_interval Affine.(affine.weights.(last)) Affine.(affine.biases.(last)) ~lo ~hi in
+  Array.init prop.Property.c.Matrix.rows (fun i ->
+      let acc = ref prop.Property.d.(i) in
+      for j = 0 to Array.length ylo - 1 do
+        let a = Matrix.get prop.Property.c i j in
+        acc := !acc +. (if a > 0.0 then a *. ylo.(j) else a *. yhi.(j))
+      done;
+      !acc)
+
+let run ?(slope = Adaptive) (problem : Problem.t) gamma =
+  let affine = problem.Problem.affine in
+  let region = problem.Problem.region in
+  match compute_hidden_bounds slope problem gamma with
+  | Error partial -> Outcome.vacuous ~pre_bounds:partial
+  | Ok (pre_bounds, post_lo, post_hi) ->
+    let syms = property_syms problem in
+    let last = Affine.num_layers affine - 1 in
+    let pairs = backsub slope affine region ~pre_bounds ~start_layer:last syms in
+    let ibp_rows = interval_row_lower problem ~lo:post_lo ~hi:post_hi in
+    let row_lower = Array.mapi (fun i (lo, _) -> Float.max lo ibp_rows.(i)) pairs in
+    let phat = Array.fold_left Float.min infinity row_lower in
+    let candidate =
+      if phat > 0.0 then None
+      else begin
+        (* Corner minimising the worst row's symbolic lower bound. *)
+        let worst = ref 0 in
+        Array.iteri (fun i v -> if v < row_lower.(!worst) then worst := i) row_lower;
+        Some (minimizer_corner region syms.(!worst).lo_coef)
+      end
+    in
+    Outcome.make ~phat ?candidate ~pre_bounds ~row_lower ()
+
+let hidden_bounds ?(slope = Adaptive) problem gamma =
+  match compute_hidden_bounds slope problem gamma with
+  | Ok (b, _, _) -> Some b
+  | Error _ -> None

@@ -1,0 +1,16 @@
+(** Interval bound propagation (IBP).
+
+    The cheapest approximate verifier: pushes the input box forward
+    through each affine layer with interval arithmetic and clips at
+    ReLUs.  Strictly looser than [Deeppoly] but an order of magnitude
+    faster per call; used as a sanity oracle in tests and selectable as
+    an AppVer for ablations. *)
+
+val run : Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Outcome.t
+(** The candidate counterexample is the input-box corner that minimises
+    the first property row's first-order estimate at the box centre. *)
+
+val hidden_bounds :
+  Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Bounds.t array option
+(** Pre-activation bounds per hidden layer ([None] if splits are
+    infeasible under IBP). *)

@@ -1,0 +1,15 @@
+type t = {
+  phat : float;
+  candidate : float array option;
+  pre_bounds : Bounds.t array;
+  infeasible : bool;
+  row_lower : float array;
+}
+
+let proved t = t.phat > 0.0
+
+let make ~phat ?candidate ?(pre_bounds = [||]) ?(infeasible = false) ?(row_lower = [||]) () =
+  { phat; candidate; pre_bounds; infeasible; row_lower }
+
+let vacuous ~pre_bounds =
+  { phat = infinity; candidate = None; pre_bounds; infeasible = true; row_lower = [||] }

@@ -1,0 +1,209 @@
+module Matrix = Abonn_tensor.Matrix
+module Affine = Abonn_nn.Affine
+module Split = Abonn_spec.Split
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Problem = Abonn_spec.Problem
+
+(* Symbolic bounds of one stage: width × input_dim coefficient matrices
+   plus constant vectors, such that for every x in the input box
+   lo_coef·x + lo_const ≤ value ≤ hi_coef·x + hi_const, element-wise. *)
+type forms = {
+  lo_coef : Matrix.t;
+  lo_const : float array;
+  hi_coef : Matrix.t;
+  hi_const : float array;
+}
+
+let identity_forms n =
+  { lo_coef = Matrix.identity n;
+    lo_const = Array.make n 0.0;
+    hi_coef = Matrix.identity n;
+    hi_const = Array.make n 0.0 }
+
+(* Concretise a single linear form over the box. *)
+let concretize_form ~coef ~const ~(region : Region.t) ~row ~maximise =
+  let acc = ref const in
+  for j = 0 to region |> Region.dim |> pred do
+    let a = Matrix.get coef row j in
+    if a <> 0.0 then begin
+      let v =
+        if (a > 0.0) = maximise then region.Region.upper.(j) else region.Region.lower.(j)
+      in
+      acc := !acc +. (a *. v)
+    end
+  done;
+  !acc
+
+let concretize region f =
+  let n = Array.length f.lo_const in
+  let lo =
+    Array.init n (fun i ->
+        concretize_form ~coef:f.lo_coef ~const:f.lo_const.(i) ~region ~row:i ~maximise:false)
+  in
+  let hi =
+    Array.init n (fun i ->
+        concretize_form ~coef:f.hi_coef ~const:f.hi_const.(i) ~region ~row:i ~maximise:true)
+  in
+  Bounds.create ~lower:lo ~upper:hi
+
+(* Affine image: each output row mixes Lo/Up of its inputs by
+   coefficient sign. *)
+let affine_image (w : Matrix.t) bias f =
+  let rows = w.Matrix.rows and input_dim = f.lo_coef.Matrix.cols in
+  let lo_coef = Matrix.zeros rows input_dim and hi_coef = Matrix.zeros rows input_dim in
+  let lo_const = Array.make rows 0.0 and hi_const = Array.make rows 0.0 in
+  for i = 0 to rows - 1 do
+    let acc_lo = ref bias.(i) and acc_hi = ref bias.(i) in
+    for j = 0 to w.Matrix.cols - 1 do
+      let wij = Matrix.get w i j in
+      if wij <> 0.0 then begin
+        let src_lo, src_lo_c, src_hi, src_hi_c =
+          if wij > 0.0 then (f.lo_coef, f.lo_const, f.hi_coef, f.hi_const)
+          else (f.hi_coef, f.hi_const, f.lo_coef, f.lo_const)
+        in
+        acc_lo := !acc_lo +. (wij *. src_lo_c.(j));
+        acc_hi := !acc_hi +. (wij *. src_hi_c.(j));
+        for k = 0 to input_dim - 1 do
+          Matrix.set lo_coef i k (Matrix.get lo_coef i k +. (wij *. Matrix.get src_lo j k));
+          Matrix.set hi_coef i k (Matrix.get hi_coef i k +. (wij *. Matrix.get src_hi j k))
+        done
+      end
+    done;
+    lo_const.(i) <- !acc_lo;
+    hi_const.(i) <- !acc_hi
+  done;
+  { lo_coef; lo_const; hi_coef; hi_const }
+
+(* ReLU image, driven by the (split-clamped) bounds [b]. *)
+let relu_image (b : Bounds.t) f =
+  let n = Array.length f.lo_const in
+  let input_dim = f.lo_coef.Matrix.cols in
+  let lo_coef = Matrix.zeros n input_dim and hi_coef = Matrix.zeros n input_dim in
+  let lo_const = Array.make n 0.0 and hi_const = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    match Bounds.relu_state_of b i with
+    | Bounds.Stable_inactive -> ()
+    | Bounds.Stable_active ->
+      for k = 0 to input_dim - 1 do
+        Matrix.set lo_coef i k (Matrix.get f.lo_coef i k);
+        Matrix.set hi_coef i k (Matrix.get f.hi_coef i k)
+      done;
+      lo_const.(i) <- f.lo_const.(i);
+      hi_const.(i) <- f.hi_const.(i)
+    | Bounds.Unstable ->
+      let l = b.Bounds.lower.(i) and u = b.Bounds.upper.(i) in
+      let s = u /. (u -. l) in
+      let alpha = if u > -.l then 1.0 else 0.0 in
+      if alpha > 0.0 then begin
+        for k = 0 to input_dim - 1 do
+          Matrix.set lo_coef i k (alpha *. Matrix.get f.lo_coef i k)
+        done;
+        lo_const.(i) <- alpha *. f.lo_const.(i)
+      end;
+      for k = 0 to input_dim - 1 do
+        Matrix.set hi_coef i k (s *. Matrix.get f.hi_coef i k)
+      done;
+      hi_const.(i) <- s *. (f.hi_const.(i) -. l)
+  done;
+  { lo_coef; lo_const; hi_coef; hi_const }
+
+let splits_for_layer affine gamma l =
+  List.filter_map
+    (fun (c : Split.constr) ->
+      let layer, idx = Affine.relu_position affine c.Split.relu in
+      if layer = l then Some (idx, c.Split.phase) else None)
+    gamma
+
+let propagate (problem : Problem.t) gamma =
+  let affine = problem.Problem.affine in
+  let region = problem.Problem.region in
+  let n_hidden = Affine.num_layers affine - 1 in
+  let pre_bounds = Array.make n_hidden (Bounds.create ~lower:[||] ~upper:[||]) in
+  let rec loop l f lo hi =
+    if l >= n_hidden then Ok (pre_bounds, f, lo, hi)
+    else begin
+      let w = Affine.(affine.weights.(l)) and bias = Affine.(affine.biases.(l)) in
+      let pre = affine_image w bias f in
+      let zlo, zhi = Bounds.affine_image w bias ~lo ~hi in
+      let b = Bounds.intersect (concretize region pre) ~lo:zlo ~hi:zhi in
+      let b =
+        List.fold_left
+          (fun b (idx, phase) -> Bounds.apply_split b ~idx ~phase)
+          b (splits_for_layer affine gamma l)
+      in
+      if Bounds.is_infeasible b then Error (Array.sub pre_bounds 0 l)
+      else begin
+        pre_bounds.(l) <- b;
+        let post_lo = Array.map (fun v -> Float.max 0.0 v) b.Bounds.lower in
+        let post_hi = Array.map (fun v -> Float.max 0.0 v) b.Bounds.upper in
+        loop (l + 1) (relu_image b pre) post_lo post_hi
+      end
+    end
+  in
+  loop 0
+    (identity_forms Affine.(affine.input_dim))
+    (Array.copy region.Region.lower)
+    (Array.copy region.Region.upper)
+
+let run (problem : Problem.t) gamma =
+  let affine = problem.Problem.affine in
+  let region = problem.Problem.region in
+  let prop = problem.Problem.property in
+  match propagate problem gamma with
+  | Error partial -> Outcome.vacuous ~pre_bounds:partial
+  | Ok (pre_bounds, last_post, post_lo, post_hi) ->
+    let last = Affine.num_layers affine - 1 in
+    let w_last = Affine.(affine.weights.(last)) and b_last = Affine.(affine.biases.(last)) in
+    let out = affine_image w_last b_last last_post in
+    let ylo, yhi = Bounds.affine_image w_last b_last ~lo:post_lo ~hi:post_hi in
+    let nrows = prop.Property.c.Matrix.rows in
+    let input_dim = Affine.(affine.input_dim) in
+    (* Each property row mixes the output forms by sign, then
+       concretises; the IBP row bound is kept when tighter. *)
+    let row_lower = Array.make nrows 0.0 in
+    let row_coefs = Array.make nrows [||] in
+    for r = 0 to nrows - 1 do
+      let coefs = Array.make input_dim 0.0 in
+      let const = ref prop.Property.d.(r) in
+      for j = 0 to Array.length out.lo_const - 1 do
+        let crj = Matrix.get prop.Property.c r j in
+        if crj <> 0.0 then begin
+          let src, src_c = if crj > 0.0 then (out.lo_coef, out.lo_const) else (out.hi_coef, out.hi_const) in
+          const := !const +. (crj *. src_c.(j));
+          for k = 0 to input_dim - 1 do
+            coefs.(k) <- coefs.(k) +. (crj *. Matrix.get src j k)
+          done
+        end
+      done;
+      let lo = ref !const in
+      for k = 0 to input_dim - 1 do
+        let a = coefs.(k) in
+        lo := !lo +. (if a > 0.0 then a *. region.Region.lower.(k) else a *. region.Region.upper.(k))
+      done;
+      let ibp_row = ref prop.Property.d.(r) in
+      for j = 0 to Array.length ylo - 1 do
+        let a = Matrix.get prop.Property.c r j in
+        ibp_row := !ibp_row +. (if a > 0.0 then a *. ylo.(j) else a *. yhi.(j))
+      done;
+      row_lower.(r) <- Float.max !lo !ibp_row;
+      row_coefs.(r) <- coefs
+    done;
+    let phat = Array.fold_left Float.min infinity row_lower in
+    let candidate =
+      if phat > 0.0 then None
+      else begin
+        let worst = ref 0 in
+        Array.iteri (fun i v -> if v < row_lower.(!worst) then worst := i) row_lower;
+        let coefs = row_coefs.(!worst) in
+        Some
+          (Array.init input_dim (fun j ->
+               if coefs.(j) > 0.0 then region.Region.lower.(j) else region.Region.upper.(j)))
+      end
+    in
+    Outcome.make ~phat ?candidate ~pre_bounds ~row_lower ()
+
+let hidden_bounds problem gamma =
+  match propagate problem gamma with
+  | Ok (b, _, _, _) -> Some b
+  | Error _ -> None

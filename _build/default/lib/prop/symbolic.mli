@@ -1,0 +1,25 @@
+(** Forward symbolic interval propagation (ReluVal/Neurify-style).
+
+    Every neuron carries two affine functions of the *input*,
+    [Lo(x) ≤ ẑ ≤ Up(x)], pushed forward layer by layer: affine layers
+    mix the two forms by coefficient sign, and an unstable ReLU relaxes
+    to [α·Lo(x) ≤ relu(ẑ) ≤ s·(Up(x) − l)] with the DeepPoly adaptive
+    lower slope α and chord slope [s = u/(u−l)].
+
+    One forward pass costs [O(width² × input_dim)] per layer, keeping
+    symbolic input correlations that plain intervals lose.  (It is
+    asymptotically comparable to one back-substitution pass; this
+    implementation goes through the generic matrix accessors and is in
+    practice slower than [Deeppoly] — see [bench_output.txt] — so its
+    value here is as an independent, differently-shaped bound for
+    cross-checking, which is also how the test suite uses it.)
+    Tightness sits between [Interval] and [Deeppoly]; like both, the
+    per-neuron concretisations are intersected with forward intervals,
+    so this AppVer is never looser than [Interval].
+
+    Split constraints fold in through the usual per-neuron clamps. *)
+
+val run : Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Outcome.t
+
+val hidden_bounds :
+  Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Bounds.t array option

@@ -1,0 +1,195 @@
+module Matrix = Abonn_tensor.Matrix
+module Affine = Abonn_nn.Affine
+module Split = Abonn_spec.Split
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Problem = Abonn_spec.Problem
+
+(* One layer of affine forms: value_i = centers.(i) + Σ_k gens.(i).(k)·ε_k
+   with ε ∈ [-1,1]^nsym.  All neurons of a stage share the symbol count;
+   ReLU stages append one symbol per unstable neuron. *)
+type forms = {
+  centers : float array;
+  gens : float array array;
+  nsym : int;
+}
+
+let concretize_neuron f i =
+  let c = f.centers.(i) in
+  let dev = ref 0.0 in
+  let g = f.gens.(i) in
+  for k = 0 to f.nsym - 1 do
+    dev := !dev +. Float.abs g.(k)
+  done;
+  (c -. !dev, c +. !dev)
+
+let concretize f =
+  let n = Array.length f.centers in
+  let lo = Array.make n 0.0 and hi = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let l, h = concretize_neuron f i in
+    lo.(i) <- l;
+    hi.(i) <- h
+  done;
+  Bounds.create ~lower:lo ~upper:hi
+
+let input_forms (region : Region.t) =
+  let n = Array.length region.Region.lower in
+  let centers = Region.center region in
+  let radius = Region.radius region in
+  { centers;
+    gens = Array.init n (fun i -> Array.init n (fun k -> if k = i then radius.(i) else 0.0));
+    nsym = n }
+
+let affine_image (w : Matrix.t) bias f =
+  let rows = w.Matrix.rows in
+  let centers = Array.make rows 0.0 in
+  let gens = Array.make_matrix rows f.nsym 0.0 in
+  for i = 0 to rows - 1 do
+    let acc_c = ref bias.(i) in
+    let gi = gens.(i) in
+    for j = 0 to w.Matrix.cols - 1 do
+      let wij = Matrix.get w i j in
+      if wij <> 0.0 then begin
+        acc_c := !acc_c +. (wij *. f.centers.(j));
+        let gj = f.gens.(j) in
+        for k = 0 to f.nsym - 1 do
+          gi.(k) <- gi.(k) +. (wij *. gj.(k))
+        done
+      end
+    done;
+    centers.(i) <- !acc_c
+  done;
+  { centers; gens; nsym = f.nsym }
+
+(* DeepZ minimal-area ReLU transformer, driven by the (split-clamped)
+   bounds [b]: one fresh symbol per unstable neuron. *)
+let relu_image (b : Bounds.t) f =
+  let n = Array.length f.centers in
+  let unstable = Bounds.unstable_indices b in
+  let fresh = List.length unstable in
+  let fresh_index = Hashtbl.create 16 in
+  List.iteri (fun k i -> Hashtbl.replace fresh_index i (f.nsym + k)) unstable;
+  let nsym = f.nsym + fresh in
+  let centers = Array.make n 0.0 in
+  let gens = Array.make_matrix n nsym 0.0 in
+  for i = 0 to n - 1 do
+    let gi = gens.(i) in
+    match Bounds.relu_state_of b i with
+    | Bounds.Stable_inactive -> ()
+    | Bounds.Stable_active ->
+      centers.(i) <- f.centers.(i);
+      Array.blit f.gens.(i) 0 gi 0 f.nsym
+    | Bounds.Unstable ->
+      let l = b.Bounds.lower.(i) and u = b.Bounds.upper.(i) in
+      let lambda = u /. (u -. l) in
+      let beta = -.u *. l /. (2.0 *. (u -. l)) in
+      centers.(i) <- (lambda *. f.centers.(i)) +. beta;
+      for k = 0 to f.nsym - 1 do
+        gi.(k) <- lambda *. f.gens.(i).(k)
+      done;
+      gi.(Hashtbl.find fresh_index i) <- beta
+  done;
+  { centers; gens; nsym }
+
+let splits_for_layer affine gamma l =
+  List.filter_map
+    (fun (c : Split.constr) ->
+      let layer, idx = Affine.relu_position affine c.Split.relu in
+      if layer = l then Some (idx, c.Split.phase) else None)
+    gamma
+
+(* As in [Deeppoly], the domain's own concretisation is intersected with
+   plain forward intervals (the DeepZ ReLU can concretise below 0, so
+   neither dominates; production stacks keep the tighter of the two). *)
+let propagate (problem : Problem.t) gamma =
+  let affine = problem.Problem.affine in
+  let region = problem.Problem.region in
+  let n_hidden = Affine.num_layers affine - 1 in
+  let pre_bounds = Array.make n_hidden (Bounds.create ~lower:[||] ~upper:[||]) in
+  let rec loop l f lo hi =
+    if l >= n_hidden then Ok (pre_bounds, f, lo, hi)
+    else begin
+      let w = Affine.(affine.weights.(l)) and bias = Affine.(affine.biases.(l)) in
+      let pre = affine_image w bias f in
+      let zlo, zhi = Bounds.affine_image w bias ~lo ~hi in
+      let b = Bounds.intersect (concretize pre) ~lo:zlo ~hi:zhi in
+      let b =
+        List.fold_left
+          (fun b (idx, phase) -> Bounds.apply_split b ~idx ~phase)
+          b (splits_for_layer affine gamma l)
+      in
+      if Bounds.is_infeasible b then Error (Array.sub pre_bounds 0 l)
+      else begin
+        pre_bounds.(l) <- b;
+        let post_lo = Array.map (fun v -> Float.max 0.0 v) b.Bounds.lower in
+        let post_hi = Array.map (fun v -> Float.max 0.0 v) b.Bounds.upper in
+        loop (l + 1) (relu_image b pre) post_lo post_hi
+      end
+    end
+  in
+  loop 0 (input_forms problem.Problem.region)
+    (Array.copy region.Region.lower)
+    (Array.copy region.Region.upper)
+
+let run (problem : Problem.t) gamma =
+  let affine = problem.Problem.affine in
+  let region = problem.Problem.region in
+  let prop = problem.Problem.property in
+  match propagate problem gamma with
+  | Error partial -> Outcome.vacuous ~pre_bounds:partial
+  | Ok (pre_bounds, last_post, post_lo, post_hi) ->
+    let last = Affine.num_layers affine - 1 in
+    let w_last = Affine.(affine.weights.(last)) and b_last = Affine.(affine.biases.(last)) in
+    let out = affine_image w_last b_last last_post in
+    let ylo, yhi = Bounds.affine_image w_last b_last ~lo:post_lo ~hi:post_hi in
+    (* property rows as affine forms over the same symbols *)
+    let nrows = prop.Property.c.Matrix.rows in
+    let input_dim = Affine.(affine.input_dim) in
+    let row_lower = Array.make nrows 0.0 in
+    let row_gens = Array.make nrows [||] in
+    for r = 0 to nrows - 1 do
+      let centre = ref prop.Property.d.(r) in
+      let g = Array.make out.nsym 0.0 in
+      for j = 0 to Array.length out.centers - 1 do
+        let crj = Matrix.get prop.Property.c r j in
+        if crj <> 0.0 then begin
+          centre := !centre +. (crj *. out.centers.(j));
+          let gj = out.gens.(j) in
+          for k = 0 to out.nsym - 1 do
+            g.(k) <- g.(k) +. (crj *. gj.(k))
+          done
+        end
+      done;
+      let dev = Array.fold_left (fun a v -> a +. Float.abs v) 0.0 g in
+      (* IBP row bound over the output box, kept when tighter *)
+      let ibp_row = ref prop.Property.d.(r) in
+      for j = 0 to Array.length ylo - 1 do
+        let a = Matrix.get prop.Property.c r j in
+        ibp_row := !ibp_row +. (if a > 0.0 then a *. ylo.(j) else a *. yhi.(j))
+      done;
+      row_lower.(r) <- Float.max (!centre -. dev) !ibp_row;
+      row_gens.(r) <- g
+    done;
+    let phat = Array.fold_left Float.min infinity row_lower in
+    let candidate =
+      if phat > 0.0 then None
+      else begin
+        let worst = ref 0 in
+        Array.iteri (fun i v -> if v < row_lower.(!worst) then worst := i) row_lower;
+        let g = row_gens.(!worst) in
+        let centre = Region.center region in
+        (* worst-case corner over the input noise symbols *)
+        Some
+          (Array.init input_dim (fun j ->
+               if g.(j) > 0.0 then region.Region.lower.(j)
+               else if g.(j) < 0.0 then region.Region.upper.(j)
+               else centre.(j)))
+      end
+    in
+    Outcome.make ~phat ?candidate ~pre_bounds ~row_lower ()
+
+let hidden_bounds problem gamma =
+  match propagate problem gamma with
+  | Ok (b, _, _, _) -> Some b
+  | Error _ -> None

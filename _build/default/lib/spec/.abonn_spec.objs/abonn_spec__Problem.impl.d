@@ -1,0 +1,1 @@
+lib/spec/problem.ml: Abonn_nn Affine Array Layer Network Property Region

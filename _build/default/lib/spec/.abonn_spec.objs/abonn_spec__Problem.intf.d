@@ -1,0 +1,1 @@
+lib/spec/problem.mli: Abonn_nn Property Region

@@ -1,0 +1,1 @@
+lib/spec/problem_file.ml: Abonn_nn Abonn_tensor Array Buffer Filename Fun List Printf Problem Property Region String

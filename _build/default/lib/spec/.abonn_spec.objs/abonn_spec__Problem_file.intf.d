@@ -1,0 +1,1 @@
+lib/spec/problem_file.mli: Problem

@@ -1,0 +1,1 @@
+lib/spec/property.ml: Abonn_tensor Array Float Printf

@@ -1,0 +1,1 @@
+lib/spec/property.mli: Abonn_tensor

@@ -1,0 +1,1 @@
+lib/spec/region.ml: Abonn_util Array Float

@@ -1,0 +1,1 @@
+lib/spec/region.mli: Abonn_util

@@ -1,0 +1,1 @@
+lib/spec/split.ml: Abonn_nn Array Format List Printf

@@ -1,0 +1,1 @@
+lib/spec/split.mli: Abonn_nn Format

@@ -1,0 +1,1 @@
+lib/spec/verdict.ml: Format

@@ -1,0 +1,121 @@
+module Matrix = Abonn_tensor.Matrix
+
+let floats_to_line arr =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") arr))
+
+let floats_of_words words =
+  words
+  |> List.map (fun s ->
+         match float_of_string_opt s with
+         | Some f -> f
+         | None -> failwith (Printf.sprintf "Problem_file: bad float %S" s))
+  |> Array.of_list
+
+let to_string (problem : Problem.t) ~network_ref =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "abonn-problem 1\n";
+  Buffer.add_string buf (Printf.sprintf "network %s\n" network_ref);
+  let region = problem.Problem.region in
+  Buffer.add_string buf ("box-lower " ^ floats_to_line region.Region.lower ^ "\n");
+  Buffer.add_string buf ("box-upper " ^ floats_to_line region.Region.upper ^ "\n");
+  let prop = problem.Problem.property in
+  for r = 0 to prop.Property.c.Matrix.rows - 1 do
+    let row = Matrix.row prop.Property.c r in
+    Buffer.add_string buf
+      (Printf.sprintf "constraint %h %s\n" prop.Property.d.(r) (floats_to_line row))
+  done;
+  Buffer.contents buf
+
+type partial = {
+  mutable network : string option;
+  mutable lower : float array option;
+  mutable upper : float array option;
+  mutable center : float array option;
+  mutable eps : float option;
+  mutable clip : (float * float) option;
+  mutable robustness : (int * int) option;
+  mutable constraints : (float * float array) list;  (* reversed *)
+}
+
+let of_string ?(dir = ".") text =
+  let p =
+    { network = None; lower = None; upper = None; center = None; eps = None; clip = None;
+      robustness = None; constraints = [] }
+  in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  (match lines with
+   | "abonn-problem 1" :: _ -> ()
+   | _ -> failwith "Problem_file: missing 'abonn-problem 1' header");
+  List.iteri
+    (fun i line ->
+      if i > 0 then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | "network" :: [ path ] -> p.network <- Some path
+        | "box-lower" :: rest -> p.lower <- Some (floats_of_words rest)
+        | "box-upper" :: rest -> p.upper <- Some (floats_of_words rest)
+        | "center" :: rest -> p.center <- Some (floats_of_words rest)
+        | [ "eps"; v ] -> p.eps <- Some (float_of_string v)
+        | [ "clip"; a; b ] -> p.clip <- Some (float_of_string a, float_of_string b)
+        | [ "robustness"; classes; label ] ->
+          p.robustness <- Some (int_of_string classes, int_of_string label)
+        | "constraint" :: offset :: rest ->
+          p.constraints <- (float_of_string offset, floats_of_words rest) :: p.constraints
+        | _ -> failwith (Printf.sprintf "Problem_file: bad line %S" line)
+      end)
+    lines;
+  let network_path =
+    match p.network with
+    | Some path -> if Filename.is_relative path then Filename.concat dir path else path
+    | None -> failwith "Problem_file: missing network"
+  in
+  let network = Abonn_nn.Serialize.load network_path in
+  let region =
+    match p.lower, p.upper, p.center, p.eps with
+    | Some lower, Some upper, None, None -> Region.create ~lower ~upper
+    | None, None, Some center, Some eps -> Region.linf_ball ?clip:p.clip ~center ~eps ()
+    | _ ->
+      failwith "Problem_file: give either box-lower/box-upper or center/eps (not a mixture)"
+  in
+  let property =
+    match p.robustness, List.rev p.constraints with
+    | Some (num_classes, label), [] -> Property.robustness ~num_classes ~label
+    | None, ((_ :: _) as rows) ->
+      let ncols = Array.length (snd (List.hd rows)) in
+      List.iter
+        (fun (_, coefs) ->
+          if Array.length coefs <> ncols then
+            failwith "Problem_file: constraint rows of unequal width")
+        rows;
+      let c = Matrix.init (List.length rows) ncols (fun i j -> snd (List.nth rows i) |> fun a -> a.(j)) in
+      let d = Array.of_list (List.map fst rows) in
+      Property.create ~description:"from problem file" c d
+    | Some _, _ :: _ -> failwith "Problem_file: robustness and constraint are exclusive"
+    | None, [] -> failwith "Problem_file: missing property"
+  in
+  Problem.create ~name:"problem-file" ~network ~region ~property ()
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      of_string ~dir:(Filename.dirname path) text)
+
+let save problem ~network_path path =
+  Abonn_nn.Serialize.save problem.Problem.network network_path;
+  let dir = Filename.dirname path in
+  let network_ref =
+    (* store relative when the network sits in the same directory *)
+    if Filename.dirname network_path = dir then Filename.basename network_path
+    else network_path
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string problem ~network_ref))

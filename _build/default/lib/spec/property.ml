@@ -1,0 +1,65 @@
+module Matrix = Abonn_tensor.Matrix
+
+type t = { c : Matrix.t; d : float array; description : string }
+
+let create ?(description = "linear property") c d =
+  if c.Matrix.rows = 0 then invalid_arg "Property.create: no constraints";
+  if Array.length d <> c.Matrix.rows then invalid_arg "Property.create: offset length mismatch";
+  { c; d; description }
+
+let robustness ~num_classes ~label =
+  if label < 0 || label >= num_classes then invalid_arg "Property.robustness: bad label";
+  if num_classes < 2 then invalid_arg "Property.robustness: need at least two classes";
+  let m = num_classes - 1 in
+  let c = Matrix.zeros m num_classes in
+  let row = ref 0 in
+  for j = 0 to num_classes - 1 do
+    if j <> label then begin
+      Matrix.set c !row label 1.0;
+      Matrix.set c !row j (-1.0);
+      incr row
+    end
+  done;
+  { c;
+    d = Array.make m 0.0;
+    description = Printf.sprintf "robust(label=%d/%d)" label num_classes }
+
+let single ?(description = "single constraint") coeffs offset =
+  let c = Matrix.init 1 (Array.length coeffs) (fun _ j -> coeffs.(j)) in
+  { c; d = [| offset |]; description }
+
+let targeted ~num_classes ~label ~target =
+  if label < 0 || label >= num_classes || target < 0 || target >= num_classes then
+    invalid_arg "Property.targeted: class out of range";
+  if label = target then invalid_arg "Property.targeted: label equals target";
+  let c = Matrix.zeros 1 num_classes in
+  Matrix.set c 0 label 1.0;
+  Matrix.set c 0 target (-1.0);
+  { c;
+    d = [| 0.0 |];
+    description = Printf.sprintf "never %d over %d (%d classes)" target label num_classes }
+
+let output_range ~num_classes ~output ~lo ~hi =
+  if output < 0 || output >= num_classes then invalid_arg "Property.output_range: bad output";
+  if lo >= hi then invalid_arg "Property.output_range: empty range";
+  let c = Matrix.zeros 2 num_classes in
+  (* y > lo  and  hi > y *)
+  Matrix.set c 0 output 1.0;
+  Matrix.set c 1 output (-1.0);
+  { c;
+    d = [| -.lo; hi |];
+    description = Printf.sprintf "y%d in (%g, %g)" output lo hi }
+
+let num_constraints t = t.c.Matrix.rows
+
+let output_dim t = t.c.Matrix.cols
+
+let margin t y =
+  let v = Matrix.mv t.c y in
+  let m = ref infinity in
+  Array.iteri (fun i vi -> m := Float.min !m (vi +. t.d.(i))) v;
+  !m
+
+let satisfied t y = margin t y > 0.0
+
+let violated t y = not (satisfied t y)

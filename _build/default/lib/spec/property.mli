@@ -1,0 +1,45 @@
+(** Output properties Ψ as conjunctions of strict linear inequalities.
+
+    A property holds on an output [y] iff every row of [C y + d] is
+    positive.  Local robustness for label [t] is the conjunction
+    [y_t − y_j > 0] for all [j ≠ t].  The satisfaction margin
+    [min_i (C y + d)_i] is the concrete counterpart of the verifier
+    estimate [p̂] in the paper. *)
+
+type t = private {
+  c : Abonn_tensor.Matrix.t;  (** [m × output_dim] *)
+  d : float array;            (** length [m] *)
+  description : string;
+}
+
+val create : ?description:string -> Abonn_tensor.Matrix.t -> float array -> t
+(** [create c d] — raises [Invalid_argument] when [d] length differs from
+    the row count or the matrix has no rows. *)
+
+val robustness : num_classes:int -> label:int -> t
+(** Ψ for local robustness of class [label]. *)
+
+val single : ?description:string -> float array -> float -> t
+(** One inequality [coeffs · y + offset > 0] — the shape of the paper's
+    running example [O + 2.5 > 0]. *)
+
+val targeted : num_classes:int -> label:int -> target:int -> t
+(** Ψ for targeted robustness: the network never prefers [target] over
+    the true [label] — the single row [y_label − y_target > 0].  Raises
+    [Invalid_argument] when the classes coincide or are out of range. *)
+
+val output_range : num_classes:int -> output:int -> lo:float -> hi:float -> t
+(** Ψ bounding one output: [lo < y_output < hi] as two rows (the safety
+    envelopes of control benchmarks like ACAS-Xu). *)
+
+val num_constraints : t -> int
+val output_dim : t -> int
+
+val margin : t -> float array -> float
+(** [margin p y = min_i (C y + d)_i]. *)
+
+val satisfied : t -> float array -> bool
+(** [margin > 0]. *)
+
+val violated : t -> float array -> bool
+(** [margin <= 0]. *)

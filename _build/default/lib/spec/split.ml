@@ -1,0 +1,47 @@
+type phase = Active | Inactive
+
+type constr = { relu : int; phase : phase }
+
+type gamma = constr list
+
+let phase_equal a b =
+  match a, b with
+  | Active, Active | Inactive, Inactive -> true
+  | Active, Inactive | Inactive, Active -> false
+
+let opposite = function Active -> Inactive | Inactive -> Active
+
+let constrained gamma ~relu =
+  List.find_map (fun c -> if c.relu = relu then Some c.phase else None) gamma
+
+let extend gamma ~relu ~phase =
+  match constrained gamma ~relu with
+  | Some _ -> invalid_arg (Printf.sprintf "Split.extend: relu %d already constrained" relu)
+  | None -> gamma @ [ { relu; phase } ]
+
+let depth = List.length
+
+let relu_indices gamma = List.map (fun c -> c.relu) gamma
+
+let satisfied_by affine gamma x =
+  let pre = Abonn_nn.Affine.pre_activations affine x in
+  List.for_all
+    (fun c ->
+      let layer, idx = Abonn_nn.Affine.relu_position affine c.relu in
+      let v = pre.(layer).(idx) in
+      match c.phase with Active -> v >= 0.0 | Inactive -> v <= 0.0)
+    gamma
+
+let pp_phase fmt = function
+  | Active -> Format.pp_print_string fmt "+"
+  | Inactive -> Format.pp_print_string fmt "-"
+
+let pp fmt gamma =
+  if gamma = [] then Format.pp_print_string fmt "ε"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ".")
+      (fun fmt c -> Format.fprintf fmt "r%d%a" c.relu pp_phase c.phase)
+      fmt gamma
+
+let to_string gamma = Format.asprintf "%a" pp gamma

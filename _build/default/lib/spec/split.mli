@@ -1,0 +1,35 @@
+(** ReLU split constraints and BaB node identifiers Γ (§III "BaB Tree").
+
+    A split fixes the phase of one ReLU unit (identified by its global
+    index in the compiled [Abonn_nn.Affine] form): [Active] asserts the
+    pre-activation is non-negative ([r⁺] in the paper), [Inactive]
+    asserts it is non-positive ([r⁻]).  A node of the BaB tree is the
+    sequence Γ of splits on the path from the root. *)
+
+type phase = Active | Inactive
+
+type constr = { relu : int; phase : phase }
+
+type gamma = constr list
+(** Root-to-node order; the root is []. *)
+
+val phase_equal : phase -> phase -> bool
+val opposite : phase -> phase
+
+val extend : gamma -> relu:int -> phase:phase -> gamma
+(** Append one split.  Raises [Invalid_argument] if [relu] is already
+    constrained in Γ (a ReLU is split at most once on a path). *)
+
+val depth : gamma -> int
+val constrained : gamma -> relu:int -> phase option
+val relu_indices : gamma -> int list
+
+val satisfied_by :
+  Abonn_nn.Affine.t -> gamma -> float array -> bool
+(** Does a concrete input's forward trace respect every split? *)
+
+val pp_phase : Format.formatter -> phase -> unit
+val pp : Format.formatter -> gamma -> unit
+
+val to_string : gamma -> string
+(** Compact form like ["r3+ . r17- "] used in traces and tests. *)

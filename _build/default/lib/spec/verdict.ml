@@ -1,0 +1,26 @@
+type t = Verified | Falsified of float array | Timeout
+
+let is_verified = function Verified -> true | Falsified _ | Timeout -> false
+
+let is_falsified = function Falsified _ -> true | Verified | Timeout -> false
+
+let is_timeout = function Timeout -> true | Verified | Falsified _ -> false
+
+let is_solved = function Verified | Falsified _ -> true | Timeout -> false
+
+let counterexample = function
+  | Falsified x -> Some x
+  | Verified | Timeout -> None
+
+let equal a b =
+  match a, b with
+  | Verified, Verified | Timeout, Timeout -> true
+  | Falsified x, Falsified y -> x = y
+  | (Verified | Falsified _ | Timeout), _ -> false
+
+let pp fmt = function
+  | Verified -> Format.pp_print_string fmt "verified"
+  | Falsified _ -> Format.pp_print_string fmt "falsified"
+  | Timeout -> Format.pp_print_string fmt "timeout"
+
+let to_string t = Format.asprintf "%a" pp t

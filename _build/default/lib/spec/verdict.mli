@@ -1,0 +1,23 @@
+(** Verification verdicts (Alg. 1: {true, false, timeout}). *)
+
+type t =
+  | Verified
+      (** Ψ holds on the whole region: the paper's [true]. *)
+  | Falsified of float array
+      (** A validated counterexample: the paper's [false]. *)
+  | Timeout
+      (** Budget exhausted without a conclusion. *)
+
+val is_verified : t -> bool
+val is_falsified : t -> bool
+val is_timeout : t -> bool
+val is_solved : t -> bool
+(** [Verified] or [Falsified]. *)
+
+val counterexample : t -> float array option
+
+val equal : t -> t -> bool
+(** Structural equality (counterexamples compared pointwise). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

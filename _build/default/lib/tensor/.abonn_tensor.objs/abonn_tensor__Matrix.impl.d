@@ -1,0 +1,1 @@
+lib/tensor/matrix.ml: Abonn_util Array Float Format Printf

@@ -1,0 +1,1 @@
+lib/tensor/matrix.mli: Abonn_util Format

@@ -1,0 +1,1 @@
+lib/tensor/vector.ml: Array Float Format Printf

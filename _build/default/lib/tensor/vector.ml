@@ -1,0 +1,97 @@
+type t = float array
+
+let create n v = Array.make n v
+
+let zeros n = Array.make n 0.0
+
+let init = Array.init
+
+let copy = Array.copy
+
+let dim = Array.length
+
+let check_dims name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg (Printf.sprintf "Vector.%s: dimension mismatch (%d vs %d)" name (Array.length x) (Array.length y))
+
+let add x y =
+  check_dims "add" x y;
+  Array.mapi (fun i xi -> xi +. y.(i)) x
+
+let sub x y =
+  check_dims "sub" x y;
+  Array.mapi (fun i xi -> xi -. y.(i)) x
+
+let mul x y =
+  check_dims "mul" x y;
+  Array.mapi (fun i xi -> xi *. y.(i)) x
+
+let scale a x = Array.map (fun xi -> a *. xi) x
+
+let neg x = Array.map (fun xi -> -.xi) x
+
+let dot x y =
+  check_dims "dot" x y;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun m xi -> Float.max m (Float.abs xi)) 0.0 x
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let map = Array.map
+
+let map2 f x y =
+  check_dims "map2" x y;
+  Array.mapi (fun i xi -> f xi y.(i)) x
+
+let relu x = Array.map (fun xi -> Float.max 0.0 xi) x
+
+let argmax x =
+  if Array.length x = 0 then invalid_arg "Vector.argmax: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length x - 1 do
+    if x.(i) > x.(!best) then best := i
+  done;
+  !best
+
+let max_elt x =
+  if Array.length x = 0 then invalid_arg "Vector.max_elt: empty";
+  Array.fold_left Float.max x.(0) x
+
+let min_elt x =
+  if Array.length x = 0 then invalid_arg "Vector.min_elt: empty";
+  Array.fold_left Float.min x.(0) x
+
+let clamp ~lo ~hi x =
+  check_dims "clamp" lo x;
+  check_dims "clamp" hi x;
+  Array.mapi (fun i xi -> Float.max lo.(i) (Float.min hi.(i) xi)) x
+
+let approx_equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y
+  && begin
+       let ok = ref true in
+       for i = 0 to Array.length x - 1 do
+         if Float.abs (x.(i) -. y.(i)) > tol then ok := false
+       done;
+       !ok
+     end
+
+let pp fmt x =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i xi ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" xi)
+    x;
+  Format.fprintf fmt "|]"

@@ -1,0 +1,52 @@
+(** Dense float vectors.
+
+    Thin, explicit wrappers over [float array] with the arithmetic needed
+    by forward evaluation, gradient computation and bound propagation.
+    All binary operations check dimensions and raise [Invalid_argument]
+    on mismatch. *)
+
+type t = float array
+
+val create : int -> float -> t
+val zeros : int -> t
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Element-wise product. *)
+
+val scale : float -> t -> t
+val neg : t -> t
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Max absolute entry; 0 for the empty vector. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y := a*x + y] in place. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val relu : t -> t
+(** Element-wise [max 0]. *)
+
+val argmax : t -> int
+(** Index of the maximum entry (first on ties).  Raises
+    [Invalid_argument] on the empty vector. *)
+
+val max_elt : t -> float
+val min_elt : t -> float
+
+val clamp : lo:t -> hi:t -> t -> t
+(** Element-wise clipping of each entry into [\[lo_i, hi_i\]]. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Pointwise comparison within [tol] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

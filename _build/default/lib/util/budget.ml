@@ -1,0 +1,30 @@
+type t = {
+  max_calls : int option;
+  max_seconds : float option;
+  started : float;
+  mutable calls : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let make ?calls ?seconds () =
+  { max_calls = calls; max_seconds = seconds; started = now (); calls = 0 }
+
+let unlimited () = make ()
+
+let of_calls n = make ~calls:n ()
+
+let of_seconds s = make ~seconds:s ()
+
+let combine ?calls ?seconds () = make ?calls ?seconds ()
+
+let record_call t = t.calls <- t.calls + 1
+
+let calls_used t = t.calls
+
+let elapsed t = now () -. t.started
+
+let exhausted t =
+  let calls_out = match t.max_calls with Some n -> t.calls >= n | None -> false in
+  let time_out = match t.max_seconds with Some s -> elapsed t >= s | None -> false in
+  calls_out || time_out

@@ -1,0 +1,33 @@
+(** Execution budgets for verification runs.
+
+    The paper uses a 1000 s wall-clock timeout per problem.  For
+    reproducible CI runs we also support deterministic budgets expressed as
+    a maximum number of [AppVer] calls, which dominates verification cost.
+    A budget can combine both limits; whichever trips first terminates the
+    run with verdict [timeout]. *)
+
+type t
+
+val unlimited : unit -> t
+(** Never exhausts. *)
+
+val of_calls : int -> t
+(** [of_calls n] exhausts after [n] recorded AppVer calls. *)
+
+val of_seconds : float -> t
+(** [of_seconds s] exhausts [s] seconds after creation. *)
+
+val combine : ?calls:int -> ?seconds:float -> unit -> t
+(** Budget that trips on whichever limit is reached first. *)
+
+val record_call : t -> unit
+(** Count one approximate-verifier invocation. *)
+
+val calls_used : t -> int
+(** Number of calls recorded so far. *)
+
+val elapsed : t -> float
+(** Wall-clock seconds since creation. *)
+
+val exhausted : t -> bool
+(** True once any limit has been reached. *)

@@ -1,0 +1,31 @@
+(** Imperative binary min-heap keyed by floats.
+
+    Used by the best-first BaB engine ([Abonn_bab.Bestfirst]) to pop the
+    sub-problem with the smallest certified bound, and by the breadth-first
+    baseline when a bounded frontier is requested. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of stored elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key] (smaller pops first).
+    Ties break by insertion order (FIFO), which keeps searches
+    deterministic. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key binding. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return the minimum-key binding without removing it. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (float * 'a) list
+(** Snapshot of the contents in unspecified order. *)

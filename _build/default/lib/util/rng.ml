@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to 62 bits so the value stays non-negative in OCaml's 63-bit
+     native int. *)
+  let raw = Int64.to_int (Int64.logand (int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  raw mod bound
+
+let uniform t =
+  (* 53 random bits scaled to [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = uniform t *. bound
+
+let range t lo hi = lo +. (uniform t *. (hi -. lo))
+
+let gaussian t =
+  let rec draw () =
+    let u1 = uniform t in
+    if u1 <= 1e-300 then draw () else u1
+  in
+  let u1 = draw () in
+  let u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,126 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min: empty";
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max: empty";
+  Array.fold_left Float.max xs.(0) xs
+
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted xs in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+type box = {
+  whisker_lo : float;
+  q1 : float;
+  med : float;
+  q3 : float;
+  whisker_hi : float;
+  outliers : float list;
+}
+
+let box_plot xs =
+  let q1 = percentile xs 25.0 in
+  let q3 = percentile xs 75.0 in
+  let med = median xs in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) in
+  let hi_fence = q3 +. (1.5 *. iqr) in
+  let inside = Array.to_list xs |> List.filter (fun x -> x >= lo_fence && x <= hi_fence) in
+  let outliers = Array.to_list xs |> List.filter (fun x -> x < lo_fence || x > hi_fence) in
+  let whisker_lo, whisker_hi =
+    match inside with
+    | [] -> (med, med)
+    | x :: rest ->
+      List.fold_left (fun (lo, hi) y -> (Float.min lo y, Float.max hi y)) (x, x) rest
+  in
+  (* With few samples the interpolated quartiles can overshoot the
+     extreme in-fence data; clamp so whiskers never retract into the
+     box. *)
+  let whisker_lo = Float.min whisker_lo q1 in
+  let whisker_hi = Float.max whisker_hi q3 in
+  { whisker_lo; q1; med; q3; whisker_hi; outliers }
+
+type histogram = { edges : float array; counts : int array }
+
+let bucketize edges xs =
+  let bins = Array.length edges - 1 in
+  let counts = Array.make bins 0 in
+  let place x =
+    (* Clamp into the edge range first: edges computed through log/exp can
+       round past the extreme data by a few ulps. *)
+    let x = Float.max edges.(0) (Float.min edges.(bins) x) in
+    (* Linear scan is fine: bin counts are small and edges may be uneven. *)
+    let rec loop i =
+      if i = bins - 1 then counts.(i) <- counts.(i) + 1
+      else if x < edges.(i + 1) then counts.(i) <- counts.(i) + 1
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  Array.iter place xs;
+  counts
+
+let histogram ?(bins = 10) xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if Array.length xs = 0 then { edges = [| 0.0; 1.0 |]; counts = [| 0 |] }
+  else begin
+    let lo = min xs and hi = max xs in
+    let hi = if hi = lo then lo +. 1.0 else hi in
+    let width = (hi -. lo) /. float_of_int bins in
+    let edges = Array.init (bins + 1) (fun i -> lo +. (float_of_int i *. width)) in
+    { edges; counts = bucketize edges xs }
+  end
+
+let log_histogram ?(bins = 10) xs =
+  if bins <= 0 then invalid_arg "Stats.log_histogram: bins must be positive";
+  if Array.length xs = 0 then { edges = [| 1.0; 10.0 |]; counts = [| 0 |] }
+  else begin
+    Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.log_histogram: non-positive datum") xs;
+    let lo = min xs and hi = max xs in
+    let hi = if hi = lo then lo *. 10.0 else hi in
+    let llo = log lo and lhi = log hi in
+    let width = (lhi -. llo) /. float_of_int bins in
+    let edges = Array.init (bins + 1) (fun i -> exp (llo +. (float_of_int i *. width))) in
+    { edges; counts = bucketize edges xs }
+  end
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun a x -> a +. log x) 0.0 xs in
+    exp (acc /. float_of_int n)
+  end

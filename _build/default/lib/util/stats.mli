@@ -1,0 +1,52 @@
+(** Small descriptive-statistics toolkit used by the experiment harness
+    (Table II averages, Fig. 3 histograms, Fig. 6 box plots). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays of length < 2. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min : float array -> float
+(** Minimum.  Raises [Invalid_argument] on empty input. *)
+
+val max : float array -> float
+(** Maximum.  Raises [Invalid_argument] on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]] using linear interpolation
+    between closest ranks.  Raises [Invalid_argument] on empty input. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+type box = {
+  whisker_lo : float;  (** lowest datum >= Q1 - 1.5 IQR *)
+  q1 : float;
+  med : float;
+  q3 : float;
+  whisker_hi : float;  (** highest datum <= Q3 + 1.5 IQR *)
+  outliers : float list;
+}
+(** Five-number summary in Tukey box-plot convention. *)
+
+val box_plot : float array -> box
+(** Box-plot summary.  Raises [Invalid_argument] on empty input. *)
+
+type histogram = {
+  edges : float array;   (** [n+1] bin edges *)
+  counts : int array;    (** [n] counts *)
+}
+
+val histogram : ?bins:int -> float array -> histogram
+(** Equal-width histogram over the data range (default 10 bins). *)
+
+val log_histogram : ?bins:int -> float array -> histogram
+(** Histogram with logarithmically spaced bin edges; all data must be
+    positive. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive data; 0 on the empty array. *)

@@ -1,0 +1,64 @@
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let spare = width - n in
+    match align with
+    | Left -> s ^ String.make spare ' '
+    | Right -> String.make spare ' ' ^ s
+    | Center ->
+      let left = spare / 2 in
+      String.make left ' ' ^ s ^ String.make (spare - left) ' '
+  end
+
+let render ?(align = []) ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    List.init ncols (fun i -> match List.nth_opt align i with Some a -> a | None -> Left)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> Stdlib.max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let render_row cells =
+    let padded = List.map2 (fun (a, w) c -> pad a w c) (List.combine aligns widths) cells in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (render_row row))
+    rows;
+  Buffer.contents buf
+
+let bar ?(width = 40) v vmax =
+  if vmax <= 0.0 then ""
+  else begin
+    let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+    let n = Stdlib.max 0 (Stdlib.min width n) in
+    String.make n '#'
+  end
+
+let fmt_float ?(digits = 2) v =
+  if Float.is_nan v then "nan"
+  else if v = Float.infinity then "inf"
+  else if v = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" digits v

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the experiment reports.
+
+    Produces aligned ASCII tables in the style of the paper's Table I/II,
+    plus simple bar-style renderings used for the figure reproductions. *)
+
+type align = Left | Right | Center
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out a table with a separator under the
+    header.  [align] gives per-column alignment (default all [Left]; a
+    short list is padded with [Left]).  Rows shorter than the header are
+    padded with empty cells. *)
+
+val bar : ?width:int -> float -> float -> string
+(** [bar v vmax] renders a horizontal bar of ['#'] proportional to
+    [v /. vmax] (default full width 40).  Used for textual histograms. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Compact float formatting: fixed-point with [digits] decimals
+    (default 2), with [inf]/[nan] spelled out. *)

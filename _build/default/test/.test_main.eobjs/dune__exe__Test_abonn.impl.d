@@ -1,0 +1,1 @@
+test/test_abonn.ml: Abonn_bab Abonn_core Abonn_nn Abonn_prop Abonn_spec Abonn_util Alcotest Array List Printf Stdlib

@@ -1,0 +1,1 @@
+test/test_attack.ml: Abonn_attack Abonn_bab Abonn_crown Abonn_nn Abonn_spec Abonn_util Alcotest Array List Printf

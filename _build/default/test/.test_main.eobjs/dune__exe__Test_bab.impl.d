@@ -1,0 +1,1 @@
+test/test_bab.ml: Abonn_bab Abonn_nn Abonn_prop Abonn_spec Abonn_tensor Abonn_util Alcotest Array Format List Printf

@@ -1,0 +1,1 @@
+test/test_data.ml: Abonn_data Abonn_nn Abonn_prop Abonn_spec Abonn_tensor Abonn_util Alcotest Array Filename Fun Lazy List Printf Sys

@@ -1,0 +1,1 @@
+test/test_harness.ml: Abonn_bab Abonn_data Abonn_harness Abonn_spec Alcotest Array Float Lazy List String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_abonn Test_attack Test_bab Test_data Test_harness Test_lp Test_nn Test_prop Test_properties Test_spec Test_tensor Test_util

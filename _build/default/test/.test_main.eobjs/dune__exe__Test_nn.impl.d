@@ -1,0 +1,1 @@
+test/test_nn.ml: Abonn_nn Abonn_tensor Abonn_util Alcotest Array Filename Float Fun Printf QCheck QCheck_alcotest Sys

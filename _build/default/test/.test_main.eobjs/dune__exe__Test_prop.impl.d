@@ -1,0 +1,1 @@
+test/test_prop.ml: Abonn_nn Abonn_prop Abonn_spec Abonn_tensor Abonn_util Alcotest Array Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_properties.ml: Abonn_lp Abonn_nn Abonn_prop Abonn_spec Abonn_tensor Abonn_util Array Float List QCheck QCheck_alcotest

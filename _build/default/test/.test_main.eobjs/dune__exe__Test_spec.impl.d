@@ -1,0 +1,1 @@
+test/test_spec.ml: Abonn_nn Abonn_prop Abonn_spec Abonn_tensor Abonn_util Alcotest Array Filename Fun QCheck QCheck_alcotest Sys

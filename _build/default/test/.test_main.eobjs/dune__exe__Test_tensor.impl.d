@@ -1,0 +1,1 @@
+test/test_tensor.ml: Abonn_tensor Abonn_util Alcotest Array Float QCheck QCheck_alcotest

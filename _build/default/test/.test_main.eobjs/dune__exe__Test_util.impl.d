@@ -1,0 +1,1 @@
+test/test_util.ml: Abonn_util Alcotest Array Float List QCheck QCheck_alcotest String

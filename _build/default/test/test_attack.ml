@@ -1,0 +1,143 @@
+(* Tests for Abonn_attack and Abonn_crown: attacks find genuine
+   counterexamples on violated problems, stay silent on robust ones, and
+   the αβ-CROWN-style baseline agrees with the naive BaB verdicts. *)
+
+module Rng = Abonn_util.Rng
+module Budget = Abonn_util.Budget
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Verdict = Abonn_spec.Verdict
+module Problem = Abonn_spec.Problem
+module Network = Abonn_nn.Network
+module Builder = Abonn_nn.Builder
+module Attack = Abonn_attack.Attack
+module Alphabeta = Abonn_crown.Alphabeta
+module Result = Abonn_bab.Result
+module Bfs = Abonn_bab.Bfs
+
+let random_problem ?(seed = 0) ?(dims = [ 2; 6; 2 ]) ?(eps = 0.3) () =
+  let rng = Rng.create seed in
+  let net = Builder.mlp rng ~dims in
+  let in_dim = List.hd dims in
+  let center = Array.init in_dim (fun _ -> Rng.range rng (-0.5) 0.5) in
+  let region = Region.linf_ball ~center ~eps () in
+  let out_dim = List.nth dims (List.length dims - 1) in
+  let label = Network.predict net center in
+  let property = Property.robustness ~num_classes:out_dim ~label in
+  Problem.create ~network:net ~region ~property ()
+
+let attacks = [ Attack.fgsm; Attack.pgd (); Attack.random_search (); Attack.best_effort ]
+
+let test_attacks_hit_obvious_violation () =
+  let problem = random_problem ~seed:1 ~eps:10.0 () in
+  let found = ref 0 in
+  List.iter
+    (fun (a : Attack.t) ->
+      match a.Attack.run (Rng.create 5) problem with
+      | Some x ->
+        incr found;
+        Alcotest.(check bool) (a.Attack.name ^ " cex genuine") true
+          (Problem.is_counterexample problem x)
+      | None -> ())
+    attacks;
+  Alcotest.(check bool) "at least pgd and best-effort hit" true (!found >= 2)
+
+let test_attacks_silent_on_robust () =
+  let problem = random_problem ~seed:2 ~eps:1e-7 () in
+  List.iter
+    (fun (a : Attack.t) ->
+      Alcotest.(check bool) (a.Attack.name ^ " finds nothing") true
+        (a.Attack.run (Rng.create 5) problem = None))
+    attacks
+
+let test_attack_results_inside_region () =
+  for seed = 3 to 12 do
+    let problem = random_problem ~seed ~eps:1.0 () in
+    match Attack.best_effort.Attack.run (Rng.create seed) problem with
+    | None -> ()
+    | Some x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "inside region (seed %d)" seed)
+        true
+        (Region.contains problem.Problem.region x)
+  done
+
+let test_pgd_deterministic () =
+  let problem = random_problem ~seed:4 ~eps:0.8 () in
+  let a = Attack.pgd () in
+  let r1 = a.Attack.run (Rng.create 9) problem in
+  let r2 = a.Attack.run (Rng.create 9) problem in
+  Alcotest.(check bool) "same result" true (r1 = r2)
+
+let test_pgd_beats_random_on_narrow_violation () =
+  (* On mid-size regions PGD should find violations at least as often as
+     blind sampling over matched seeds. *)
+  let pgd_hits = ref 0 and rand_hits = ref 0 in
+  for seed = 20 to 39 do
+    let problem = random_problem ~seed ~dims:[ 3; 8; 2 ] ~eps:0.45 () in
+    (match (Attack.pgd ()).Attack.run (Rng.create seed) problem with
+     | Some _ -> incr pgd_hits
+     | None -> ());
+    match (Attack.random_search ~samples:120 ()).Attack.run (Rng.create seed) problem with
+    | Some _ -> incr rand_hits
+    | None -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "pgd (%d) >= random (%d)" !pgd_hits !rand_hits)
+    true
+    (!pgd_hits >= !rand_hits)
+
+(* --- αβ-CROWN-style baseline --- *)
+
+let test_crown_agrees_with_bfs () =
+  let solved = ref 0 in
+  for seed = 50 to 64 do
+    let problem = random_problem ~seed ~eps:0.35 () in
+    let bfs = Bfs.verify ~budget:(Budget.of_calls 4000) problem in
+    let crown = Alphabeta.verify ~budget:(Budget.of_calls 4000) problem in
+    match bfs.Result.verdict, crown.Result.verdict with
+    | Verdict.Timeout, _ | _, Verdict.Timeout -> ()
+    | v1, v2 ->
+      incr solved;
+      Alcotest.(check bool)
+        (Printf.sprintf "verdict agreement (seed %d)" seed)
+        true
+        (Verdict.is_verified v1 = Verdict.is_verified v2)
+  done;
+  Alcotest.(check bool) "most instances solved" true (!solved >= 10)
+
+let test_crown_attack_short_circuits () =
+  (* On a grossly violated problem the attack phase should conclude with
+     zero AppVer calls. *)
+  let problem = random_problem ~seed:1 ~eps:10.0 () in
+  let r = Alphabeta.verify problem in
+  Alcotest.(check bool) "falsified" true (Verdict.is_falsified r.Result.verdict);
+  Alcotest.(check int) "no bound computations" 0 r.Result.stats.Result.appver_calls
+
+let test_crown_cex_valid () =
+  for seed = 70 to 79 do
+    let problem = random_problem ~seed ~eps:0.6 () in
+    let r = Alphabeta.verify ~budget:(Budget.of_calls 2000) problem in
+    match r.Result.verdict with
+    | Verdict.Falsified x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "genuine cex (seed %d)" seed)
+        true
+        (Problem.is_counterexample problem x)
+    | Verdict.Verified | Verdict.Timeout -> ()
+  done
+
+let suite =
+  [ ( "attack.portfolio",
+      [ Alcotest.test_case "hits obvious violation" `Quick test_attacks_hit_obvious_violation;
+        Alcotest.test_case "silent on robust" `Quick test_attacks_silent_on_robust;
+        Alcotest.test_case "results inside region" `Quick test_attack_results_inside_region;
+        Alcotest.test_case "pgd deterministic" `Quick test_pgd_deterministic;
+        Alcotest.test_case "pgd >= random" `Quick test_pgd_beats_random_on_narrow_violation
+      ] );
+    ( "crown.alphabeta",
+      [ Alcotest.test_case "agrees with bfs" `Quick test_crown_agrees_with_bfs;
+        Alcotest.test_case "attack short-circuits" `Quick test_crown_attack_short_circuits;
+        Alcotest.test_case "cex valid" `Quick test_crown_cex_valid
+      ] )
+  ]

@@ -1,0 +1,406 @@
+(* Tests for Abonn_bab: branching heuristics, exact leaf resolution, and
+   the BFS / best-first engines — including soundness cross-checks of
+   verdicts against sampling and against each other. *)
+
+module Matrix = Abonn_tensor.Matrix
+module Rng = Abonn_util.Rng
+module Budget = Abonn_util.Budget
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Split = Abonn_spec.Split
+module Verdict = Abonn_spec.Verdict
+module Problem = Abonn_spec.Problem
+module Network = Abonn_nn.Network
+module Affine = Abonn_nn.Affine
+module Builder = Abonn_nn.Builder
+module Bounds = Abonn_prop.Bounds
+module Deeppoly = Abonn_prop.Deeppoly
+module Branching = Abonn_bab.Branching
+module Exact = Abonn_bab.Exact
+module Bfs = Abonn_bab.Bfs
+module Bestfirst = Abonn_bab.Bestfirst
+module Result = Abonn_bab.Result
+
+let random_problem ?(seed = 0) ?(dims = [ 2; 6; 2 ]) ?(eps = 0.3) () =
+  let rng = Rng.create seed in
+  let net = Builder.mlp rng ~dims in
+  let in_dim = List.hd dims in
+  let center = Array.init in_dim (fun _ -> Rng.range rng (-0.5) 0.5) in
+  let region = Region.linf_ball ~center ~eps () in
+  let out_dim = List.nth dims (List.length dims - 1) in
+  let label = Network.predict net center in
+  let property = Property.robustness ~num_classes:out_dim ~label in
+  Problem.create ~network:net ~region ~property ()
+
+(* --- Branching --- *)
+
+let node_bounds problem gamma =
+  match Deeppoly.hidden_bounds problem gamma with
+  | Some b -> b
+  | None -> Alcotest.fail "unexpected infeasibility"
+
+let test_heuristics_pick_unstable_unconstrained () =
+  let problem = random_problem ~seed:3 ~dims:[ 3; 8; 8; 2 ] ~eps:0.4 () in
+  let pre_bounds = node_bounds problem [] in
+  List.iter
+    (fun (h : Branching.t) ->
+      let choose = h.Branching.prepare problem in
+      match choose ~gamma:[] ~pre_bounds with
+      | None -> Alcotest.fail (h.Branching.name ^ ": expected a candidate")
+      | Some relu ->
+        let layer, idx = Affine.relu_position problem.Problem.affine relu in
+        Alcotest.(check bool)
+          (h.Branching.name ^ " picks unstable")
+          true
+          (Bounds.relu_state_of pre_bounds.(layer) idx = Bounds.Unstable))
+    Branching.all
+
+let test_heuristics_respect_gamma () =
+  let problem = random_problem ~seed:3 ~dims:[ 3; 8; 8; 2 ] ~eps:0.4 () in
+  let choose = Branching.default.Branching.prepare problem in
+  let pre_bounds = node_bounds problem [] in
+  match choose ~gamma:[] ~pre_bounds with
+  | None -> Alcotest.fail "expected candidate"
+  | Some first ->
+    let gamma = Split.extend [] ~relu:first ~phase:Split.Active in
+    let pre_bounds' = node_bounds problem gamma in
+    (match choose ~gamma ~pre_bounds:pre_bounds' with
+     | None -> ()
+     | Some second ->
+       Alcotest.(check bool) "does not repick constrained relu" true (second <> first))
+
+let test_heuristics_none_when_all_stable () =
+  (* Tiny epsilon keeps every neuron stable: nothing to split. *)
+  let problem = random_problem ~seed:7 ~eps:1e-9 () in
+  let pre_bounds = node_bounds problem [] in
+  List.iter
+    (fun (h : Branching.t) ->
+      let choose = h.Branching.prepare problem in
+      Alcotest.(check bool) (h.Branching.name ^ " returns None") true
+        (choose ~gamma:[] ~pre_bounds = None))
+    Branching.all
+
+let test_branching_registry () =
+  Alcotest.(check int) "four heuristics" 4 (List.length Branching.all);
+  Alcotest.(check bool) "default is deepsplit" true
+    (Branching.default.Branching.name = "deepsplit");
+  Alcotest.(check bool) "find fsb" true (Branching.find "fsb" <> None);
+  Alcotest.(check bool) "find unknown" true (Branching.find "nope" = None)
+
+(* --- Exact --- *)
+
+let test_exact_resolves_linear_leaf () =
+  (* Network with no hidden relu instability (eps tiny): the root itself
+     is a fully-stabilised "leaf". *)
+  let w = Matrix.of_rows [| [| 1.0; -2.0 |] |] in
+  let affine = Affine.of_weights [ (w, [| 0.25 |]) ] in
+  let region = Region.create ~lower:[| -1.0; -1.0 |] ~upper:[| 1.0; 1.0 |] in
+  (* Violated: min margin is -2.75. *)
+  let p_violated =
+    Problem.of_affine ~affine ~region ~property:(Property.single [| 1.0 |] 0.0) ()
+  in
+  (match Exact.resolve p_violated [] with
+   | `Falsified x ->
+     Alcotest.(check bool) "real cex" true (Problem.is_counterexample p_violated x)
+   | `Verified -> Alcotest.fail "expected falsification");
+  (* Verified: offset shifts the margin positive everywhere. *)
+  let p_verified =
+    Problem.of_affine ~affine ~region ~property:(Property.single [| 1.0 |] 4.0) ()
+  in
+  Alcotest.(check bool) "verified" true (Exact.resolve p_verified [] = `Verified)
+
+(* --- BFS engine --- *)
+
+let test_bfs_verifies_easy () =
+  let problem = random_problem ~seed:11 ~eps:1e-6 () in
+  let r = Bfs.verify problem in
+  Alcotest.(check bool) "verified" true (Verdict.is_verified r.Result.verdict);
+  Alcotest.(check int) "single call" 1 r.Result.stats.Result.appver_calls
+
+let test_bfs_falsifies_large_eps () =
+  (* A huge ball certainly crosses the decision boundary. *)
+  let problem = random_problem ~seed:12 ~eps:10.0 () in
+  let r = Bfs.verify ~budget:(Budget.of_calls 2000) problem in
+  match r.Result.verdict with
+  | Verdict.Falsified x ->
+    Alcotest.(check bool) "cex is genuine" true (Problem.is_counterexample problem x)
+  | Verdict.Verified | Verdict.Timeout -> Alcotest.fail "expected falsification"
+
+let test_bfs_timeout_on_tiny_budget () =
+  (* eps in the hard band with a 1-call budget must time out (unless the
+     root alone decides, which these seeds avoid). *)
+  let problem = random_problem ~seed:13 ~dims:[ 3; 8; 8; 2 ] ~eps:0.35 () in
+  let r = Bfs.verify ~budget:(Budget.of_calls 1) problem in
+  Alcotest.(check bool) "timeout or instantly solved" true
+    (Verdict.is_timeout r.Result.verdict || r.Result.stats.Result.appver_calls <= 1)
+
+let test_bfs_stats_consistent () =
+  let problem = random_problem ~seed:14 ~dims:[ 2; 6; 2 ] ~eps:0.4 () in
+  let r = Bfs.verify ~budget:(Budget.of_calls 500) problem in
+  Alcotest.(check bool) "nodes odd (root + pairs)" true (r.Result.stats.Result.nodes mod 2 = 1);
+  Alcotest.(check bool) "calls >= 1" true (r.Result.stats.Result.appver_calls >= 1);
+  Alcotest.(check bool) "depth sane" true
+    (r.Result.stats.Result.max_depth <= Problem.num_relus problem)
+
+let test_bfs_verified_proves_all_samples () =
+  (* Whenever BFS says Verified, no sampled point may violate. *)
+  let checked = ref 0 in
+  for seed = 20 to 29 do
+    let problem = random_problem ~seed ~eps:0.15 () in
+    let r = Bfs.verify ~budget:(Budget.of_calls 500) problem in
+    if Verdict.is_verified r.Result.verdict then begin
+      incr checked;
+      let rng = Rng.create (seed * 7) in
+      for _ = 1 to 100 do
+        let x = Region.sample rng problem.Problem.region in
+        Alcotest.(check bool) "no sampled violation" true
+          (Problem.concrete_margin problem x > 0.0)
+      done
+    end
+  done;
+  Alcotest.(check bool) "some problems were verified" true (!checked > 0)
+
+(* --- best-first engine --- *)
+
+let test_bestfirst_agrees_with_bfs () =
+  let falsified = ref 0 and verified = ref 0 in
+  for seed = 30 to 44 do
+    let problem = random_problem ~seed ~dims:[ 2; 6; 2 ] ~eps:0.35 () in
+    let b1 = Bfs.verify ~budget:(Budget.of_calls 3000) problem in
+    let b2 = Bestfirst.verify ~budget:(Budget.of_calls 3000) problem in
+    match b1.Result.verdict, b2.Result.verdict with
+    | Verdict.Timeout, _ | _, Verdict.Timeout -> ()
+    | v1, v2 ->
+      (match v1 with
+       | Verdict.Verified -> incr verified
+       | Verdict.Falsified _ -> incr falsified
+       | Verdict.Timeout -> ());
+      Alcotest.(check bool)
+        (Printf.sprintf "same verdict class (seed %d)" seed)
+        true
+        (Verdict.is_verified v1 = Verdict.is_verified v2)
+  done;
+  Alcotest.(check bool) "both verdict classes exercised" true (!falsified > 0 && !verified > 0)
+
+let test_bestfirst_cex_valid () =
+  let problem = random_problem ~seed:12 ~eps:10.0 () in
+  let r = Bestfirst.verify ~budget:(Budget.of_calls 2000) problem in
+  match r.Result.verdict with
+  | Verdict.Falsified x ->
+    Alcotest.(check bool) "genuine" true (Problem.is_counterexample problem x)
+  | Verdict.Verified | Verdict.Timeout -> Alcotest.fail "expected falsification"
+
+let test_engines_with_all_heuristics () =
+  (* Every branching heuristic must preserve verdicts (it only changes
+     the order of work). *)
+  let problem = random_problem ~seed:33 ~dims:[ 2; 6; 2 ] ~eps:0.3 () in
+  let reference = Bfs.verify ~budget:(Budget.of_calls 3000) problem in
+  match reference.Result.verdict with
+  | Verdict.Timeout -> Alcotest.fail "reference run timed out; re-seed the test"
+  | ref_verdict ->
+    List.iter
+      (fun h ->
+        let r = Bfs.verify ~heuristic:h ~budget:(Budget.of_calls 3000) problem in
+        match r.Result.verdict with
+        | Verdict.Timeout -> () (* a weaker heuristic may simply be slower *)
+        | v ->
+          Alcotest.(check bool)
+            (h.Branching.name ^ " same verdict")
+            true
+            (Verdict.is_verified v = Verdict.is_verified ref_verdict))
+      Branching.all
+
+let test_interval_appver_also_complete () =
+  (* BaB over the looser IBP AppVer must still reach the same verdict,
+     only with more splits. *)
+  let problem = random_problem ~seed:35 ~dims:[ 2; 5; 2 ] ~eps:0.25 () in
+  let dp = Bfs.verify ~budget:(Budget.of_calls 5000) problem in
+  let ibp = Bfs.verify ~appver:Abonn_prop.Appver.interval ~budget:(Budget.of_calls 5000) problem in
+  match dp.Result.verdict, ibp.Result.verdict with
+  | Verdict.Timeout, _ | _, Verdict.Timeout -> ()
+  | v1, v2 ->
+    Alcotest.(check bool) "same verdict" true (Verdict.is_verified v1 = Verdict.is_verified v2);
+    Alcotest.(check bool) "IBP needs at least as many calls" true
+      (ibp.Result.stats.Result.appver_calls >= dp.Result.stats.Result.appver_calls)
+
+let suite =
+  [ ( "bab.branching",
+      [ Alcotest.test_case "picks unstable" `Quick test_heuristics_pick_unstable_unconstrained;
+        Alcotest.test_case "respects gamma" `Quick test_heuristics_respect_gamma;
+        Alcotest.test_case "none when stable" `Quick test_heuristics_none_when_all_stable;
+        Alcotest.test_case "registry" `Quick test_branching_registry
+      ] );
+    ( "bab.exact",
+      [ Alcotest.test_case "resolves linear leaf" `Quick test_exact_resolves_linear_leaf ] );
+    ( "bab.bfs",
+      [ Alcotest.test_case "verifies easy" `Quick test_bfs_verifies_easy;
+        Alcotest.test_case "falsifies large eps" `Quick test_bfs_falsifies_large_eps;
+        Alcotest.test_case "timeout on tiny budget" `Quick test_bfs_timeout_on_tiny_budget;
+        Alcotest.test_case "stats consistent" `Quick test_bfs_stats_consistent;
+        Alcotest.test_case "verified implies no violations" `Quick test_bfs_verified_proves_all_samples
+      ] );
+    ( "bab.bestfirst",
+      [ Alcotest.test_case "agrees with bfs" `Quick test_bestfirst_agrees_with_bfs;
+        Alcotest.test_case "cex valid" `Quick test_bestfirst_cex_valid;
+        Alcotest.test_case "all heuristics same verdict" `Quick test_engines_with_all_heuristics;
+        Alcotest.test_case "IBP appver complete" `Quick test_interval_appver_also_complete
+      ] )
+  ]
+
+(* --- Certificates --- *)
+
+module Certificate = Abonn_bab.Certificate
+
+let test_certificate_produced_and_checks () =
+  let checked = ref 0 in
+  for seed = 20 to 29 do
+    let problem = random_problem ~seed ~eps:0.15 () in
+    let result, cert = Bfs.verify_with_certificate ~budget:(Budget.of_calls 500) problem in
+    match result.Result.verdict, cert with
+    | Verdict.Verified, Some cert ->
+      incr checked;
+      Alcotest.(check bool) "at least one leaf" true (Certificate.num_leaves cert >= 1);
+      (match Certificate.check problem cert with
+       | Ok () -> ()
+       | Error e ->
+         Alcotest.fail (Format.asprintf "certificate rejected: %a" Certificate.pp_error e))
+    | Verdict.Verified, None -> Alcotest.fail "verified without certificate"
+    | (Verdict.Falsified _ | Verdict.Timeout), Some _ ->
+      Alcotest.fail "certificate for non-verified verdict"
+    | (Verdict.Falsified _ | Verdict.Timeout), None -> ()
+  done;
+  Alcotest.(check bool) "some certificates checked" true (!checked >= 3)
+
+let test_certificate_detects_coverage_gap () =
+  let problem = random_problem ~seed:24 ~eps:0.15 () in
+  let _, cert = Bfs.verify_with_certificate ~budget:(Budget.of_calls 500) problem in
+  match cert with
+  | None -> Alcotest.fail "expected verified problem; re-seed"
+  | Some cert ->
+    if Certificate.num_leaves cert < 2 then Alcotest.fail "expected a split tree; re-seed"
+    else begin
+      (* drop one leaf: the cover check must fail *)
+      let broken = { cert with Certificate.leaves = List.tl cert.Certificate.leaves } in
+      match Certificate.check problem broken with
+      | Ok () -> Alcotest.fail "gap not detected"
+      | Error (Certificate.Coverage_gap _ | Certificate.Duplicate_or_overlap _) -> ()
+      | Error (Certificate.Leaf_not_proved _ as e) ->
+        Alcotest.fail (Format.asprintf "wrong error: %a" Certificate.pp_error e)
+    end
+
+let test_certificate_detects_bogus_leaf () =
+  let problem = random_problem ~seed:24 ~eps:0.15 () in
+  let _, cert = Bfs.verify_with_certificate ~budget:(Budget.of_calls 500) problem in
+  match cert with
+  | None -> Alcotest.fail "expected verified problem; re-seed"
+  | Some cert ->
+    (* replace all leaves by the root pretending it was proved: replay
+       must reject it (the root of these problems is undecided) *)
+    let bogus =
+      { cert with
+        Certificate.leaves = [ { Certificate.gamma = []; phat = 1.0; by_exact = false } ] }
+    in
+    (match Certificate.check problem bogus with
+     | Error (Certificate.Leaf_not_proved _) -> ()
+     | Ok () -> Alcotest.fail "bogus leaf accepted"
+     | Error e -> Alcotest.fail (Format.asprintf "wrong error: %a" Certificate.pp_error e))
+
+(* --- Input splitting --- *)
+
+module Inputsplit = Abonn_bab.Inputsplit
+
+let test_inputsplit_agrees_with_relu_split () =
+  let solved = ref 0 in
+  for seed = 30 to 41 do
+    let problem = random_problem ~seed ~dims:[ 2; 6; 2 ] ~eps:0.35 () in
+    let relu_split = Bfs.verify ~budget:(Budget.of_calls 3000) problem in
+    let input_split = Inputsplit.verify ~budget:(Budget.of_calls 3000) problem in
+    match relu_split.Result.verdict, input_split.Result.verdict with
+    | Verdict.Timeout, _ | _, Verdict.Timeout -> ()
+    | v1, v2 ->
+      incr solved;
+      Alcotest.(check bool)
+        (Printf.sprintf "verdict agreement (seed %d)" seed)
+        true
+        (Verdict.is_verified v1 = Verdict.is_verified v2)
+  done;
+  Alcotest.(check bool) "solved several" true (!solved >= 5)
+
+let test_inputsplit_cex_valid () =
+  let problem = random_problem ~seed:12 ~eps:10.0 () in
+  let r = Inputsplit.verify ~budget:(Budget.of_calls 2000) problem in
+  match r.Result.verdict with
+  | Verdict.Falsified x ->
+    Alcotest.(check bool) "genuine" true (Abonn_spec.Problem.is_counterexample problem x)
+  | Verdict.Verified | Verdict.Timeout -> Alcotest.fail "expected falsification"
+
+let test_inputsplit_strategies_agree () =
+  let problem = random_problem ~seed:33 ~dims:[ 2; 6; 2 ] ~eps:0.3 () in
+  let w = Inputsplit.verify ~strategy:Inputsplit.Widest ~budget:(Budget.of_calls 3000) problem in
+  let g =
+    Inputsplit.verify ~strategy:Inputsplit.Gradient_weighted ~budget:(Budget.of_calls 3000)
+      problem
+  in
+  match w.Result.verdict, g.Result.verdict with
+  | Verdict.Timeout, _ | _, Verdict.Timeout -> ()
+  | v1, v2 ->
+    Alcotest.(check bool) "strategies agree" true
+      (Verdict.is_verified v1 = Verdict.is_verified v2)
+
+let test_inputsplit_verifies_easy () =
+  let problem = random_problem ~seed:11 ~eps:1e-6 () in
+  let r = Inputsplit.verify problem in
+  Alcotest.(check bool) "verified" true (Verdict.is_verified r.Result.verdict);
+  Alcotest.(check int) "single call" 1 r.Result.stats.Result.appver_calls
+
+let extra_suite =
+  [ ( "bab.certificate",
+      [ Alcotest.test_case "produced and checks" `Quick test_certificate_produced_and_checks;
+        Alcotest.test_case "detects coverage gap" `Quick test_certificate_detects_coverage_gap;
+        Alcotest.test_case "detects bogus leaf" `Quick test_certificate_detects_bogus_leaf
+      ] );
+    ( "bab.inputsplit",
+      [ Alcotest.test_case "agrees with relu split" `Quick test_inputsplit_agrees_with_relu_split;
+        Alcotest.test_case "cex valid" `Quick test_inputsplit_cex_valid;
+        Alcotest.test_case "strategies agree" `Quick test_inputsplit_strategies_agree;
+        Alcotest.test_case "verifies easy" `Quick test_inputsplit_verifies_easy
+      ] )
+  ]
+
+let suite = suite @ extra_suite
+
+(* Regression: a margin that touches 0 at a single point (the origin of a
+   zero-bias network) must never let input splitting claim Verified — the
+   unsound point-pruning path returned Verified here before the fix. *)
+let test_inputsplit_tie_point_not_verified () =
+  let problem = random_problem ~seed:34 ~dims:[ 2; 6; 2 ] ~eps:0.35 () in
+  (* ground truth: ReLU-split BaB finds the tie as a counterexample *)
+  let bfs = Bfs.verify ~budget:(Budget.of_calls 3000) problem in
+  Alcotest.(check bool) "baseline falsifies the tie" true
+    (Verdict.is_falsified bfs.Result.verdict);
+  let r = Inputsplit.verify ~budget:(Budget.of_calls 3000) problem in
+  Alcotest.(check bool) "input splitting must not claim Verified" true
+    (not (Verdict.is_verified r.Result.verdict))
+
+let test_certificate_detects_duplicate_leaf () =
+  let problem = random_problem ~seed:24 ~eps:0.15 () in
+  let _, cert = Bfs.verify_with_certificate ~budget:(Budget.of_calls 500) problem in
+  match cert with
+  | None -> Alcotest.fail "expected verified problem; re-seed"
+  | Some cert ->
+    (match cert.Certificate.leaves with
+     | first :: _ ->
+       let broken = { cert with Certificate.leaves = first :: cert.Certificate.leaves } in
+       (match Certificate.check problem broken with
+        | Error (Certificate.Duplicate_or_overlap _) -> ()
+        | Ok () -> Alcotest.fail "duplicate leaf accepted"
+        | Error e -> Alcotest.fail (Format.asprintf "wrong error: %a" Certificate.pp_error e))
+     | [] -> Alcotest.fail "empty certificate")
+
+let regression_suite =
+  ( "bab.regressions",
+    [ Alcotest.test_case "tie point not verified" `Quick test_inputsplit_tie_point_not_verified;
+      Alcotest.test_case "duplicate leaf detected" `Quick test_certificate_detects_duplicate_leaf
+    ] )
+
+let suite = suite @ [ regression_suite ]
