@@ -3,7 +3,8 @@
    Examples:
      abonn --model mnist_l2 --index 3 --eps 0.02
      abonn --model cifar_base --index 0 --factor 1.1 --engine bab-baseline
-     abonn --model mnist_l4 --index 1 --factor 1.2 --lambda 0.7 --c 0.5 *)
+     abonn --model mnist_l4 --index 1 --factor 1.2 --lambda 0.7 --c 0.5
+     abonn --model mnist_l2 --index 3 --trace out.jsonl --stats *)
 
 open Cmdliner
 module Models = Abonn_data.Models
@@ -13,6 +14,9 @@ module Trainer = Abonn_nn.Trainer
 module Budget = Abonn_util.Budget
 module Result = Abonn_bab.Result
 module Verdict = Abonn_spec.Verdict
+module Obs = Abonn_obs.Obs
+module Sink = Abonn_obs.Sink
+module Metrics = Abonn_obs.Metrics
 
 let build_problem trained index eps factor =
   let dataset = trained.Models.dataset in
@@ -41,7 +45,28 @@ let build_problem trained index eps factor =
     end
   end
 
-let verify_problem problem engine lambda c heuristic appver calls seconds ~context =
+(* Install the requested observability around [f]: a JSONL sink for
+   [--trace FILE] and the metrics registry for [--stats].  The sink is
+   removed and closed even if [f] raises; printing the [--stats] summary
+   is left to the caller (after the verdict lines). *)
+let with_observability ~trace_file ~stats f =
+  let sink = Option.map Sink.jsonl_file trace_file in
+  if stats then begin
+    Metrics.reset ();
+    Metrics.set_enabled true
+  end;
+  Option.iter Obs.install sink;
+  let finally () =
+    Option.iter
+      (fun s ->
+        Obs.remove s;
+        s.Sink.close ())
+      sink
+  in
+  Fun.protect ~finally f
+
+let verify_problem problem engine lambda c heuristic appver calls seconds trace_file stats
+    ~context =
   let heuristic =
     match Abonn_bab.Branching.find heuristic with
     | Some h -> h
@@ -55,19 +80,22 @@ let verify_problem problem engine lambda c heuristic appver calls seconds ~conte
       | None -> Abonn_prop.Appver.deeppoly
   in
   let budget = Budget.combine ~calls ?seconds () in
-  let result =
-    match engine with
-    | "abonn" ->
-      let config = Abonn_core.Config.make ~lambda ~c ~appver ~heuristic () in
-      Abonn_core.Abonn.verify ~config ~budget problem
-    | "bab-baseline" -> Abonn_bab.Bfs.verify ~appver ~heuristic ~budget problem
-    | "bestfirst" -> Abonn_bab.Bestfirst.verify ~appver ~heuristic ~budget problem
-    | "inputsplit" -> Abonn_bab.Inputsplit.verify ~appver ~budget problem
-    | "ab-crown" -> Abonn_crown.Alphabeta.verify ~budget problem
-    | other ->
-      Printf.eprintf "unknown engine %s; using abonn\n%!" other;
-      Abonn_core.Abonn.verify ~budget problem
-  in
+  match
+    with_observability ~trace_file ~stats (fun () ->
+        match engine with
+        | "abonn" ->
+          let config = Abonn_core.Config.make ~lambda ~c ~appver ~heuristic () in
+          Abonn_core.Abonn.verify ~config ~budget problem
+        | "bab-baseline" -> Abonn_bab.Bfs.verify ~appver ~heuristic ~budget problem
+        | "bestfirst" -> Abonn_bab.Bestfirst.verify ~appver ~heuristic ~budget problem
+        | "inputsplit" -> Abonn_bab.Inputsplit.verify ~appver ~budget problem
+        | "ab-crown" -> Abonn_crown.Alphabeta.verify ~budget problem
+        | other ->
+          Printf.eprintf "unknown engine %s; using abonn\n%!" other;
+          Abonn_core.Abonn.verify ~budget problem)
+  with
+  | exception Sys_error msg -> `Error (false, msg)
+  | result ->
   Printf.printf "%s engine=%s\n" context engine;
   Printf.printf "verdict: %s\n" (Verdict.to_string result.Result.verdict);
   Printf.printf "appver calls: %d\n" result.Result.stats.Result.appver_calls;
@@ -79,14 +107,20 @@ let verify_problem problem engine lambda c heuristic appver calls seconds ~conte
      let margin = Abonn_spec.Problem.concrete_margin problem x in
      Printf.printf "counterexample margin: %.6f (<= 0 confirms violation)\n" margin
    | None -> ());
+  Option.iter (Printf.printf "trace written to: %s\n") trace_file;
+  if stats then begin
+    print_newline ();
+    print_string (Abonn_harness.Report.stats (Metrics.snapshot ()));
+    Metrics.set_enabled false
+  end;
   `Ok ()
 
 let run problem_file model_name index eps factor engine lambda c heuristic appver calls
-    seconds models_dir =
+    seconds models_dir trace_file stats =
   match problem_file with
   | Some path ->
     let problem = Abonn_spec.Problem_file.load path in
-    verify_problem problem engine lambda c heuristic appver calls seconds
+    verify_problem problem engine lambda c heuristic appver calls seconds trace_file stats
       ~context:(Printf.sprintf "problem=%s" path)
   | None ->
   match Models.find model_name with
@@ -100,7 +134,8 @@ let run problem_file model_name index eps factor engine lambda c heuristic appve
     (match build_problem trained index eps factor with
      | `Error _ as e -> e
      | `Ok (problem, eps) ->
-       verify_problem problem engine lambda c heuristic appver calls seconds
+       verify_problem problem engine lambda c heuristic appver calls seconds trace_file
+         stats
          ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps))
 
 let problem_arg =
@@ -150,6 +185,16 @@ let seconds_arg =
 let models_dir_arg =
   Arg.(value & opt string "models" & info [ "models-dir" ] ~docv:"DIR" ~doc:"Weight cache.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSONL trace of the run (schema: docs/TRACE_SCHEMA.md).")
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print per-subsystem counters, timers and histograms after the run.")
+
 let cmd =
   let doc = "ABONN: adaptive branch-and-bound neural-network verification" in
   Cmd.v
@@ -158,6 +203,6 @@ let cmd =
       ret
         (const run $ problem_arg $ model_arg $ index_arg $ eps_arg $ factor_arg $ engine_arg
          $ lambda_arg $ c_arg $ heuristic_arg $ appver_arg $ calls_arg $ seconds_arg
-         $ models_dir_arg))
+         $ models_dir_arg $ trace_arg $ stats_arg))
 
 let () = exit (Cmd.eval cmd)

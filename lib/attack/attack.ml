@@ -1,4 +1,6 @@
 module Rng = Abonn_util.Rng
+module Obs = Abonn_obs.Obs
+module Ev = Abonn_obs.Event
 module Matrix = Abonn_tensor.Matrix
 module Network = Abonn_nn.Network
 module Region = Abonn_spec.Region
@@ -9,6 +11,28 @@ type t = {
   name : string;
   run : Rng.t -> Problem.t -> float array option;
 }
+
+(* Observe one attack: hit/miss counters, an ["attack.<name>"] span and
+   one [attack_tried] event per invocation.  [best_effort] is itself
+   observed, so its events nest around those of the attacks it tries —
+   span totals of composite attacks include their components. *)
+let observed ({ name; run } as attack) =
+  { attack with
+    run =
+      (fun rng problem ->
+        if not (Obs.active ()) then run rng problem
+        else begin
+          let t0 = Obs.now () in
+          let result = run rng problem in
+          let elapsed = Obs.now () -. t0 in
+          let success = result <> None in
+          Obs.incr
+            (Printf.sprintf "attack.%s.%s" name (if success then "hits" else "misses"));
+          Obs.span ("attack." ^ name) elapsed;
+          if Obs.tracing () then
+            Obs.emit (Ev.Attack_tried { attack = name; success; elapsed });
+          result
+        end) }
 
 let margin problem x = Problem.concrete_margin problem x
 
@@ -51,7 +75,7 @@ let fgsm_run _rng (problem : Problem.t) =
   in
   try_rows 0
 
-let fgsm = { name = "fgsm"; run = fgsm_run }
+let fgsm = observed { name = "fgsm"; run = fgsm_run }
 
 let pgd_run ~restarts ~steps ~step_frac rng (problem : Problem.t) =
   let region = problem.Problem.region in
@@ -93,7 +117,7 @@ let pgd_run ~restarts ~steps ~step_frac rng (problem : Problem.t) =
   try_restart 0
 
 let pgd ?(restarts = 3) ?(steps = 40) ?(step_frac = 0.1) () =
-  { name = "pgd"; run = pgd_run ~restarts ~steps ~step_frac }
+  observed { name = "pgd"; run = pgd_run ~restarts ~steps ~step_frac }
 
 let random_run ~samples rng (problem : Problem.t) =
   let region = problem.Problem.region in
@@ -109,11 +133,13 @@ let random_run ~samples rng (problem : Problem.t) =
   in
   go 0
 
-let random_search ?(samples = 200) () = { name = "random"; run = random_run ~samples }
+let random_search ?(samples = 200) () =
+  observed { name = "random"; run = random_run ~samples }
 
 let best_effort =
-  { name = "best-effort";
-    run =
-      (fun rng problem ->
-        let attacks = [ fgsm; pgd (); random_search () ] in
-        List.find_map (fun a -> a.run rng problem) attacks) }
+  observed
+    { name = "best-effort";
+      run =
+        (fun rng problem ->
+          let attacks = [ fgsm; pgd (); random_search () ] in
+          List.find_map (fun a -> a.run rng problem) attacks) }

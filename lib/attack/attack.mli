@@ -14,6 +14,13 @@ type t = {
   run : Abonn_util.Rng.t -> Abonn_spec.Problem.t -> float array option;
 }
 
+val observed : t -> t
+(** Wrap an attack with [Abonn_obs] instrumentation:
+    ["attack.<name>.hits"/".misses"] counters, an ["attack.<name>"] span
+    timer and one [attack_tried] trace event per invocation.  The
+    built-in attacks below are already observed; use this for custom
+    attacks.  Costs one branch per call while observability is off. *)
+
 val fgsm : t
 (** One signed-gradient step from the region centre per property row. *)
 

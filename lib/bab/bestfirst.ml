@@ -1,5 +1,7 @@
 module Budget = Abonn_util.Budget
 module Heap = Abonn_util.Heap
+module Obs = Abonn_obs.Obs
+module Ev = Abonn_obs.Event
 module Split = Abonn_spec.Split
 module Verdict = Abonn_spec.Verdict
 module Problem = Abonn_spec.Problem
@@ -21,9 +23,14 @@ let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget 
   let heap : frontier_node Heap.t = Heap.create () in
   let nodes = ref 0 and max_depth = ref 0 in
   let finish verdict =
+    let wall_time = Unix.gettimeofday () -. started in
+    if Obs.tracing () then
+      Obs.emit
+        (Ev.Verdict_reached
+           { engine = "bestfirst"; verdict = Verdict.to_string verdict;
+             elapsed = wall_time });
     Result.make ~verdict ~appver_calls:(Budget.calls_used budget) ~nodes:!nodes
-      ~max_depth:!max_depth
-      ~wall_time:(Unix.gettimeofday () -. started)
+      ~max_depth:!max_depth ~wall_time
   in
   (* Evaluate a node; push it when undecided; raise [Found] on a real
      counterexample. *)
@@ -48,7 +55,16 @@ let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget 
          else begin
            match Heap.pop heap with
            | None -> `Done Verdict.Verified
-           | Some (_, node) ->
+           | Some (priority, node) ->
+             if Obs.active () then begin
+               Obs.incr "bestfirst.pop";
+               Obs.observe "bestfirst.depth" (float_of_int node.depth);
+               if Obs.tracing () then
+                 Obs.emit
+                   (Ev.Frontier_pop
+                      { engine = "bestfirst"; depth = node.depth;
+                        frontier = Heap.length heap; priority })
+             end;
              begin match
                choose ~gamma:node.gamma ~pre_bounds:node.outcome.Outcome.pre_bounds
              with
@@ -58,7 +74,16 @@ let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget 
                loop ()
              | None ->
                Budget.record_call budget;
-               begin match Exact.resolve problem node.gamma with
+               let resolution = Exact.resolve problem node.gamma in
+               if Obs.active () then begin
+                 Obs.incr "bestfirst.exact";
+                 if Obs.tracing () then
+                   Obs.emit
+                     (Ev.Exact_leaf
+                        { engine = "bestfirst"; depth = node.depth;
+                          verified = (resolution = `Verified) })
+               end;
+               begin match resolution with
                | `Verified -> loop ()
                | `Falsified x -> `Done (Verdict.Falsified x)
                end

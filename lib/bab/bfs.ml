@@ -1,4 +1,6 @@
 module Budget = Abonn_util.Budget
+module Obs = Abonn_obs.Obs
+module Ev = Abonn_obs.Event
 module Split = Abonn_spec.Split
 module Verdict = Abonn_spec.Verdict
 module Problem = Abonn_spec.Problem
@@ -14,15 +16,29 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
   Queue.add ([], 0) queue;
   let nodes = ref 1 and max_depth = ref 0 in
   let finish verdict =
+    let wall_time = Unix.gettimeofday () -. started in
+    if Obs.tracing () then
+      Obs.emit
+        (Ev.Verdict_reached
+           { engine = "bab-baseline"; verdict = Verdict.to_string verdict;
+             elapsed = wall_time });
     Result.make ~verdict ~appver_calls:(Budget.calls_used budget) ~nodes:!nodes
-      ~max_depth:!max_depth
-      ~wall_time:(Unix.gettimeofday () -. started)
+      ~max_depth:!max_depth ~wall_time
   in
   let rec loop () =
     if Queue.is_empty queue then finish Verdict.Verified
     else if Budget.exhausted budget then finish Verdict.Timeout
     else begin
       let gamma, depth = Queue.pop queue in
+      if Obs.active () then begin
+        Obs.incr "bfs.pop";
+        Obs.observe "bfs.depth" (float_of_int depth);
+        if Obs.tracing () then
+          Obs.emit
+            (Ev.Frontier_pop
+               { engine = "bab-baseline"; depth; frontier = Queue.length queue;
+                 priority = Float.nan })
+      end;
       Budget.record_call budget;
       let outcome = appver.Appver.run problem gamma in
       if Outcome.proved outcome then begin
@@ -48,7 +64,16 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
           | None ->
             (* Fully stabilised leaf: decide exactly with one LP call. *)
             Budget.record_call budget;
-            begin match Exact.resolve problem gamma with
+            let resolution = Exact.resolve problem gamma in
+            if Obs.active () then begin
+              Obs.incr "bfs.exact";
+              if Obs.tracing () then
+                Obs.emit
+                  (Ev.Exact_leaf
+                     { engine = "bab-baseline"; depth;
+                       verified = (resolution = `Verified) })
+            end;
+            begin match resolution with
             | `Verified ->
               record { Certificate.gamma; phat = infinity; by_exact = true };
               loop ()

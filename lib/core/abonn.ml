@@ -1,5 +1,8 @@
 module Budget = Abonn_util.Budget
 module Rng = Abonn_util.Rng
+module Obs = Abonn_obs.Obs
+module Ev = Abonn_obs.Event
+module Sink = Abonn_obs.Sink
 module Split = Abonn_spec.Split
 module Verdict = Abonn_spec.Verdict
 module Problem = Abonn_spec.Problem
@@ -26,7 +29,6 @@ type search = {
   num_relus : int;
   phat_min : float;  (* Def. 1 normaliser: the root's p̂ *)
   rng : Rng.t option;  (* only for the Uniform_random ablation *)
-  trace : depth:int -> gamma:Split.gamma -> reward:float -> unit;
   mutable found_cex : float array option;
   mutable nodes_created : int;
   mutable max_depth : int;
@@ -50,7 +52,15 @@ let eval_node s gamma depth =
     | Some _ | None -> false
   in
   let reward = potentiality s ~depth ~phat:outcome.Outcome.phat ~valid_cex in
-  s.trace ~depth ~gamma ~reward;
+  if Obs.active () then begin
+    Obs.incr "abonn.expand";
+    Obs.observe "abonn.depth" (float_of_int depth);
+    if Obs.tracing () then
+      Obs.emit
+        (Ev.Node_evaluated
+           { engine = "abonn"; depth; gamma = Split.to_string gamma;
+             phat = outcome.Outcome.phat; reward })
+  end;
   { gamma; depth; outcome; reward; size = 1; children = None }
 
 (* UCB1 (Alg. 1 Line 13). *)
@@ -60,19 +70,29 @@ let ucb1 s parent child =
      *. sqrt (2.0 *. log (float_of_int parent.size) /. float_of_int child.size)
 
 let select s parent (plus, minus) =
-  match s.rng with
-  | Some rng ->
-    (* ablation: ignore rewards entirely *)
-    let live c = c.reward > neg_infinity in
-    begin match live plus, live minus with
-    | true, true -> if Rng.bool rng then plus else minus
-    | true, false -> plus
-    | false, true -> minus
-    | false, false -> plus (* caller prunes via reward update *)
-    end
-  | None ->
-    let sp = ucb1 s parent plus and sm = ucb1 s parent minus in
-    if sp >= sm then plus else minus
+  let chosen, score =
+    match s.rng with
+    | Some rng ->
+      (* ablation: ignore rewards entirely *)
+      let live c = c.reward > neg_infinity in
+      let chosen =
+        match live plus, live minus with
+        | true, true -> if Rng.bool rng then plus else minus
+        | true, false -> plus
+        | false, true -> minus
+        | false, false -> plus (* caller prunes via reward update *)
+      in
+      (chosen, Float.nan)
+    | None ->
+      let sp = ucb1 s parent plus and sm = ucb1 s parent minus in
+      if sp >= sm then (plus, sp) else (minus, sm)
+  in
+  if Obs.active () then begin
+    Obs.incr "abonn.select";
+    if Obs.tracing () then
+      Obs.emit (Ev.Node_selected { engine = "abonn"; depth = chosen.depth; ucb = score })
+  end;
+  chosen
 
 (* Expansion (Lines 16–19): split on H's ReLU and evaluate both
    children; fully-stabilised leaves are decided exactly instead. *)
@@ -88,11 +108,20 @@ let expand s node =
     node.children <- Some (plus, minus)
   | None ->
     Budget.record_call s.budget;
-    begin match Exact.resolve s.problem node.gamma with
+    let resolution = Exact.resolve s.problem node.gamma in
+    begin match resolution with
     | `Verified -> node.reward <- neg_infinity
     | `Falsified x ->
       s.found_cex <- Some x;
       node.reward <- infinity
+    end;
+    if Obs.active () then begin
+      Obs.incr "abonn.exact";
+      if Obs.tracing () then
+        Obs.emit
+          (Ev.Exact_leaf
+             { engine = "abonn"; depth = node.depth;
+               verified = (resolution = `Verified) })
     end
 
 (* One MCTS-BAB descent (Alg. 1 Lines 10–21).  Rewards and sizes are
@@ -109,12 +138,29 @@ let rec mcts_bab s node =
   match node.children with
   | Some (plus, minus) ->
     node.reward <- Float.max plus.reward minus.reward;
-    node.size <- 1 + plus.size + minus.size
+    node.size <- 1 + plus.size + minus.size;
+    if Obs.active () then begin
+      Obs.incr "abonn.backprop";
+      if Obs.tracing () then
+        Obs.emit
+          (Ev.Backprop
+             { engine = "abonn"; depth = node.depth; reward = node.reward;
+               size = node.size })
+    end
   | None -> ()
+
+(* The legacy [?trace] callback, re-expressed as an observability sink:
+   it fires on exactly the [Node_evaluated] events this engine emits, so
+   callers observe the same per-node order as before. *)
+let trace_sink trace =
+  Sink.callback (fun env ->
+      match env.Ev.event with
+      | Ev.Node_evaluated { depth; gamma; reward; _ } ->
+        trace ~depth ~gamma:(Split.of_string gamma) ~reward
+      | _ -> ())
 
 let verify ?(config = Config.default) ?budget ?trace problem =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
-  let trace = match trace with Some t -> t | None -> fun ~depth:_ ~gamma:_ ~reward:_ -> () in
   let started = Unix.gettimeofday () in
   let rng = match config.Config.selection with
     | Config.Ucb1 -> None
@@ -131,36 +177,45 @@ let verify ?(config = Config.default) ?budget ?trace problem =
       num_relus = Stdlib.max 1 (Problem.num_relus problem);
       phat_min = -1.0;
       rng;
-      trace;
       found_cex = None;
       nodes_created = 0;
       max_depth = 0 }
   in
-  let root0 = eval_node s [] 0 in
-  let s = { s with phat_min = Float.min root0.outcome.Outcome.phat (-1e-12) } in
-  (* Recompute the root reward under the final normaliser. *)
-  let root =
-    { root0 with
-      reward =
-        potentiality s ~depth:0 ~phat:root0.outcome.Outcome.phat
-          ~valid_cex:(s.found_cex <> None) }
+  let search () =
+    let root0 = eval_node s [] 0 in
+    let s = { s with phat_min = Float.min root0.outcome.Outcome.phat (-1e-12) } in
+    (* Recompute the root reward under the final normaliser. *)
+    let root =
+      { root0 with
+        reward =
+          potentiality s ~depth:0 ~phat:root0.outcome.Outcome.phat
+            ~valid_cex:(s.found_cex <> None) }
+    in
+    let finish verdict =
+      let wall_time = Unix.gettimeofday () -. started in
+      if Obs.tracing () then
+        Obs.emit
+          (Ev.Verdict_reached
+             { engine = "abonn"; verdict = Verdict.to_string verdict;
+               elapsed = wall_time });
+      Result.make ~verdict ~appver_calls:(Budget.calls_used budget)
+        ~nodes:s.nodes_created ~max_depth:s.max_depth ~wall_time
+    in
+    (* Termination (Line 5 / Lines 6–9). *)
+    let rec loop () =
+      if root.reward = infinity then
+        match s.found_cex with
+        | Some x -> finish (Verdict.Falsified x)
+        | None -> finish Verdict.Timeout (* unreachable: +∞ implies a stored cex *)
+      else if root.reward = neg_infinity then finish Verdict.Verified
+      else if Budget.exhausted budget then finish Verdict.Timeout
+      else begin
+        mcts_bab s root;
+        loop ()
+      end
+    in
+    loop ()
   in
-  let finish verdict =
-    Result.make ~verdict ~appver_calls:(Budget.calls_used budget) ~nodes:s.nodes_created
-      ~max_depth:s.max_depth
-      ~wall_time:(Unix.gettimeofday () -. started)
-  in
-  (* Termination (Line 5 / Lines 6–9). *)
-  let rec loop () =
-    if root.reward = infinity then
-      match s.found_cex with
-      | Some x -> finish (Verdict.Falsified x)
-      | None -> finish Verdict.Timeout (* unreachable: +∞ implies a stored cex *)
-    else if root.reward = neg_infinity then finish Verdict.Verified
-    else if Budget.exhausted budget then finish Verdict.Timeout
-    else begin
-      mcts_bab s root;
-      loop ()
-    end
-  in
-  loop ()
+  match trace with
+  | None -> search ()
+  | Some t -> Obs.with_sink (trace_sink t) search

@@ -30,4 +30,9 @@ val verify :
   Abonn_spec.Problem.t ->
   Abonn_bab.Result.t
 (** [trace] is invoked at every node expansion with the new child's
-    reward (used by the test suite to observe the exploration order). *)
+    reward (used by the test suite to observe the exploration order).
+    Internally it is an [Abonn_obs] sink over this engine's
+    [node_evaluated] events; richer telemetry (selection, backprop,
+    exact-leaf and verdict events, counters, timers) is available by
+    installing a sink via [Abonn_obs.Obs.install] — see
+    [docs/TRACE_SCHEMA.md]. *)

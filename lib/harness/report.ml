@@ -189,6 +189,71 @@ let csv records =
     records;
   Buffer.contents buf
 
+(* Render an [Abonn_obs.Metrics] snapshot as the paper-style ASCII
+   tables the CLI prints for [--stats]: one table of counters, one of
+   span timers, one of histograms. *)
+let stats (snap : Abonn_obs.Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Observability summary (counters, timers, histograms)\n";
+  (match snap.Abonn_obs.Metrics.counters with
+   | [] -> Buffer.add_string buf "  no counters recorded\n"
+   | counters ->
+     let body = List.map (fun (name, n) -> [ name; string_of_int n ]) counters in
+     Buffer.add_string buf
+       (Table.render ~align:[ Table.Left; Table.Right ]
+          ~header:[ "Counter"; "Count" ] body);
+     Buffer.add_char buf '\n');
+  (match snap.Abonn_obs.Metrics.spans with
+   | [] -> ()
+   | spans ->
+     let body =
+       List.map
+         (fun (name, (s : Abonn_obs.Metrics.span_stat)) ->
+           let mean = if s.Abonn_obs.Metrics.calls = 0 then 0.0
+             else s.Abonn_obs.Metrics.total /. float_of_int s.Abonn_obs.Metrics.calls
+           in
+           [ name;
+             string_of_int s.Abonn_obs.Metrics.calls;
+             f ~digits:6 s.Abonn_obs.Metrics.total;
+             f ~digits:6 mean;
+             f ~digits:6 s.Abonn_obs.Metrics.max ])
+         spans
+     in
+     Buffer.add_char buf '\n';
+     Buffer.add_string buf
+       (Table.render
+          ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+          ~header:[ "Timer"; "Calls"; "Total s"; "Mean s"; "Max s" ]
+          body);
+     Buffer.add_char buf '\n');
+  (match snap.Abonn_obs.Metrics.hists with
+   | [] -> ()
+   | hists ->
+     List.iter
+       (fun (name, (h : Abonn_obs.Metrics.hist_stat)) ->
+         let mean = if h.Abonn_obs.Metrics.count = 0 then 0.0
+           else h.Abonn_obs.Metrics.sum /. float_of_int h.Abonn_obs.Metrics.count
+         in
+         Buffer.add_string buf
+           (Printf.sprintf "\nHistogram %s: n=%d mean=%s min=%s max=%s\n" name
+              h.Abonn_obs.Metrics.count (f mean) (f h.Abonn_obs.Metrics.lo)
+              (f h.Abonn_obs.Metrics.hi));
+         let vmax =
+           float_of_int
+             (Array.fold_left
+                (fun acc (_, n) -> Stdlib.max acc n)
+                1 h.Abonn_obs.Metrics.buckets)
+         in
+         Array.iter
+           (fun (edge, n) ->
+             if n > 0 then
+               Buffer.add_string buf
+                 (Printf.sprintf "  [%8.0e, %8.0e) %6d %s\n" edge (edge *. 10.0) n
+                    (Table.bar ~width:30 (float_of_int n) vmax)))
+           h.Abonn_obs.Metrics.buckets)
+       hists);
+  Buffer.contents buf
+
 let deepviolated rows =
   let body =
     List.map

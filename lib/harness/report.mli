@@ -33,3 +33,9 @@ val csv : Runner.record list -> string
 val deepviolated : Experiment.deepviolated_row list -> string
 (** Per-instance call counts and speedups on the mined deep-violation
     set, with the aggregate ABONN-vs-baseline summary. *)
+
+val stats : Abonn_obs.Metrics.snapshot -> string
+(** ASCII tables of the observability counters, span timers (calls /
+    total / mean / max seconds) and log-scale histograms gathered during
+    a run — what [abonn_cli --stats] prints.  Empty sections are
+    omitted. *)

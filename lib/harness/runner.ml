@@ -1,4 +1,6 @@
 module Budget = Abonn_util.Budget
+module Obs = Abonn_obs.Obs
+module Ev = Abonn_obs.Event
 module Result = Abonn_bab.Result
 
 type engine = {
@@ -53,7 +55,19 @@ let cached_cost instance =
 let run_instance ?(calls = 1000) ?seconds engine instance =
   let budget = Budget.combine ~calls ?seconds () in
   let problem = instance.Abonn_data.Instances.problem in
-  let result = engine.run ~budget problem in
+  let id = instance.Abonn_data.Instances.id in
+  if Obs.tracing () then
+    Obs.emit (Ev.Run_started { engine = engine.name; instance = id });
+  let result = Obs.time ("engine." ^ engine.name) (fun () -> engine.run ~budget problem) in
+  if Obs.tracing () then begin
+    let stats = result.Result.stats in
+    Obs.emit
+      (Ev.Run_finished
+         { engine = engine.name; instance = id;
+           verdict = Abonn_spec.Verdict.to_string result.Result.verdict;
+           calls = stats.Result.appver_calls; nodes = stats.Result.nodes;
+           max_depth = stats.Result.max_depth; wall = stats.Result.wall_time })
+  end;
   { instance;
     engine = engine.name;
     result;

@@ -1,5 +1,7 @@
 module Matrix = Abonn_tensor.Matrix
 module Affine = Abonn_nn.Affine
+module Obs = Abonn_obs.Obs
+module Ev = Abonn_obs.Event
 module Region = Abonn_spec.Region
 module Property = Abonn_spec.Property
 module Problem = Abonn_spec.Problem
@@ -63,7 +65,32 @@ let encode (problem : Problem.t) (pre_bounds : Bounds.t array) =
   let last_post = walk inputs 0 in
   (lp, inputs, last_post)
 
-let run (problem : Problem.t) gamma =
+(* [Lp_problem.solve] with observability: per-status counters, a span
+   timer and one [lp_solved] event per solve. *)
+let observed_solve lp =
+  if not (Obs.active ()) then Lp_problem.solve lp
+  else begin
+    let t0 = Obs.now () in
+    let outcome = Lp_problem.solve lp in
+    let elapsed = Obs.now () -. t0 in
+    let status =
+      match outcome with
+      | Lp_problem.Optimal _ -> "optimal"
+      | Lp_problem.Infeasible -> "infeasible"
+      | Lp_problem.Unbounded -> "unbounded"
+    in
+    Obs.incr "lp.solves";
+    Obs.incr ("lp.solve." ^ status);
+    Obs.span "lp.solve" elapsed;
+    if Obs.tracing () then
+      Obs.emit
+        (Ev.Lp_solved
+           { vars = Lp_problem.num_vars lp; rows = Lp_problem.num_constraints lp;
+             status; elapsed });
+    outcome
+  end
+
+let analyse (problem : Problem.t) gamma =
   match Abonn_prop.Deeppoly.hidden_bounds problem gamma with
   | None -> Outcome.vacuous ~pre_bounds:[||]
   | Some pre_bounds ->
@@ -84,7 +111,7 @@ let run (problem : Problem.t) gamma =
       let terms = ref [] in
       Array.iteri (fun j c -> if c <> 0.0 then terms := (c, last_post.(j)) :: !terms) coefs;
       Lp_problem.set_objective ~constant lp !terms;
-      begin match Lp_problem.solve lp with
+      begin match observed_solve lp with
       | Lp_problem.Optimal { objective; values } ->
         row_lower.(r) <- objective;
         if objective < !best_value then begin
@@ -104,5 +131,23 @@ let run (problem : Problem.t) gamma =
     let phat = Array.fold_left Float.min infinity row_lower in
     let candidate = if phat > 0.0 then None else !best_candidate in
     Outcome.make ~phat ?candidate ~pre_bounds ~row_lower ()
+
+(* Whole-verifier instrumentation on top of the per-solve telemetry of
+   [observed_solve]. *)
+let run (problem : Problem.t) gamma =
+  if not (Obs.active ()) then analyse problem gamma
+  else begin
+    let t0 = Obs.now () in
+    let outcome = analyse problem gamma in
+    let elapsed = Obs.now () -. t0 in
+    Obs.incr "appver.lp.calls";
+    Obs.span "appver.lp" elapsed;
+    if Obs.tracing () then
+      Obs.emit
+        (Ev.Bound_computed
+           { appver = "lp"; depth = Abonn_spec.Split.depth gamma;
+             phat = outcome.Abonn_prop.Outcome.phat; elapsed });
+    outcome
+  end
 
 let appver = { Abonn_prop.Appver.name = "lp"; run }

@@ -1,0 +1,346 @@
+type t =
+  | Run_started of { engine : string; instance : string }
+  | Run_finished of {
+      engine : string;
+      instance : string;
+      verdict : string;
+      calls : int;
+      nodes : int;
+      max_depth : int;
+      wall : float;
+    }
+  | Node_selected of { engine : string; depth : int; ucb : float }
+  | Node_evaluated of {
+      engine : string;
+      depth : int;
+      gamma : string;
+      phat : float;
+      reward : float;
+    }
+  | Backprop of { engine : string; depth : int; reward : float; size : int }
+  | Frontier_pop of {
+      engine : string;
+      depth : int;
+      frontier : int;
+      priority : float;
+    }
+  | Exact_leaf of { engine : string; depth : int; verified : bool }
+  | Bound_computed of {
+      appver : string;
+      depth : int;
+      phat : float;
+      elapsed : float;
+    }
+  | Lp_solved of { vars : int; rows : int; status : string; elapsed : float }
+  | Attack_tried of { attack : string; success : bool; elapsed : float }
+  | Verdict_reached of { engine : string; verdict : string; elapsed : float }
+
+type envelope = { seq : int; t : float; event : t }
+
+let name = function
+  | Run_started _ -> "run_started"
+  | Run_finished _ -> "run_finished"
+  | Node_selected _ -> "node_selected"
+  | Node_evaluated _ -> "node_evaluated"
+  | Backprop _ -> "backprop"
+  | Frontier_pop _ -> "frontier_pop"
+  | Exact_leaf _ -> "exact_leaf"
+  | Bound_computed _ -> "bound_computed"
+  | Lp_solved _ -> "lp_solved"
+  | Attack_tried _ -> "attack_tried"
+  | Verdict_reached _ -> "verdict_reached"
+
+(* --- encoding --- *)
+
+(* JSON has no literal for non-finite floats; encode them as strings. *)
+let add_float buf v =
+  if Float.is_nan v then Buffer.add_string buf "\"nan\""
+  else if v = Float.infinity then Buffer.add_string buf "\"inf\""
+  else if v = Float.neg_infinity then Buffer.add_string buf "\"-inf\""
+  else Buffer.add_string buf (Printf.sprintf "%.17g" v)
+
+let add_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+type field = S of string | I of int | F of float | B of bool
+
+let to_json { seq; t; event } =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"seq\":%d,\"t\":%.6f,\"ev\":" seq t);
+  add_string buf (name event);
+  let field (k, v) =
+    Buffer.add_char buf ',';
+    add_string buf k;
+    Buffer.add_char buf ':';
+    match v with
+    | S s -> add_string buf s
+    | I i -> Buffer.add_string buf (string_of_int i)
+    | F f -> add_float buf f
+    | B b -> Buffer.add_string buf (if b then "true" else "false")
+  in
+  let fields =
+    match event with
+    | Run_started { engine; instance } ->
+      [ ("engine", S engine); ("instance", S instance) ]
+    | Run_finished { engine; instance; verdict; calls; nodes; max_depth; wall } ->
+      [ ("engine", S engine); ("instance", S instance); ("verdict", S verdict);
+        ("calls", I calls); ("nodes", I nodes); ("max_depth", I max_depth);
+        ("wall", F wall) ]
+    | Node_selected { engine; depth; ucb } ->
+      [ ("engine", S engine); ("depth", I depth); ("ucb", F ucb) ]
+    | Node_evaluated { engine; depth; gamma; phat; reward } ->
+      [ ("engine", S engine); ("depth", I depth); ("gamma", S gamma);
+        ("phat", F phat); ("reward", F reward) ]
+    | Backprop { engine; depth; reward; size } ->
+      [ ("engine", S engine); ("depth", I depth); ("reward", F reward);
+        ("size", I size) ]
+    | Frontier_pop { engine; depth; frontier; priority } ->
+      [ ("engine", S engine); ("depth", I depth); ("frontier", I frontier);
+        ("priority", F priority) ]
+    | Exact_leaf { engine; depth; verified } ->
+      [ ("engine", S engine); ("depth", I depth); ("verified", B verified) ]
+    | Bound_computed { appver; depth; phat; elapsed } ->
+      [ ("appver", S appver); ("depth", I depth); ("phat", F phat);
+        ("elapsed", F elapsed) ]
+    | Lp_solved { vars; rows; status; elapsed } ->
+      [ ("vars", I vars); ("rows", I rows); ("status", S status);
+        ("elapsed", F elapsed) ]
+    | Attack_tried { attack; success; elapsed } ->
+      [ ("attack", S attack); ("success", B success); ("elapsed", F elapsed) ]
+    | Verdict_reached { engine; verdict; elapsed } ->
+      [ ("engine", S engine); ("verdict", S verdict); ("elapsed", F elapsed) ]
+  in
+  List.iter field fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* --- decoding: a minimal parser for the flat objects we emit --- *)
+
+exception Bad of string
+
+let parse_flat line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then line.[!pos] else raise (Bad "truncated") in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise (Bad (Printf.sprintf "expected '%c' at %d" c !pos));
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        let e = peek () in
+        advance ();
+        (match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+           if !pos + 4 > n then raise (Bad "truncated \\u escape");
+           let hex = String.sub line !pos 4 in
+           pos := !pos + 4;
+           let code =
+             try int_of_string ("0x" ^ hex)
+             with _ -> raise (Bad ("bad \\u escape " ^ hex))
+           in
+           if code > 0xff then raise (Bad "\\u escape above latin-1")
+           else Buffer.add_char buf (Char.chr code)
+         | c -> raise (Bad (Printf.sprintf "bad escape '\\%c'" c)));
+        go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_scalar () =
+    skip_ws ();
+    match peek () with
+    | '"' -> S (parse_string ())
+    | 't' ->
+      if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+        pos := !pos + 4; B true
+      end
+      else raise (Bad "bad literal")
+    | 'f' ->
+      if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+        pos := !pos + 5; B false
+      end
+      else raise (Bad "bad literal")
+    | _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match line.[!pos] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false)
+      do
+        advance ()
+      done;
+      if !pos = start then raise (Bad (Printf.sprintf "bad value at %d" start));
+      let text = String.sub line start (!pos - start) in
+      (match int_of_string_opt text with
+       | Some i -> I i
+       | None ->
+         (match float_of_string_opt text with
+          | Some f -> F f
+          | None -> raise (Bad ("bad number " ^ text))))
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = '}' then advance ()
+  else begin
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      let v = parse_scalar () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | ',' -> advance (); members ()
+      | '}' -> advance ()
+      | c -> raise (Bad (Printf.sprintf "expected ',' or '}', got '%c'" c))
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing garbage");
+  List.rev !fields
+
+let get fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> raise (Bad ("missing field " ^ k))
+
+let get_string fields k =
+  match get fields k with S s -> s | _ -> raise (Bad (k ^ ": expected string"))
+
+let get_int fields k =
+  match get fields k with I i -> i | _ -> raise (Bad (k ^ ": expected int"))
+
+let get_bool fields k =
+  match get fields k with B b -> b | _ -> raise (Bad (k ^ ": expected bool"))
+
+let get_float fields k =
+  match get fields k with
+  | F f -> f
+  | I i -> float_of_int i
+  | S "inf" -> Float.infinity
+  | S "-inf" -> Float.neg_infinity
+  | S "nan" -> Float.nan
+  | _ -> raise (Bad (k ^ ": expected float"))
+
+let of_json line =
+  try
+    let fields = parse_flat line in
+    let s k = get_string fields k
+    and i k = get_int fields k
+    and f k = get_float fields k
+    and b k = get_bool fields k in
+    let event =
+      match get_string fields "ev" with
+      | "run_started" -> Run_started { engine = s "engine"; instance = s "instance" }
+      | "run_finished" ->
+        Run_finished
+          { engine = s "engine"; instance = s "instance"; verdict = s "verdict";
+            calls = i "calls"; nodes = i "nodes"; max_depth = i "max_depth";
+            wall = f "wall" }
+      | "node_selected" ->
+        Node_selected { engine = s "engine"; depth = i "depth"; ucb = f "ucb" }
+      | "node_evaluated" ->
+        Node_evaluated
+          { engine = s "engine"; depth = i "depth"; gamma = s "gamma";
+            phat = f "phat"; reward = f "reward" }
+      | "backprop" ->
+        Backprop
+          { engine = s "engine"; depth = i "depth"; reward = f "reward";
+            size = i "size" }
+      | "frontier_pop" ->
+        Frontier_pop
+          { engine = s "engine"; depth = i "depth"; frontier = i "frontier";
+            priority = f "priority" }
+      | "exact_leaf" ->
+        Exact_leaf { engine = s "engine"; depth = i "depth"; verified = b "verified" }
+      | "bound_computed" ->
+        Bound_computed
+          { appver = s "appver"; depth = i "depth"; phat = f "phat";
+            elapsed = f "elapsed" }
+      | "lp_solved" ->
+        Lp_solved
+          { vars = i "vars"; rows = i "rows"; status = s "status";
+            elapsed = f "elapsed" }
+      | "attack_tried" ->
+        Attack_tried
+          { attack = s "attack"; success = b "success"; elapsed = f "elapsed" }
+      | "verdict_reached" ->
+        Verdict_reached
+          { engine = s "engine"; verdict = s "verdict"; elapsed = f "elapsed" }
+      | other -> raise (Bad ("unknown event " ^ other))
+    in
+    Ok { seq = get_int fields "seq"; t = get_float fields "t"; event }
+  with Bad msg -> Error msg
+
+(* --- equality (nan = nan, for round-trip checks) --- *)
+
+let feq a b = (Float.is_nan a && Float.is_nan b) || a = b
+
+let event_equal a b =
+  match a, b with
+  | Node_selected x, Node_selected y ->
+    x.engine = y.engine && x.depth = y.depth && feq x.ucb y.ucb
+  | Node_evaluated x, Node_evaluated y ->
+    x.engine = y.engine && x.depth = y.depth && x.gamma = y.gamma
+    && feq x.phat y.phat && feq x.reward y.reward
+  | Backprop x, Backprop y ->
+    x.engine = y.engine && x.depth = y.depth && feq x.reward y.reward
+    && x.size = y.size
+  | Frontier_pop x, Frontier_pop y ->
+    x.engine = y.engine && x.depth = y.depth && x.frontier = y.frontier
+    && feq x.priority y.priority
+  | Bound_computed x, Bound_computed y ->
+    x.appver = y.appver && x.depth = y.depth && feq x.phat y.phat
+    && feq x.elapsed y.elapsed
+  | Lp_solved x, Lp_solved y ->
+    x.vars = y.vars && x.rows = y.rows && x.status = y.status
+    && feq x.elapsed y.elapsed
+  | Attack_tried x, Attack_tried y ->
+    x.attack = y.attack && x.success = y.success && feq x.elapsed y.elapsed
+  | Verdict_reached x, Verdict_reached y ->
+    x.engine = y.engine && x.verdict = y.verdict && feq x.elapsed y.elapsed
+  | Run_finished x, Run_finished y ->
+    x.engine = y.engine && x.instance = y.instance && x.verdict = y.verdict
+    && x.calls = y.calls && x.nodes = y.nodes && x.max_depth = y.max_depth
+    && feq x.wall y.wall
+  | (Run_started _ | Exact_leaf _), _ -> a = b
+  | _, _ -> false
+
+let equal a b = a.seq = b.seq && feq a.t b.t && event_equal a.event b.event

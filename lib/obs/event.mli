@@ -1,0 +1,79 @@
+(** Typed trace events emitted by the verification stack.
+
+    Every observable action in a run — node evaluations and selections in
+    ABONN, frontier pops in the BaB baselines, AppVer bound computations,
+    LP solves, attack attempts and engine verdicts — is described by one
+    constructor of {!t}.  Events carry only plain strings / ints / floats
+    so this library sits at the very bottom of the dependency graph and
+    every layer above can emit without cycles.
+
+    The JSONL wire format (one flat JSON object per line, a ["ev"]
+    discriminator field, non-finite floats encoded as the strings
+    ["inf"] / ["-inf"] / ["nan"]) is documented in [docs/TRACE_SCHEMA.md];
+    {!to_json} and {!of_json} are exact inverses for every event. *)
+
+type t =
+  | Run_started of { engine : string; instance : string }
+      (** An experiment-harness run of [engine] on [instance] begins. *)
+  | Run_finished of {
+      engine : string;
+      instance : string;
+      verdict : string;
+      calls : int;
+      nodes : int;
+      max_depth : int;
+      wall : float;
+    }  (** Harness run completed, with the final statistics. *)
+  | Node_selected of { engine : string; depth : int; ucb : float }
+      (** MCTS descent chose the child at [depth]; [ucb] is its UCB1
+          score ([nan] under the uniform-random ablation). *)
+  | Node_evaluated of {
+      engine : string;
+      depth : int;
+      gamma : string;
+      phat : float;
+      reward : float;
+    }  (** A fresh BaB node Γ received an AppVer call; [reward] is its
+          Def. 1 potentiality. *)
+  | Backprop of { engine : string; depth : int; reward : float; size : int }
+      (** Reward/size refresh of an interior node on the way back up. *)
+  | Frontier_pop of {
+      engine : string;
+      depth : int;
+      frontier : int;
+      priority : float;
+    }  (** A baseline engine popped a node; [frontier] is the queue/heap
+          size after the pop, [priority] the heap key ([nan] for FIFO). *)
+  | Exact_leaf of { engine : string; depth : int; verified : bool }
+      (** A fully-stabilised leaf was decided exactly by one LP call. *)
+  | Bound_computed of {
+      appver : string;
+      depth : int;
+      phat : float;
+      elapsed : float;
+    }  (** One approximate-verifier bound computation. *)
+  | Lp_solved of { vars : int; rows : int; status : string; elapsed : float }
+      (** One simplex solve ([status] ∈ optimal / infeasible / unbounded). *)
+  | Attack_tried of { attack : string; success : bool; elapsed : float }
+      (** One adversarial-attack attempt. *)
+  | Verdict_reached of { engine : string; verdict : string; elapsed : float }
+      (** An engine terminated with [verdict] after [elapsed] seconds. *)
+
+type envelope = { seq : int; t : float; event : t }
+(** What sinks receive: the event plus a per-trace sequence number
+    (1-based, gap-free) and seconds since the first sink was installed. *)
+
+val name : t -> string
+(** Wire name of the constructor, e.g. ["node_evaluated"] — the value of
+    the ["ev"] JSON field. *)
+
+val to_json : envelope -> string
+(** One JSON object, no trailing newline. *)
+
+val of_json : string -> (envelope, string) result
+(** Parse one line produced by {!to_json}.  [Error msg] on malformed
+    input, unknown ["ev"], or missing fields. *)
+
+val equal : envelope -> envelope -> bool
+(** Structural equality treating [nan] as equal to [nan] (so JSONL
+    round-trips can be checked). *)

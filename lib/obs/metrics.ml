@@ -1,0 +1,107 @@
+let on = ref false
+
+let set_enabled v = on := v
+let enabled () = !on
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+
+type span_acc = { mutable calls : int; mutable total : float; mutable max : float }
+
+let spans : (string, span_acc) Hashtbl.t = Hashtbl.create 32
+
+(* Decade buckets: index i covers [10^(i-7), 10^(i-6)), i ∈ [0, 10). *)
+let num_buckets = 10
+let min_exp = -7
+
+type hist_acc = {
+  mutable count : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+  buckets : int array;
+}
+
+let hists : (string, hist_acc) Hashtbl.t = Hashtbl.create 16
+
+let incr ?(by = 1) name =
+  if !on then begin
+    match Hashtbl.find_opt counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace counters name (ref by)
+  end
+
+let span name d =
+  if !on then begin
+    match Hashtbl.find_opt spans name with
+    | Some a ->
+      a.calls <- a.calls + 1;
+      a.total <- a.total +. d;
+      if d > a.max then a.max <- d
+    | None -> Hashtbl.replace spans name { calls = 1; total = d; max = d }
+  end
+
+let bucket_of v =
+  if Float.is_nan v || v <= 0.0 then 0
+  else begin
+    let e = int_of_float (Float.floor (Float.log10 v)) - min_exp in
+    if e < 0 then 0 else if e >= num_buckets then num_buckets - 1 else e
+  end
+
+let observe name v =
+  if !on then begin
+    let h =
+      match Hashtbl.find_opt hists name with
+      | Some h -> h
+      | None ->
+        let h =
+          { count = 0; sum = 0.0; lo = Float.infinity; hi = Float.neg_infinity;
+            buckets = Array.make num_buckets 0 }
+        in
+        Hashtbl.replace hists name h;
+        h
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v;
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+  end
+
+type span_stat = { calls : int; total : float; max : float }
+
+type hist_stat = {
+  count : int;
+  sum : float;
+  lo : float;
+  hi : float;
+  buckets : (float * int) array;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  spans : (string * span_stat) list;
+  hists : (string * hist_stat) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  { counters = sorted_bindings counters (fun r -> !r);
+    spans =
+      sorted_bindings spans (fun a ->
+          { calls = a.calls; total = a.total; max = a.max });
+    hists =
+      sorted_bindings hists (fun h ->
+          { count = h.count; sum = h.sum; lo = h.lo; hi = h.hi;
+            buckets =
+              Array.mapi
+                (fun i n -> (10.0 ** float_of_int (i + min_exp), n))
+                h.buckets }) }
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset spans;
+  Hashtbl.reset hists

@@ -1,0 +1,50 @@
+(** Named counters, span timers and log-scale histograms.
+
+    A process-wide registry, off by default: while disabled every
+    recording function returns after one branch, so un-observed runs pay
+    essentially nothing (the overhead guarantee of [docs/TRACE_SCHEMA.md]).
+    Enable with {!set_enabled}, read with {!snapshot}, clear with
+    {!reset}.
+
+    Naming convention: dot-separated [subsystem.detail] keys, e.g.
+    ["appver.deeppoly"], ["lp.solve"], ["abonn.expand"] — the CLI's
+    [--stats] table groups rows by the prefix before the first dot. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val incr : ?by:int -> string -> unit
+(** Bump a counter (created at 0 on first use).  No-op while disabled. *)
+
+val span : string -> float -> unit
+(** Record one timed span of [d] seconds under a name: accumulates call
+    count, total and maximum.  No-op while disabled. *)
+
+val observe : string -> float -> unit
+(** Record one sample into a histogram with decade (powers-of-ten)
+    buckets spanning [1e-7, 1e3); out-of-range and non-finite samples are
+    clamped to the edge buckets.  No-op while disabled. *)
+
+type span_stat = { calls : int; total : float; max : float }
+
+type hist_stat = {
+  count : int;
+  sum : float;
+  lo : float;  (** smallest sample *)
+  hi : float;  (** largest sample *)
+  buckets : (float * int) array;
+      (** [(decade lower edge, samples in [edge, 10·edge))], dense. *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  spans : (string * span_stat) list;
+  hists : (string * hist_stat) list;
+}
+(** All three lists sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Drop every counter, span and histogram (does not change
+    {!enabled}). *)

@@ -1,0 +1,47 @@
+let sinks : Sink.t list ref = ref []
+let seq = ref 0
+let epoch = ref 0.0
+
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let tracing () = !sinks <> []
+
+let active () = tracing () || Metrics.enabled ()
+
+let install s =
+  if !sinks = [] then begin
+    seq := 0;
+    epoch := now ()
+  end;
+  sinks := !sinks @ [ s ]
+
+let remove s = sinks := List.filter (fun x -> x != s) !sinks
+
+let with_sink s f =
+  install s;
+  Fun.protect ~finally:(fun () -> remove s) f
+
+let emit event =
+  match !sinks with
+  | [] -> ()
+  | installed ->
+    incr seq;
+    let env = { Event.seq = !seq; t = now () -. !epoch; event } in
+    List.iter (fun s -> s.Sink.emit env) installed
+
+let incr = Metrics.incr
+let span = Metrics.span
+let observe = Metrics.observe
+
+let time name f =
+  if active () then begin
+    let t0 = now () in
+    let finally () = Metrics.span name (now () -. t0) in
+    Fun.protect ~finally f
+  end
+  else f ()

@@ -1,0 +1,63 @@
+(** Facade of the observability layer: sink registry, emission and
+    metric shorthands.
+
+    Design contract (relied on by every instrumented hot path, see
+    DESIGN.md "Observability"): while no sink is installed and
+    {!Metrics.enabled} is false, {!active} is [false] and every function
+    here returns after a single branch — no allocation, no clock read,
+    no string building.  Instrumentation sites therefore follow the
+    pattern
+
+    {[
+      if Obs.active () then begin
+        (* build strings / read clocks only here *)
+        Obs.incr "subsystem.thing";
+        if Obs.tracing () then Obs.emit (Event.…)
+      end
+    ]}
+
+    The registry is process-global and not thread-safe (the verifier is
+    single-threaded); [with_sink] scopes an installation to one call. *)
+
+val tracing : unit -> bool
+(** At least one sink is installed. *)
+
+val active : unit -> bool
+(** [tracing () || Metrics.enabled ()] — gate for any instrumentation
+    work beyond a branch. *)
+
+val install : Sink.t -> unit
+(** Append a sink.  Installing the first sink (re)starts the trace
+    clock and sequence numbering at 0. *)
+
+val remove : Sink.t -> unit
+(** Remove a previously installed sink (physical equality).  Does not
+    call [close]. *)
+
+val with_sink : Sink.t -> (unit -> 'a) -> 'a
+(** [with_sink s f] installs [s], runs [f], and removes [s] even if [f]
+    raises.  [close] is left to the caller. *)
+
+val emit : Event.t -> unit
+(** Stamp the event with the next sequence number and the trace-relative
+    time, and deliver it to every installed sink in installation order.
+    No-op without sinks. *)
+
+val now : unit -> float
+(** Monotonised wall clock in seconds: never goes backwards within the
+    process even if the system clock steps. *)
+
+(** {1 Metric shorthands} (no-ops unless metrics are enabled) *)
+
+val incr : ?by:int -> string -> unit
+(** Alias of {!Metrics.incr}. *)
+
+val span : string -> float -> unit
+(** Alias of {!Metrics.span}. *)
+
+val observe : string -> float -> unit
+(** Alias of {!Metrics.observe}. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] and records its duration as a span — but only
+    when {!active}; otherwise it is a tail call to [f]. *)

@@ -1,0 +1,32 @@
+type t = {
+  emit : Event.envelope -> unit;
+  close : unit -> unit;
+}
+
+let memory () =
+  let events = ref [] in
+  ( { emit = (fun env -> events := env :: !events); close = (fun () -> ()) },
+    fun () -> List.rev !events )
+
+let callback f = { emit = f; close = (fun () -> ()) }
+
+let jsonl_channel oc =
+  { emit =
+      (fun env ->
+        output_string oc (Event.to_json env);
+        output_char oc '\n');
+    close = (fun () -> flush oc) }
+
+let jsonl_file path =
+  let oc = open_out path in
+  let closed = ref false in
+  { emit =
+      (fun env ->
+        output_string oc (Event.to_json env);
+        output_char oc '\n');
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          close_out oc
+        end) }

@@ -1,0 +1,28 @@
+(** Pluggable trace-event consumers.
+
+    A sink receives every {!Event.envelope} emitted while it is installed
+    (see {!Obs.install}).  Sinks must be cheap: they run synchronously on
+    the verifier hot path whenever tracing is on. *)
+
+type t = {
+  emit : Event.envelope -> unit;
+  close : unit -> unit;
+      (** Flush and release resources.  Idempotent for the built-in
+          sinks.  Closing does {e not} uninstall the sink. *)
+}
+
+val memory : unit -> t * (unit -> Event.envelope list)
+(** In-memory sink for tests: the second component returns every
+    envelope received so far, in emission order. *)
+
+val callback : (Event.envelope -> unit) -> t
+(** Wrap a plain function (used to re-express legacy trace callbacks as
+    sinks).  [close] is a no-op. *)
+
+val jsonl_channel : out_channel -> t
+(** Write one JSON line per event to an existing channel.  [close]
+    flushes but leaves the channel open (the caller owns it). *)
+
+val jsonl_file : string -> t
+(** Create/truncate [path] and write one JSON line per event; [close]
+    flushes and closes the file. *)

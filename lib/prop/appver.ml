@@ -1,7 +1,35 @@
+module Obs = Abonn_obs.Obs
+module Ev = Abonn_obs.Event
+
 type t = {
   name : string;
   run : Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Outcome.t;
 }
+
+(* Observe a verifier: per-call counter, a span timer and a
+   [bound_computed] trace event, all gated on [Obs.active] so the
+   un-observed path pays one branch.  The DeepPoly family instruments
+   itself inside [Deeppoly.run] (it is also called directly, e.g. by
+   branching heuristics and the harness cost model), so only the other
+   engines are wrapped here. *)
+let observed { name; run } =
+  { name;
+    run =
+      (fun problem gamma ->
+        if not (Obs.active ()) then run problem gamma
+        else begin
+          let t0 = Obs.now () in
+          let outcome = run problem gamma in
+          let elapsed = Obs.now () -. t0 in
+          Obs.incr (Printf.sprintf "appver.%s.calls" name);
+          Obs.span ("appver." ^ name) elapsed;
+          if Obs.tracing () then
+            Obs.emit
+              (Ev.Bound_computed
+                 { appver = name; depth = Abonn_spec.Split.depth gamma;
+                   phat = outcome.Outcome.phat; elapsed });
+          outcome
+        end) }
 
 let deeppoly = { name = "deeppoly"; run = Deeppoly.run ~slope:Deeppoly.Adaptive }
 
@@ -9,11 +37,11 @@ let deeppoly_zero = { name = "deeppoly-zero"; run = Deeppoly.run ~slope:Deeppoly
 
 let deeppoly_one = { name = "deeppoly-one"; run = Deeppoly.run ~slope:Deeppoly.Always_one }
 
-let interval = { name = "interval"; run = Interval.run }
+let interval = observed { name = "interval"; run = Interval.run }
 
-let zonotope = { name = "zonotope"; run = Zonotope.run }
+let zonotope = observed { name = "zonotope"; run = Zonotope.run }
 
-let symbolic = { name = "symbolic"; run = Symbolic.run }
+let symbolic = observed { name = "symbolic"; run = Symbolic.run }
 
 let all = [ deeppoly; deeppoly_zero; deeppoly_one; zonotope; symbolic; interval ]
 

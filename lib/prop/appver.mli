@@ -10,6 +10,13 @@ type t = {
   run : Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Outcome.t;
 }
 
+val observed : t -> t
+(** Wrap a verifier with [Abonn_obs] instrumentation: an
+    ["appver.<name>.calls"] counter, an ["appver.<name>"] span timer and
+    one [bound_computed] trace event per call.  Costs one branch per call
+    while observability is off.  The built-in verifiers below are already
+    observed; use this for custom AppVers. *)
+
 val deeppoly : t
 (** DeepPoly back-substitution with the adaptive lower slope — the
     default AppVer, mirroring the paper's [7],[16] stack. *)

@@ -1,5 +1,7 @@
 module Matrix = Abonn_tensor.Matrix
 module Affine = Abonn_nn.Affine
+module Obs = Abonn_obs.Obs
+module Ev = Abonn_obs.Event
 module Split = Abonn_spec.Split
 module Region = Abonn_spec.Region
 module Property = Abonn_spec.Property
@@ -188,7 +190,7 @@ let interval_row_lower (problem : Problem.t) ~lo ~hi =
       done;
       !acc)
 
-let run ?(slope = Adaptive) (problem : Problem.t) gamma =
+let analyse slope (problem : Problem.t) gamma =
   let affine = problem.Problem.affine in
   let region = problem.Problem.region in
   match compute_hidden_bounds slope problem gamma with
@@ -210,6 +212,28 @@ let run ?(slope = Adaptive) (problem : Problem.t) gamma =
       end
     in
     Outcome.make ~phat ?candidate ~pre_bounds ~row_lower ()
+
+let slope_name = function
+  | Adaptive -> "deeppoly"
+  | Always_zero -> "deeppoly-zero"
+  | Always_one -> "deeppoly-one"
+
+let run ?(slope = Adaptive) (problem : Problem.t) gamma =
+  if not (Obs.active ()) then analyse slope problem gamma
+  else begin
+    let t0 = Obs.now () in
+    let outcome = analyse slope problem gamma in
+    let elapsed = Obs.now () -. t0 in
+    let name = slope_name slope in
+    Obs.incr (Printf.sprintf "appver.%s.calls" name);
+    Obs.span ("appver." ^ name) elapsed;
+    if Obs.tracing () then
+      Obs.emit
+        (Ev.Bound_computed
+           { appver = name; depth = Split.depth gamma;
+             phat = outcome.Outcome.phat; elapsed });
+    outcome
+  end
 
 let hidden_bounds ?(slope = Adaptive) problem gamma =
   match compute_hidden_bounds slope problem gamma with

@@ -45,3 +45,19 @@ let pp fmt gamma =
       fmt gamma
 
 let to_string gamma = Format.asprintf "%a" pp gamma
+
+let of_string s =
+  if s = "ε" || s = "" then []
+  else
+    String.split_on_char '.' s
+    |> List.map (fun tok ->
+           let tok = String.trim tok in
+           let fail () = invalid_arg (Printf.sprintf "Split.of_string: bad token %S" tok) in
+           let n = String.length tok in
+           if n < 3 || tok.[0] <> 'r' then fail ();
+           let phase =
+             match tok.[n - 1] with '+' -> Active | '-' -> Inactive | _ -> fail ()
+           in
+           match int_of_string_opt (String.sub tok 1 (n - 2)) with
+           | Some relu when relu >= 0 -> { relu; phase }
+           | Some _ | None -> fail ())

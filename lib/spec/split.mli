@@ -32,4 +32,10 @@ val pp_phase : Format.formatter -> phase -> unit
 val pp : Format.formatter -> gamma -> unit
 
 val to_string : gamma -> string
-(** Compact form like ["r3+ . r17- "] used in traces and tests. *)
+(** Compact form like ["r3+.r17-"] (root: ["ε"]) used in traces and
+    tests. *)
+
+val of_string : string -> gamma
+(** Inverse of {!to_string} (also accepts [""] for the root).  Raises
+    [Invalid_argument] on malformed input.  Used to decode the [gamma]
+    field of trace events back into a split sequence. *)

@@ -170,6 +170,50 @@ let test_abonn_trace_observes_expansions () =
   Alcotest.(check int) "trace sees every node" r.Result.stats.Result.nodes !count;
   Alcotest.(check int) "max depth agrees" r.Result.stats.Result.max_depth !max_d
 
+let test_abonn_obs_events_match_trace_callback () =
+  (* The obs stream must agree with the legacy [?trace] callback: the
+     [Node_evaluated] events are exactly the callback invocations, in
+     order, and selection / backprop / verdict events accompany them. *)
+  let module Ev = Abonn_obs.Event in
+  let module Obs = Abonn_obs.Obs in
+  let module Sink = Abonn_obs.Sink in
+  let problem = random_problem ~seed:14 ~eps:0.35 () in
+  let callback = ref [] in
+  let trace ~depth ~gamma ~reward =
+    callback := (depth, Abonn_spec.Split.to_string gamma, reward) :: !callback
+  in
+  let sink, events = Sink.memory () in
+  let r =
+    Obs.with_sink sink (fun () ->
+        Abonn.verify ~budget:(Budget.of_calls 300) ~trace problem)
+  in
+  let events = events () in
+  let evaluated =
+    List.filter_map
+      (fun env ->
+        match env.Ev.event with
+        | Ev.Node_evaluated { depth; gamma; reward; _ } -> Some (depth, gamma, reward)
+        | _ -> None)
+      events
+  in
+  let callback = List.rev !callback in
+  (* rewards can be ±inf (proved / valid cex), so compare with [=]. *)
+  let same (d1, g1, r1) (d2, g2, r2) =
+    d1 = d2 && String.equal g1 g2
+    && (r1 = r2 || (Float.is_nan r1 && Float.is_nan r2))
+  in
+  Alcotest.(check bool) "node_evaluated events = callback order" true
+    (List.length callback = List.length evaluated
+     && List.for_all2 same callback evaluated);
+  Alcotest.(check int) "one evaluation per node" r.Result.stats.Result.nodes
+    (List.length evaluated);
+  let count name =
+    List.length (List.filter (fun env -> Ev.name env.Ev.event = name) events)
+  in
+  Alcotest.(check bool) "selections present" true (count "node_selected" > 0);
+  Alcotest.(check bool) "backprops present" true (count "backprop" > 0);
+  Alcotest.(check int) "one verdict event" 1 (count "verdict_reached")
+
 let test_abonn_hyperparameter_grid_all_sound () =
   (* Every (λ, c) pair must keep verdicts consistent with the baseline:
      hyperparameters tune speed, never correctness. *)
@@ -249,6 +293,8 @@ let suite =
         Alcotest.test_case "cex always valid" `Quick test_abonn_cex_always_valid;
         Alcotest.test_case "times out" `Quick test_abonn_times_out;
         Alcotest.test_case "trace observes expansions" `Quick test_abonn_trace_observes_expansions;
+        Alcotest.test_case "obs events match trace callback" `Quick
+          test_abonn_obs_events_match_trace_callback;
         Alcotest.test_case "hyperparameter grid sound" `Quick test_abonn_hyperparameter_grid_all_sound;
         Alcotest.test_case "random selection complete" `Quick test_abonn_random_selection_still_complete;
         Alcotest.test_case "faster on violated ensemble" `Slow test_abonn_faster_on_violated_ensemble

@@ -1,0 +1,272 @@
+(* Tests for Abonn_obs: event ordering and envelope stamping through the
+   in-memory sink, JSONL encode/decode round-trips, counter/timer/
+   histogram correctness, sink lifecycle, and the off-by-default
+   guarantee (nothing is recorded while no sink is installed and metrics
+   are disabled). *)
+
+module Event = Abonn_obs.Event
+module Sink = Abonn_obs.Sink
+module Metrics = Abonn_obs.Metrics
+module Obs = Abonn_obs.Obs
+
+(* Every test leaves the global registry clean. *)
+let isolated f () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  Fun.protect ~finally:(fun () ->
+      Metrics.reset ();
+      Metrics.set_enabled false)
+    f
+
+let sample_events =
+  [ Event.Run_started { engine = "abonn"; instance = "mnist_l2:0" };
+    Event.Node_evaluated
+      { engine = "abonn"; depth = 2; gamma = "r3+.r17-"; phat = -0.5; reward = 0.35 };
+    Event.Node_selected { engine = "abonn"; depth = 3; ucb = 1.25 };
+    Event.Backprop { engine = "abonn"; depth = 1; reward = 0.75; size = 9 };
+    Event.Frontier_pop
+      { engine = "bestfirst"; depth = 4; frontier = 11; priority = -0.25 };
+    Event.Exact_leaf { engine = "bab-baseline"; depth = 6; verified = true };
+    Event.Bound_computed
+      { appver = "deeppoly"; depth = 2; phat = Float.infinity; elapsed = 0.001 };
+    Event.Lp_solved { vars = 12; rows = 30; status = "optimal"; elapsed = 0.002 };
+    Event.Attack_tried { attack = "pgd"; success = false; elapsed = 0.0125 };
+    Event.Verdict_reached { engine = "abonn"; verdict = "verified"; elapsed = 0.5 };
+    Event.Run_finished
+      { engine = "abonn"; instance = "mnist_l2:0"; verdict = "verified"; calls = 17;
+        nodes = 17; max_depth = 4; wall = 0.5 };
+    (* Non-finite floats and exotic gamma strings must survive JSONL. *)
+    Event.Node_evaluated
+      { engine = "abonn"; depth = 0; gamma = "ε"; phat = Float.neg_infinity;
+        reward = Float.nan };
+    Event.Node_selected { engine = "abonn"; depth = 1; ucb = Float.nan }
+  ]
+
+(* --- memory sink: ordering and envelope stamping --- *)
+
+let test_memory_sink_order () =
+  let sink, events = Sink.memory () in
+  Obs.with_sink sink (fun () ->
+      List.iter Obs.emit sample_events);
+  let got = events () in
+  Alcotest.(check int) "all delivered" (List.length sample_events) (List.length got);
+  List.iteri
+    (fun i env ->
+      Alcotest.(check int) (Printf.sprintf "seq %d" i) (i + 1) env.Event.seq;
+      Alcotest.(check string)
+        (Printf.sprintf "event %d" i)
+        (Event.name (List.nth sample_events i))
+        (Event.name env.Event.event))
+    got;
+  (* trace-relative times are monotone *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "t monotone" true (a.Event.t <= b.Event.t);
+      monotone rest
+    | _ -> ()
+  in
+  monotone got
+
+let test_emit_without_sink_is_noop () =
+  (* Nothing to observe: emit must not raise and must not leak state
+     into a sink installed later (sequence restarts at 1). *)
+  Obs.emit (Event.Node_selected { engine = "abonn"; depth = 0; ucb = 0.0 });
+  let sink, events = Sink.memory () in
+  Obs.with_sink sink (fun () ->
+      Obs.emit (Event.Node_selected { engine = "abonn"; depth = 1; ucb = 1.0 }));
+  match events () with
+  | [ env ] -> Alcotest.(check int) "seq restarts" 1 env.Event.seq
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length l))
+
+let test_with_sink_removes_on_exception () =
+  let sink, events = Sink.memory () in
+  (try
+     Obs.with_sink sink (fun () ->
+         Obs.emit (Event.Node_selected { engine = "abonn"; depth = 0; ucb = 0.0 });
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "sink removed" false (Obs.tracing ());
+  Obs.emit (Event.Node_selected { engine = "abonn"; depth = 1; ucb = 1.0 });
+  Alcotest.(check int) "no event after removal" 1 (List.length (events ()))
+
+let test_two_sinks_both_receive () =
+  let s1, e1 = Sink.memory () and s2, e2 = Sink.memory () in
+  Obs.with_sink s1 (fun () ->
+      Obs.with_sink s2 (fun () ->
+          Obs.emit (Event.Node_selected { engine = "abonn"; depth = 0; ucb = 0.0 })));
+  Alcotest.(check int) "first sink" 1 (List.length (e1 ()));
+  Alcotest.(check int) "second sink" 1 (List.length (e2 ()))
+
+(* --- JSONL round-trip --- *)
+
+let test_jsonl_round_trip () =
+  List.iteri
+    (fun i event ->
+      let env = { Event.seq = i + 1; t = float_of_int i /. 64.0; event } in
+      let line = Event.to_json env in
+      match Event.of_json line with
+      | Ok back ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %d (%s): %s" i (Event.name event) line)
+          true (Event.equal env back)
+      | Error msg -> Alcotest.fail (Printf.sprintf "parse %s: %s" line msg))
+    sample_events
+
+let test_jsonl_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Event.of_json line with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ line)
+      | Error _ -> ())
+    [ ""; "{"; "not json"; "{\"seq\":1}"; "{\"seq\":1,\"t\":0.0,\"ev\":\"martian\"}";
+      "{\"seq\":1,\"t\":0.0,\"ev\":\"backprop\",\"engine\":\"abonn\"}" (* missing fields *);
+      "{\"seq\":1,\"t\":0.0,\"ev\":\"node_selected\",\"engine\":\"abonn\",\"depth\":0,\"ucb\":0.0} trailing" ]
+
+let test_jsonl_file_sink () =
+  let path = Filename.temp_file "abonn_obs" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let sink = Sink.jsonl_file path in
+  Obs.with_sink sink (fun () -> List.iter Obs.emit sample_events);
+  sink.Sink.close ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one line per event" (List.length sample_events)
+    (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Event.of_json line with
+      | Ok env ->
+        Alcotest.(check string)
+          (Printf.sprintf "line %d type" i)
+          (Event.name (List.nth sample_events i))
+          (Event.name env.Event.event)
+      | Error msg -> Alcotest.fail (Printf.sprintf "line %d: %s" i msg))
+    lines
+
+(* --- metrics --- *)
+
+let test_counters () =
+  Metrics.set_enabled true;
+  Obs.incr "a.x";
+  Obs.incr "a.x";
+  Obs.incr ~by:40 "a.x";
+  Obs.incr "a.y";
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (list (pair string int)))
+    "counters sorted with totals"
+    [ ("a.x", 42); ("a.y", 1) ]
+    snap.Metrics.counters
+
+let test_spans () =
+  Metrics.set_enabled true;
+  Obs.span "lp.solve" 0.25;
+  Obs.span "lp.solve" 0.5;
+  Obs.span "lp.solve" 0.25;
+  let snap = Metrics.snapshot () in
+  match snap.Metrics.spans with
+  | [ ("lp.solve", s) ] ->
+    Alcotest.(check int) "calls" 3 s.Metrics.calls;
+    Alcotest.(check (float 1e-9)) "total" 1.0 s.Metrics.total;
+    Alcotest.(check (float 1e-9)) "max" 0.5 s.Metrics.max
+  | _ -> Alcotest.fail "expected exactly lp.solve"
+
+let test_time_records_a_span () =
+  Metrics.set_enabled true;
+  let r = Obs.time "work" (fun () -> 21 * 2) in
+  Alcotest.(check int) "result passed through" 42 r;
+  (* and it records even when f raises *)
+  (try Obs.time "work" (fun () -> failwith "boom") with Failure _ -> ());
+  let snap = Metrics.snapshot () in
+  match snap.Metrics.spans with
+  | [ ("work", s) ] ->
+    Alcotest.(check int) "both calls recorded" 2 s.Metrics.calls;
+    Alcotest.(check bool) "non-negative" true (s.Metrics.total >= 0.0)
+  | _ -> Alcotest.fail "expected exactly work"
+
+let test_histogram_buckets () =
+  Metrics.set_enabled true;
+  (* one sample per decade plus out-of-range extremes *)
+  List.iter (Obs.observe "h") [ 3e-4; 5e-4; 2e-2; 7.0; 1e9; 0.0 ];
+  let snap = Metrics.snapshot () in
+  match snap.Metrics.hists with
+  | [ ("h", h) ] ->
+    Alcotest.(check int) "count" 6 h.Metrics.count;
+    Alcotest.(check (float 1e-3)) "min" 0.0 h.Metrics.lo;
+    Alcotest.(check (float 1.0)) "max" 1e9 h.Metrics.hi;
+    let at edge =
+      match
+        Array.find_opt (fun (e, _) -> abs_float (e -. edge) < edge /. 2.0) h.Metrics.buckets
+      with
+      | Some (_, n) -> n
+      | None -> Alcotest.fail (Printf.sprintf "no bucket at %g" edge)
+    in
+    Alcotest.(check int) "1e-4 decade" 2 (at 1e-4);
+    Alcotest.(check int) "1e-2 decade" 1 (at 1e-2);
+    Alcotest.(check int) "1e0 decade" 1 (at 1.0);
+    (* 1e9 clamps into the top decade, 0.0 into the bottom one *)
+    Alcotest.(check int) "top decade" 1 (at 100.0);
+    Alcotest.(check int) "bottom decade" 1 (at 1e-7)
+  | _ -> Alcotest.fail "expected exactly h"
+
+let test_reset_clears_everything () =
+  Metrics.set_enabled true;
+  Obs.incr "c";
+  Obs.span "s" 1.0;
+  Obs.observe "h" 1.0;
+  Metrics.reset ();
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "no counters" 0 (List.length snap.Metrics.counters);
+  Alcotest.(check int) "no spans" 0 (List.length snap.Metrics.spans);
+  Alcotest.(check int) "no hists" 0 (List.length snap.Metrics.hists)
+
+let test_disabled_records_nothing () =
+  (* The overhead guarantee: with no sink and metrics off, instrumented
+     code paths leave zero state behind. *)
+  Alcotest.(check bool) "inactive" false (Obs.active ());
+  Obs.incr "c";
+  Obs.span "s" 1.0;
+  Obs.observe "h" 1.0;
+  let r = Obs.time "t" (fun () -> 7) in
+  Alcotest.(check int) "time passthrough" 7 r;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "no counters" 0 (List.length snap.Metrics.counters);
+  Alcotest.(check int) "no spans" 0 (List.length snap.Metrics.spans);
+  Alcotest.(check int) "no hists" 0 (List.length snap.Metrics.hists)
+
+let test_tracing_flips_active () =
+  Alcotest.(check bool) "off" false (Obs.active ());
+  let sink, _ = Sink.memory () in
+  Obs.with_sink sink (fun () ->
+      Alcotest.(check bool) "on with sink" true (Obs.active ());
+      Alcotest.(check bool) "tracing" true (Obs.tracing ()));
+  Alcotest.(check bool) "off again" false (Obs.active ())
+
+let suite =
+  [ ( "obs.sink",
+      [ Alcotest.test_case "memory sink order" `Quick (isolated test_memory_sink_order);
+        Alcotest.test_case "emit without sink" `Quick (isolated test_emit_without_sink_is_noop);
+        Alcotest.test_case "with_sink on exception" `Quick
+          (isolated test_with_sink_removes_on_exception);
+        Alcotest.test_case "two sinks" `Quick (isolated test_two_sinks_both_receive)
+      ] );
+    ( "obs.jsonl",
+      [ Alcotest.test_case "round trip" `Quick (isolated test_jsonl_round_trip);
+        Alcotest.test_case "rejects garbage" `Quick (isolated test_jsonl_rejects_garbage);
+        Alcotest.test_case "file sink" `Quick (isolated test_jsonl_file_sink)
+      ] );
+    ( "obs.metrics",
+      [ Alcotest.test_case "counters" `Quick (isolated test_counters);
+        Alcotest.test_case "spans" `Quick (isolated test_spans);
+        Alcotest.test_case "time" `Quick (isolated test_time_records_a_span);
+        Alcotest.test_case "histogram buckets" `Quick (isolated test_histogram_buckets);
+        Alcotest.test_case "reset" `Quick (isolated test_reset_clears_everything);
+        Alcotest.test_case "disabled is inert" `Quick (isolated test_disabled_records_nothing);
+        Alcotest.test_case "tracing flips active" `Quick (isolated test_tracing_flips_active)
+      ] )
+  ]

@@ -112,6 +112,27 @@ let test_split_to_string () =
   let g = Split.extend [] ~relu:3 ~phase:Split.Active in
   Alcotest.(check string) "one split" "r3+" (Split.to_string g)
 
+let test_split_of_string_round_trip () =
+  let gammas =
+    [ [];
+      Split.extend [] ~relu:3 ~phase:Split.Active;
+      Split.extend
+        (Split.extend [] ~relu:3 ~phase:Split.Active)
+        ~relu:17 ~phase:Split.Inactive ]
+  in
+  List.iter
+    (fun g ->
+      let s = Split.to_string g in
+      Alcotest.(check string) ("round trip " ^ s) s
+        (Split.to_string (Split.of_string s)))
+    gammas;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try ignore (Split.of_string s); false
+         with Invalid_argument _ -> true))
+    [ "r3"; "r+"; "bogus"; "r3+."; "r3+.r3x" ]
+
 let test_split_satisfied_by () =
   (* Identity-ish net: 1 -> 1 -> 1 with weight 1.  relu 0 is active iff x >= 0. *)
   let w = Matrix.identity 1 in
