@@ -2,12 +2,15 @@
    micro-benchmarks of the verification kernels.
 
      dune exec bench/main.exe
+     dune exec bench/main.exe -- --json BENCH_kernels.json
 
    The table/figure benches run scaled-down versions of the §V artifacts
    (the full runs live in bin/experiments.exe); the kernel benches time
    one AppVer call per engine/model, which is the unit the paper's
    wall-clock measurements are made of.  Bechamel estimates the
-   per-execution cost by OLS over repeated runs. *)
+   per-execution cost by OLS over repeated runs.  [--json FILE] appends
+   a machine-readable snapshot (name -> ns/run) so the perf trajectory
+   can be tracked across commits. *)
 
 open Bechamel
 open Toolkit
@@ -122,6 +125,32 @@ let tests =
       bench_appver_interval; bench_appver_zonotope; bench_appver_symbolic; bench_appver_lp;
       bench_engine_bfs; bench_engine_abonn; bench_attack_pgd ]
 
+(* name -> (ns/run estimate, r^2), as one flat JSON object sorted by
+   name.  Non-finite estimates (no samples) are encoded as null. *)
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est_ns, r2) ->
+      let num v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+      output_string oc
+        (Printf.sprintf "  %S: {\"ns_per_run\": %s, \"r_square\": %s}%s\n" name
+           (num est_ns) (num r2)
+           (if i = n - 1 then "" else ",")))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "json results written to: %s\n%!" path
+
+let json_path =
+  let rec scan = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
   let cfg =
     Benchmark.cfg ~limit:8 ~quota:(Time.second 20.0) ~sampling:(`Linear 1) ~stabilize:false
@@ -155,4 +184,5 @@ let () =
         else Printf.sprintf "%.3f us" (est_ns /. 1e3)
       in
       Printf.printf "%-32s %16s %8.4f\n" name pretty r2)
-    rows
+    rows;
+  Option.iter (fun path -> write_json path rows) json_path

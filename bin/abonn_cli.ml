@@ -46,27 +46,32 @@ let build_problem trained index eps factor =
   end
 
 (* Install the requested observability around [f]: a JSONL sink for
-   [--trace FILE] and the metrics registry for [--stats].  The sink is
-   removed and closed even if [f] raises; printing the [--stats] summary
-   is left to the caller (after the verdict lines). *)
-let with_observability ~trace_file ~stats f =
-  let sink = Option.map Sink.jsonl_file trace_file in
+   [--trace FILE], a live heartbeat for [--progress] and the metrics
+   registry for [--stats].  Sinks are removed and closed even if [f]
+   raises; printing the [--stats] summary is left to the caller (after
+   the verdict lines). *)
+let with_observability ~trace_file ~progress ~stats f =
+  let sinks =
+    List.filter_map Fun.id
+      [ Option.map Sink.jsonl_file trace_file;
+        Option.map (fun every -> Sink.progress ~every ()) progress ]
+  in
   if stats then begin
     Metrics.reset ();
     Metrics.set_enabled true
   end;
-  Option.iter Obs.install sink;
+  List.iter Obs.install sinks;
   let finally () =
-    Option.iter
+    List.iter
       (fun s ->
         Obs.remove s;
         s.Sink.close ())
-      sink
+      sinks
   in
   Fun.protect ~finally f
 
-let verify_problem problem engine lambda c heuristic appver calls seconds trace_file stats
-    ~context =
+let verify_problem problem engine lambda c heuristic appver calls seconds trace_file
+    progress stats ~context =
   let heuristic =
     match Abonn_bab.Branching.find heuristic with
     | Some h -> h
@@ -81,7 +86,7 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
   in
   let budget = Budget.combine ~calls ?seconds () in
   match
-    with_observability ~trace_file ~stats (fun () ->
+    with_observability ~trace_file ~progress ~stats (fun () ->
         match engine with
         | "abonn" ->
           let config = Abonn_core.Config.make ~lambda ~c ~appver ~heuristic () in
@@ -116,12 +121,12 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
   `Ok ()
 
 let run problem_file model_name index eps factor engine lambda c heuristic appver calls
-    seconds models_dir trace_file stats =
+    seconds models_dir trace_file progress stats =
   match problem_file with
   | Some path ->
     let problem = Abonn_spec.Problem_file.load path in
-    verify_problem problem engine lambda c heuristic appver calls seconds trace_file stats
-      ~context:(Printf.sprintf "problem=%s" path)
+    verify_problem problem engine lambda c heuristic appver calls seconds trace_file
+      progress stats ~context:(Printf.sprintf "problem=%s" path)
   | None ->
   match Models.find model_name with
   | None ->
@@ -135,7 +140,7 @@ let run problem_file model_name index eps factor engine lambda c heuristic appve
      | `Error _ as e -> e
      | `Ok (problem, eps) ->
        verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-         stats
+         progress stats
          ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps))
 
 let problem_arg =
@@ -190,6 +195,12 @@ let trace_arg =
        & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write a JSONL trace of the run (schema: docs/TRACE_SCHEMA.md).")
 
+let progress_arg =
+  Arg.(value & opt ~vopt:(Some 2.0) (some float) None
+       & info [ "progress" ] ~docv:"SECS"
+           ~doc:"Print a live single-line heartbeat (elapsed, calls, nodes, depth, best \
+                 reward) to stderr, refreshed every $(docv) seconds (default 2).")
+
 let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
@@ -203,6 +214,6 @@ let cmd =
       ret
         (const run $ problem_arg $ model_arg $ index_arg $ eps_arg $ factor_arg $ engine_arg
          $ lambda_arg $ c_arg $ heuristic_arg $ appver_arg $ calls_arg $ seconds_arg
-         $ models_dir_arg $ trace_arg $ stats_arg))
+         $ models_dir_arg $ trace_arg $ progress_arg $ stats_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,180 @@
+(* abonn_trace: offline analytics over --trace JSONL files.
+
+   Examples:
+     abonn_trace summary run.jsonl
+     abonn_trace tree run.jsonl --dot -o tree.dot
+     abonn_trace phases run.jsonl
+     abonn_trace curve run.jsonl -o curve.csv
+     abonn_trace diff abonn.jsonl baseline.jsonl
+
+   Schema: docs/TRACE_SCHEMA.md; analytics: lib/trace. *)
+
+open Cmdliner
+module Reader = Abonn_trace.Reader
+module Summary = Abonn_trace.Summary
+module Tree = Abonn_trace.Tree
+module Phases = Abonn_trace.Phases
+module Curve = Abonn_trace.Curve
+module Diff = Abonn_trace.Diff
+
+let load path =
+  match Reader.read_file path with
+  | events, issues -> Ok (events, issues)
+  | exception Sys_error msg -> Error msg
+
+let print_issues issues =
+  if issues <> [] then begin
+    Printf.eprintf "%d issue(s) while reading the trace:\n" (List.length issues);
+    List.iter (fun i -> Printf.eprintf "  %s\n" (Reader.issue_to_string i)) issues;
+    flush stderr
+  end
+
+let with_events path f =
+  match load path with
+  | Error msg -> `Error (false, msg)
+  | Ok (events, issues) ->
+    print_issues issues;
+    if events = [] then `Error (false, Printf.sprintf "%s: no parseable events" path)
+    else f events
+
+(* Select one run segment out of a (possibly multi-run) trace. *)
+let nth_segment events n =
+  let segs = Summary.segments events in
+  match List.nth_opt segs (n - 1) with
+  | Some seg -> Ok seg
+  | None ->
+    Error
+      (Printf.sprintf "trace has %d run(s); --run %d is out of range" (List.length segs) n)
+
+let with_segment path run f =
+  with_events path (fun events ->
+      match nth_segment events run with
+      | Error msg -> `Error (false, msg)
+      | Ok seg -> f seg)
+
+let output_result out text =
+  match out with
+  | None ->
+    print_string text;
+    `Ok ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "written to: %s\n" path;
+    `Ok ()
+
+(* --- subcommands --- *)
+
+let summary_cmd =
+  let run file =
+    with_events file (fun events ->
+        print_string (Summary.to_string (Summary.runs events));
+        `Ok ())
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:
+         "Per-run statistics reconstructed from the trace: engine, verdict, AppVer \
+          calls, nodes, max depth, wall time.  Harness traces are cross-checked \
+          against their run_finished ground truth.")
+    Term.(ret (const run $ file))
+
+let run_arg =
+  Arg.(value & opt int 1
+       & info [ "run" ] ~docv:"N" ~doc:"Analyse the N-th run of a multi-run trace.")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+
+let tree_cmd =
+  let run file run_n dot max_nodes out =
+    with_segment file run_n (fun seg ->
+        let t = Tree.build seg in
+        let text =
+          match t.Tree.root with
+          | Some root ->
+            Tree.shape_to_string t.Tree.shape
+            ^ "\n"
+            ^ (if dot then Tree.render_dot ~max_nodes root
+               else Tree.render_ascii ~max_nodes root)
+          | None ->
+            Tree.shape_to_string t.Tree.shape
+            ^ "(no gamma-bearing events: baseline traces only carry the depth profile)\n"
+        in
+        output_result out text)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of ASCII.")
+  in
+  let max_nodes =
+    Arg.(value & opt int 200
+         & info [ "max-nodes" ] ~docv:"N" ~doc:"Stop rendering after N nodes.")
+  in
+  Cmd.v
+    (Cmd.info "tree"
+       ~doc:
+         "Reconstruct the BaB tree from the trace's gamma strings and render it \
+          (ASCII or Graphviz DOT), with shape statistics and a depth histogram.")
+    Term.(ret (const run $ file $ run_arg $ dot $ max_nodes $ out_arg))
+
+let phases_cmd =
+  let run file run_n =
+    with_segment file run_n (fun seg ->
+        print_string (Phases.to_string (Phases.of_events seg));
+        `Ok ())
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "phases"
+       ~doc:
+         "Attribute the run's wall time to AppVer bound computations, exact LP \
+          solves, attacks and search overhead.")
+    Term.(ret (const run $ file $ run_arg))
+
+let curve_cmd =
+  let run file run_n out =
+    with_segment file run_n (fun seg ->
+        output_result out (Curve.to_csv (Curve.of_events seg)))
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "curve"
+       ~doc:
+         "Anytime-progress curve as CSV: calls, nodes, max depth, frontier size and \
+          best reward against trace time.")
+    Term.(ret (const run $ file $ run_arg $ out_arg))
+
+let diff_cmd =
+  let run file_a file_b =
+    match load file_a, load file_b with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok (ea, ia), Ok (eb, ib) ->
+      print_issues ia;
+      print_issues ib;
+      let d = Diff.diff ea eb in
+      print_string
+        (Diff.to_string
+           ~label_a:(Filename.remove_extension (Filename.basename file_a))
+           ~label_b:(Filename.remove_extension (Filename.basename file_b))
+           d);
+      `Ok ()
+  in
+  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE_A") in
+  let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE_B") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two traces of the same instance (e.g. ABONN vs BaB-baseline): \
+          nodes-to-verdict, visit-sequence divergence and per-phase deltas.")
+    Term.(ret (const run $ file_a $ file_b))
+
+let cmd =
+  let doc = "analytics over ABONN JSONL traces" in
+  Cmd.group (Cmd.info "abonn_trace" ~doc)
+    [ summary_cmd; tree_cmd; phases_cmd; curve_cmd; diff_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -12,6 +12,14 @@
 open Cmdliner
 module Experiment = Abonn_harness.Experiment
 module Report = Abonn_harness.Report
+module Obs = Abonn_obs.Obs
+module Sink = Abonn_obs.Sink
+
+(* Regenerate-able outputs (raw CSVs) land here, out of version control. *)
+let results_dir = "results"
+
+let ensure_results_dir () =
+  if not (Sys.file_exists results_dir) then Unix.mkdir results_dir 0o755
 
 type settings = {
   instances_per_model : int;
@@ -28,12 +36,21 @@ let quick = { instances_per_model = 4; rq1_calls = 200; rq2_calls = 100; rq2_ins
 let known =
   [ "table1"; "fig3"; "table2"; "fig4"; "fig5"; "fig6"; "ablation"; "deepviolated"; "all" ]
 
-let run quick_mode artifacts =
+let run quick_mode progress artifacts =
   let artifacts = if artifacts = [] then [ "all" ] else artifacts in
   match List.find_opt (fun a -> not (List.mem a known)) artifacts with
   | Some bad ->
     `Error (false, Printf.sprintf "unknown artifact %s (known: %s)" bad (String.concat ", " known))
   | None ->
+    let heartbeat = Option.map (fun every -> Sink.progress ~every ()) progress in
+    Option.iter Obs.install heartbeat;
+    Fun.protect ~finally:(fun () ->
+        Option.iter
+          (fun s ->
+            Obs.remove s;
+            s.Sink.close ())
+          heartbeat)
+    @@ fun () ->
     let s = if quick_mode then quick else full in
     let wants a = List.mem a artifacts || List.mem "all" artifacts in
     let t0 = Unix.gettimeofday () in
@@ -50,7 +67,8 @@ let run quick_mode artifacts =
     if wants "fig3" then print_endline (Report.fig3 (Experiment.fig3 (Lazy.force rq1)));
     if wants "table2" then begin
       print_endline (Report.table2 (Experiment.table2 (Lazy.force rq1)));
-      let csv_path = "results.csv" in
+      ensure_results_dir ();
+      let csv_path = Filename.concat results_dir "results.csv" in
       let oc = open_out csv_path in
       output_string oc (Report.csv (Lazy.force rq1).Experiment.records);
       close_out oc;
@@ -81,11 +99,18 @@ let run quick_mode artifacts =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Small suite and budgets (CI-sized run).")
 
+let progress_arg =
+  Arg.(value & opt ~vopt:(Some 5.0) (some float) None
+       & info [ "progress" ] ~docv:"SECS"
+           ~doc:"Live single-line heartbeat on stderr while the sweep runs, refreshed \
+                 every $(docv) seconds (default 5).")
+
 let artifacts_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"ARTIFACT" ~doc:"Artifacts to regenerate.")
 
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run $ quick_arg $ artifacts_arg))
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(ret (const run $ quick_arg $ progress_arg $ artifacts_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -235,9 +235,11 @@ let stats (snap : Abonn_obs.Metrics.snapshot) =
            else h.Abonn_obs.Metrics.sum /. float_of_int h.Abonn_obs.Metrics.count
          in
          Buffer.add_string buf
-           (Printf.sprintf "\nHistogram %s: n=%d mean=%s min=%s max=%s\n" name
-              h.Abonn_obs.Metrics.count (f mean) (f h.Abonn_obs.Metrics.lo)
-              (f h.Abonn_obs.Metrics.hi));
+           (Printf.sprintf "\nHistogram %s: n=%d mean=%s min=%s max=%s p50=%s p99=%s\n"
+              name h.Abonn_obs.Metrics.count (f mean) (f h.Abonn_obs.Metrics.lo)
+              (f h.Abonn_obs.Metrics.hi)
+              (f (Abonn_obs.Metrics.quantile h 0.50))
+              (f (Abonn_obs.Metrics.quantile h 0.99)));
          let vmax =
            float_of_int
              (Array.fold_left

@@ -36,6 +36,6 @@ val deepviolated : Experiment.deepviolated_row list -> string
 
 val stats : Abonn_obs.Metrics.snapshot -> string
 (** ASCII tables of the observability counters, span timers (calls /
-    total / mean / max seconds) and log-scale histograms gathered during
-    a run — what [abonn_cli --stats] prints.  Empty sections are
-    omitted. *)
+    total / mean / max seconds) and log-scale histograms (with
+    interpolated p50/p99 columns) gathered during a run — what
+    [abonn_cli --stats] prints.  Empty sections are omitted. *)

@@ -101,6 +101,29 @@ let snapshot () =
                 (fun i n -> (10.0 ** float_of_int (i + min_exp), n))
                 h.buckets }) }
 
+let quantile (h : hist_stat) q =
+  if h.count = 0 then Float.nan
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target = q *. float_of_int h.count in
+    let clamp v = Float.min h.hi (Float.max h.lo v) in
+    let n_buckets = Array.length h.buckets in
+    let rec walk i cum =
+      if i >= n_buckets then clamp h.hi
+      else begin
+        let edge, n = h.buckets.(i) in
+        let cum' = cum +. float_of_int n in
+        if n > 0 && target <= cum' then begin
+          (* Interpolate the rank linearly inside this decade bucket. *)
+          let frac = (target -. cum) /. float_of_int n in
+          clamp (edge +. (frac *. (edge *. 10.0 -. edge)))
+        end
+        else walk (i + 1) cum'
+      end
+    in
+    walk 0 0.0
+  end
+
 let reset () =
   Hashtbl.reset counters;
   Hashtbl.reset spans;

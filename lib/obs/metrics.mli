@@ -45,6 +45,15 @@ type snapshot = {
 
 val snapshot : unit -> snapshot
 
+val quantile : hist_stat -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([q] clamped to [0,1]) of
+    the samples behind [h] from its decade buckets: the target rank
+    [q · count] is located in the cumulative bucket counts and
+    interpolated linearly within the bucket's [[edge, 10·edge)] range,
+    then clamped to the observed [[lo, hi]].  Exact for quantiles that
+    land on bucket boundaries; otherwise accurate to within one decade.
+    [nan] for an empty histogram. *)
+
 val reset : unit -> unit
 (** Drop every counter, span and histogram (does not change
     {!enabled}). *)

@@ -26,3 +26,13 @@ val jsonl_channel : out_channel -> t
 val jsonl_file : string -> t
 (** Create/truncate [path] and write one JSON line per event; [close]
     flushes and closes the file. *)
+
+val progress : ?out:out_channel -> ?every:float -> unit -> t
+(** Single-line live heartbeat for long runs: aggregates the event
+    stream into [elapsed, AppVer calls, nodes, max depth, best reward]
+    (plus completed harness runs when present) and rewrites one
+    [\r]-terminated line on [out] (default [stderr]) at most once per
+    [every] seconds (default 2) of trace time.  [close] terminates the
+    line with a newline.  Costs one pattern match per event; installs
+    like any sink, so runs without it keep the single-branch overhead
+    guarantee. *)

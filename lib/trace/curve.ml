@@ -1,0 +1,73 @@
+module Event = Abonn_obs.Event
+
+type point = {
+  t : float;
+  seq : int;
+  calls : int;
+  nodes : int;
+  max_depth : int;
+  frontier : int;
+  best_reward : float;
+}
+
+let of_events events =
+  let points = ref [] in
+  let calls = ref 0 and nodes = ref 0 and max_depth = ref 0 in
+  let frontier = ref 0 and best = ref Float.nan in
+  (* ABONN frontier: open leaves.  A node leaves the open set when it is
+     expanded, i.e. when its first child arrives. *)
+  let open_set : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let better v = if Float.is_nan !best || v > !best then best := v in
+  let push env =
+    points :=
+      { t = env.Event.t; seq = env.Event.seq; calls = !calls; nodes = !nodes;
+        max_depth = !max_depth; frontier = !frontier; best_reward = !best }
+      :: !points
+  in
+  List.iter
+    (fun env ->
+      match env.Event.event with
+      | Event.Node_evaluated { depth; gamma; reward; _ } ->
+        incr calls;
+        incr nodes;
+        if depth > !max_depth then max_depth := depth;
+        better reward;
+        (match Tree.parent_gamma gamma with
+         | Some pg when Hashtbl.mem open_set pg -> Hashtbl.remove open_set pg
+         | Some _ | None -> ());
+        if Float.is_finite reward then Hashtbl.add open_set gamma ();
+        frontier := Hashtbl.length open_set;
+        push env
+      | Event.Frontier_pop { depth; frontier = f; priority; _ } ->
+        incr calls;
+        incr nodes;
+        if depth > !max_depth then max_depth := depth;
+        if Float.is_finite priority then better priority;
+        frontier := f;
+        push env
+      | Event.Exact_leaf { verified; depth; _ } ->
+        incr calls;
+        if depth > !max_depth then max_depth := depth;
+        if not verified then better infinity;
+        push env
+      | Event.Verdict_reached _ -> push env
+      | _ -> ())
+    events;
+  List.rev !points
+
+let fnum v =
+  if v = infinity then "inf"
+  else if v = neg_infinity then "-inf"
+  else if Float.is_nan v then "nan"
+  else Printf.sprintf "%.17g" v
+
+let to_csv points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "t,seq,calls,nodes,max_depth,frontier,best_reward\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.6f,%d,%d,%d,%d,%d,%s\n" p.t p.seq p.calls p.nodes p.max_depth
+           p.frontier (fnum p.best_reward)))
+    points;
+  Buffer.contents buf

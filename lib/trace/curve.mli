@@ -1,0 +1,31 @@
+(** Anytime-progress curves: search state as a function of trace time.
+
+    One {!point} is appended per search-progress event (node evaluated,
+    frontier pop, exact leaf, verdict), tracking the running AppVer-call
+    count, node count, max depth, frontier size and best reward — the
+    time-to-bound curves used to compare exploration orders (Bunel et
+    al. style).  [best_reward] is the maximum Def. 1 potentiality seen
+    so far ([+inf] once a counterexample is found); for engines that do
+    not score nodes it is the best heap priority, else [nan].
+
+    [frontier] is the engine's open-set size: for the baselines the
+    queue/heap size reported by [frontier_pop]; for ABONN the number of
+    evaluated-but-unexpanded nodes with finite reward, maintained
+    incrementally from the gamma strings. *)
+
+type point = {
+  t : float;  (** trace-relative seconds *)
+  seq : int;
+  calls : int;
+  nodes : int;
+  max_depth : int;
+  frontier : int;
+  best_reward : float;
+}
+
+val of_events : Abonn_obs.Event.envelope list -> point list
+(** Points in trace order (one per progress event). *)
+
+val to_csv : point list -> string
+(** Header [t,seq,calls,nodes,max_depth,frontier,best_reward] then one
+    row per point; non-finite rewards are spelled [inf]/[-inf]/[nan]. *)

@@ -1,0 +1,119 @@
+module Event = Abonn_obs.Event
+
+type span = { calls : int; total : float }
+
+type t = {
+  wall : float;
+  appver : (string * span) list;
+  appver_total : span;
+  lp : span;
+  lp_in_appver : float;
+  attack : (string * span) list;
+  attack_total : span;
+  overhead : float;
+}
+
+let zero = { calls = 0; total = 0.0 }
+let add s d = { calls = s.calls + 1; total = s.total +. d }
+
+let tally tbl name d =
+  Hashtbl.replace tbl name (add (Option.value ~default:zero (Hashtbl.find_opt tbl name)) d)
+
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let of_events events =
+  let appver = Hashtbl.create 8 and attack = Hashtbl.create 8 in
+  let lp = ref zero and lp_in_appver = ref 0.0 in
+  (* Span events are emitted at span end, so children precede their
+     enclosing parent in the stream.  Keep the LP/attack spans that have
+     not yet been claimed by an enclosing window; when the enclosing
+     event arrives, absorb everything inside [t - elapsed, t]. *)
+  let pending_lp = ref [] (* (t, elapsed), unclaimed *) in
+  let pending_attacks = ref [] (* (t, elapsed, name) top-level so far *) in
+  let wall = ref None and t_first = ref None and t_last = ref 0.0 in
+  List.iter
+    (fun env ->
+      let t = env.Event.t in
+      if !t_first = None then t_first := Some t;
+      t_last := t;
+      match env.Event.event with
+      | Event.Bound_computed { appver = name; elapsed; _ } ->
+        tally appver name elapsed;
+        let start = t -. elapsed in
+        let inside, outside =
+          List.partition (fun (lt, _) -> lt >= start && lt <= t) !pending_lp
+        in
+        List.iter (fun (_, d) -> lp_in_appver := !lp_in_appver +. d) inside;
+        pending_lp := outside
+      | Event.Lp_solved { elapsed; _ } ->
+        lp := add !lp elapsed;
+        pending_lp := (t, elapsed) :: !pending_lp
+      | Event.Attack_tried { attack = name; elapsed; _ } ->
+        tally attack name elapsed;
+        let start = t -. elapsed in
+        let nested, top =
+          List.partition (fun (at, _, _) -> at >= start && at <= t) !pending_attacks
+        in
+        ignore nested;
+        pending_attacks := (t, elapsed, name) :: top
+      | Event.Verdict_reached { elapsed; _ } -> wall := Some elapsed
+      | Event.Run_finished { wall = w; _ } -> if !wall = None then wall := Some w
+      | _ -> ())
+    events;
+  let wall =
+    match !wall with
+    | Some w -> w
+    | None -> !t_last -. Option.value ~default:!t_last !t_first
+  in
+  let appver = sorted appver and attack = sorted attack in
+  let total spans =
+    List.fold_left
+      (fun acc (_, s) -> { calls = acc.calls + s.calls; total = acc.total +. s.total })
+      zero spans
+  in
+  let appver_total = total appver in
+  let attack_total =
+    List.fold_left
+      (fun acc (_, d, _) -> { calls = acc.calls + 1; total = acc.total +. d })
+      zero !pending_attacks
+  in
+  let lp_outside = Float.max 0.0 (!lp.total -. !lp_in_appver) in
+  let overhead =
+    Float.max 0.0 (wall -. appver_total.total -. lp_outside -. attack_total.total)
+  in
+  { wall;
+    appver;
+    appver_total;
+    lp = !lp;
+    lp_in_appver = !lp_in_appver;
+    attack;
+    attack_total;
+    overhead }
+
+let to_string p =
+  let buf = Buffer.create 512 in
+  let pct d = if p.wall > 0.0 then 100.0 *. d /. p.wall else 0.0 in
+  let line name calls total =
+    Buffer.add_string buf
+      (Printf.sprintf "  %-24s %8s %12.6f %7.1f%%\n" name
+         (if calls >= 0 then string_of_int calls else "")
+         total (pct total))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "phase breakdown (wall %.6f s)\n" p.wall);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-24s %8s %12s %8s\n" "phase" "calls" "seconds" "wall");
+  List.iter (fun (name, s) -> line ("appver." ^ name) s.calls s.total) p.appver;
+  line "appver (total)" p.appver_total.calls p.appver_total.total;
+  let lp_outside = Float.max 0.0 (p.lp.total -. p.lp_in_appver) in
+  line "lp (exact/outside)" (-1) lp_outside;
+  if p.lp_in_appver > 0.0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  %-24s %8s %12.6f (inside appver, not re-charged)\n" "lp (in appver)"
+         "" p.lp_in_appver);
+  List.iter (fun (name, s) -> line ("attack." ^ name) s.calls s.total) p.attack;
+  line "attack (top-level)" p.attack_total.calls p.attack_total.total;
+  line "search overhead" (-1) p.overhead;
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+module Event = Abonn_obs.Event
+
+type issue =
+  | Malformed of { line : int; msg : string }
+  | Seq_gap of { line : int; expected : int; got : int }
+  | Time_regression of { line : int; prev : float; got : float }
+
+let issue_line = function
+  | Malformed { line; _ } | Seq_gap { line; _ } | Time_regression { line; _ } -> line
+
+let issue_to_string = function
+  | Malformed { line; msg } -> Printf.sprintf "line %d: malformed: %s" line msg
+  | Seq_gap { line; expected; got } ->
+    Printf.sprintf "line %d: seq gap: expected %d, got %d" line expected got
+  | Time_regression { line; prev; got } ->
+    Printf.sprintf "line %d: time regression: %.6f after %.6f" line got prev
+
+let fold_channel ic ~init ~f =
+  let issues = ref [] in
+  let report i = issues := i :: !issues in
+  let rec go acc line_no prev_seq prev_t =
+    match input_line ic with
+    | exception End_of_file -> acc
+    | "" -> go acc (line_no + 1) prev_seq prev_t
+    | line ->
+      (match Event.of_json line with
+       | Error msg ->
+         report (Malformed { line = line_no; msg });
+         go acc (line_no + 1) prev_seq prev_t
+       | Ok env ->
+         if env.Event.seq <> prev_seq + 1 then
+           report (Seq_gap { line = line_no; expected = prev_seq + 1; got = env.Event.seq });
+         if env.Event.t < prev_t then
+           report (Time_regression { line = line_no; prev = prev_t; got = env.Event.t });
+         go (f acc env) (line_no + 1) env.Event.seq (Float.max prev_t env.Event.t))
+  in
+  let acc = go init 1 0 neg_infinity in
+  (acc, List.rev !issues)
+
+let fold_file path ~init ~f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  fold_channel ic ~init ~f
+
+let read_file path =
+  let events, issues = fold_file path ~init:[] ~f:(fun acc env -> env :: acc) in
+  (List.rev events, issues)

@@ -1,0 +1,37 @@
+(** Streaming reader over JSONL traces (docs/TRACE_SCHEMA.md).
+
+    Real trace files get truncated, concatenated and hand-edited, so the
+    reader never aborts on a bad line: it skips it, records an {!issue},
+    and keeps going.  Envelope invariants that the writer guarantees
+    (gap-free [seq], monotone [t]) are checked on the way through and
+    violations are reported as issues too — a quick integrity check for
+    any trace of unknown provenance. *)
+
+type issue =
+  | Malformed of { line : int; msg : string }
+      (** The line failed to parse ([Event.of_json] error). *)
+  | Seq_gap of { line : int; expected : int; got : int }
+      (** [seq] is not the predecessor's successor (1 for the first
+          event).  Signals truncation or file concatenation. *)
+  | Time_regression of { line : int; prev : float; got : float }
+      (** [t] decreased — impossible for a trace written by
+          [Abonn_obs.Obs] (monotonised clock). *)
+
+val issue_line : issue -> int
+(** 1-based line number the issue was found at. *)
+
+val issue_to_string : issue -> string
+
+val fold_channel :
+  in_channel -> init:'a -> f:('a -> Abonn_obs.Event.envelope -> 'a) -> 'a * issue list
+(** Consume every line of the channel.  [f] sees well-formed envelopes
+    in file order; blank lines are skipped silently.  Issues come back
+    in line order. *)
+
+val fold_file :
+  string -> init:'a -> f:('a -> Abonn_obs.Event.envelope -> 'a) -> 'a * issue list
+(** [fold_channel] over [open_in path]; the channel is closed even if
+    [f] raises.  Raises [Sys_error] if the file cannot be opened. *)
+
+val read_file : string -> Abonn_obs.Event.envelope list * issue list
+(** Whole trace in memory, in file order. *)

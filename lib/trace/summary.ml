@@ -1,0 +1,173 @@
+module Event = Abonn_obs.Event
+
+type reported = {
+  verdict : string;
+  calls : int;
+  nodes : int;
+  max_depth : int;
+  wall : float;
+}
+
+type run = {
+  engine : string;
+  instance : string option;
+  verdict : string option;
+  calls : int;
+  nodes : int;
+  max_depth : int;
+  wall : float;
+  events : int;
+  reported : reported option;
+}
+
+(* --- segmentation --- *)
+
+let segments events =
+  (* [current] accumulates the open segment in reverse; [closed] the
+     finished segments in reverse.  [harness] is true while inside a
+     run_started .. run_finished bracket, where verdict_reached is an
+     interior event rather than a terminator. *)
+  let closed = ref [] and current = ref [] and harness = ref false in
+  let close () =
+    if !current <> [] then closed := List.rev !current :: !closed;
+    current := [];
+    harness := false
+  in
+  List.iter
+    (fun env ->
+      match env.Event.event with
+      | Event.Run_started _ ->
+        close ();
+        harness := true;
+        current := [ env ]
+      | Event.Run_finished _ ->
+        current := env :: !current;
+        close ()
+      | Event.Verdict_reached _ when not !harness ->
+        current := env :: !current;
+        close ()
+      | _ -> current := env :: !current)
+    events;
+  close ();
+  List.rev !closed
+
+(* --- reconstruction --- *)
+
+let of_events events =
+  let engine = ref None and instance = ref None and verdict = ref None in
+  let reported = ref None in
+  let node_evaluated = ref 0 and frontier_pop = ref 0 and exact_leaf = ref 0 in
+  let bound_computed = ref 0 in
+  let max_depth = ref 0 and last_frontier = ref 0 in
+  let engine_elapsed = ref None in
+  let t_first = ref None and t_last = ref 0.0 in
+  let saw_engine e = if !engine = None then engine := Some e in
+  let depth d = if d > !max_depth then max_depth := d in
+  List.iter
+    (fun env ->
+      if !t_first = None then t_first := Some env.Event.t;
+      t_last := env.Event.t;
+      match env.Event.event with
+      | Event.Run_started { engine = e; instance = i } ->
+        saw_engine e;
+        instance := Some i
+      | Event.Run_finished { engine = e; verdict = v; calls; nodes; max_depth = d; wall; _ }
+        ->
+        saw_engine e;
+        if !verdict = None then verdict := Some v;
+        reported := Some { verdict = v; calls; nodes; max_depth = d; wall }
+      | Event.Node_selected { engine = e; _ } -> saw_engine e
+      | Event.Node_evaluated { engine = e; depth = d; _ } ->
+        saw_engine e;
+        incr node_evaluated;
+        depth d
+      | Event.Backprop { engine = e; _ } -> saw_engine e
+      | Event.Frontier_pop { engine = e; depth = d; frontier; _ } ->
+        saw_engine e;
+        incr frontier_pop;
+        last_frontier := frontier;
+        depth d
+      | Event.Exact_leaf { engine = e; depth = d; _ } ->
+        saw_engine e;
+        incr exact_leaf;
+        depth d
+      | Event.Bound_computed { depth = d; _ } ->
+        incr bound_computed;
+        depth d
+      | Event.Lp_solved _ | Event.Attack_tried _ -> ()
+      | Event.Verdict_reached { engine = e; verdict = v; elapsed } ->
+        saw_engine e;
+        verdict := Some v;
+        engine_elapsed := Some elapsed)
+    events;
+  let engine = Option.value ~default:"?" !engine in
+  let calls, nodes =
+    match engine with
+    | "abonn" -> (!node_evaluated + !exact_leaf, !node_evaluated)
+    | "bab-baseline" -> (!frontier_pop + !exact_leaf, !frontier_pop + !last_frontier)
+    | "bestfirst" -> (!bound_computed + !exact_leaf, !bound_computed)
+    | _ ->
+      (* Unknown instrumentation: bound_computed counts AppVer work for
+         every built-in approximate verifier. *)
+      ( !bound_computed + !exact_leaf,
+        Stdlib.max !node_evaluated (Stdlib.max !frontier_pop !bound_computed) )
+  in
+  let wall =
+    match !engine_elapsed with
+    | Some e -> e
+    | None ->
+      (match !reported with
+       | Some r -> r.wall
+       | None -> !t_last -. Option.value ~default:!t_last !t_first)
+  in
+  { engine;
+    instance = !instance;
+    verdict = !verdict;
+    calls;
+    nodes;
+    max_depth = !max_depth;
+    wall;
+    events = List.length events;
+    reported = !reported }
+
+let runs events = List.map of_events (segments events)
+
+let consistent run =
+  match run.reported with
+  | None -> true
+  | Some r ->
+    Some r.verdict = run.verdict && r.calls = run.calls && r.nodes = run.nodes
+    && r.max_depth = run.max_depth
+
+(* --- rendering --- *)
+
+let to_string rs =
+  let buf = Buffer.create 512 in
+  let header =
+    Printf.sprintf "%-4s %-12s %-16s %-10s %8s %8s %6s %10s %7s" "#" "engine" "instance"
+      "verdict" "calls" "nodes" "depth" "wall s" "events"
+  in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length header) '-');
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-4d %-12s %-16s %-10s %8d %8d %6d %10.4f %7d" (i + 1) r.engine
+           (Option.value ~default:"-" r.instance)
+           (Option.value ~default:"open" r.verdict)
+           r.calls r.nodes r.max_depth r.wall r.events);
+      if not (consistent r) then begin
+        Buffer.add_string buf "  [MISMATCH";
+        (match r.reported with
+         | Some rep ->
+           Buffer.add_string buf
+             (Printf.sprintf " reported calls=%d nodes=%d depth=%d verdict=%s" rep.calls
+                rep.nodes rep.max_depth rep.verdict)
+         | None -> ());
+        Buffer.add_char buf ']'
+      end;
+      Buffer.add_char buf '\n')
+    rs;
+  Buffer.contents buf

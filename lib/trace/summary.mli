@@ -1,0 +1,65 @@
+(** Per-run statistics reconstructed from a trace.
+
+    A trace file holds one engine run (CLI [--trace]) or a whole sweep
+    (harness traces, delimited by [run_started]/[run_finished]).
+    {!segments} cuts the event stream into runs; {!of_events} replays
+    one run's events and rebuilds the statistics the engine itself
+    reported — verdict, AppVer calls, nodes, max depth, wall time —
+    from the event stream alone.
+
+    Reconstruction is exact for the engines whose instrumentation pins
+    every statistic to an event:
+
+    - [abonn]: calls = node_evaluated + exact_leaf, nodes =
+      node_evaluated, max depth = max node_evaluated depth;
+    - [bestfirst]: calls = bound_computed + exact_leaf, nodes = max
+      depth from bound_computed;
+    - [bab-baseline]: calls = frontier_pop + exact_leaf is exact; node
+      and depth counts are derived from frontier sizes and can
+      undercount by one split (2 nodes / 1 depth) on timeout, because
+      nodes pushed after the final pop are invisible to the trace.
+
+    Harness traces carry the ground truth in [run_finished]; it is kept
+    in [reported] so consumers can cross-check the reconstruction. *)
+
+type reported = {
+  verdict : string;
+  calls : int;
+  nodes : int;
+  max_depth : int;
+  wall : float;
+}
+
+type run = {
+  engine : string;  (** ["?"] when the segment has no engine-bearing event *)
+  instance : string option;  (** from [run_started] (harness traces only) *)
+  verdict : string option;  (** from [verdict_reached] / [run_finished] *)
+  calls : int;  (** reconstructed AppVer calls *)
+  nodes : int;  (** reconstructed BaB-tree size *)
+  max_depth : int;
+  wall : float;  (** engine seconds ([verdict_reached]), else event-time span *)
+  events : int;  (** envelopes in this run's segment *)
+  reported : reported option;  (** the [run_finished] payload, if any *)
+}
+
+val segments : Abonn_obs.Event.envelope list -> Abonn_obs.Event.envelope list list
+(** Cut a trace into per-run event lists.  Boundaries: a [run_started]
+    opens a run (closing any implicit one); [run_finished] closes it;
+    in CLI traces (no harness events) [verdict_reached] closes the run.
+    Every event belongs to exactly one segment; a trace with no
+    boundary events is a single segment. *)
+
+val of_events : Abonn_obs.Event.envelope list -> run
+(** Reconstruct one run from one segment. *)
+
+val runs : Abonn_obs.Event.envelope list -> run list
+(** [List.map of_events (segments events)]. *)
+
+val consistent : run -> bool
+(** When [reported] is present: does the reconstruction agree on
+    verdict, calls, nodes and max depth? [true] when nothing was
+    reported. *)
+
+val to_string : run list -> string
+(** Render runs as an aligned table, flagging reconstructed-vs-reported
+    mismatches. *)

@@ -1,0 +1,201 @@
+module Event = Abonn_obs.Event
+
+type node = {
+  gamma : string;
+  token : string;
+  depth : int;
+  phat : float;
+  reward : float;
+  seq : int;
+  mutable children : node list;
+}
+
+type shape = {
+  nodes : int;
+  max_depth : int;
+  depth_counts : int array;
+  interior : int;
+  leaves_proved : int;
+  leaves_cex : int;
+  leaves_open : int;
+  exact_verified : int;
+  exact_falsified : int;
+  orphans : int;
+}
+
+type t = { root : node option; shape : shape }
+
+let root_gamma = "\xce\xb5" (* ε *)
+
+let parent_gamma gamma =
+  if gamma = root_gamma then None
+  else
+    match String.rindex_opt gamma '.' with
+    | Some i -> Some (String.sub gamma 0 i)
+    | None -> Some root_gamma
+
+let last_token gamma =
+  match String.rindex_opt gamma '.' with
+  | Some i -> String.sub gamma (i + 1) (String.length gamma - i - 1)
+  | None -> gamma
+
+let build events =
+  let by_gamma : (string, node) Hashtbl.t = Hashtbl.create 256 in
+  let root = ref None and orphans = ref 0 in
+  let exact_verified = ref 0 and exact_falsified = ref 0 in
+  let max_depth = ref 0 and depth_tally : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let untracked = ref 0 in
+  (* nodes seen only through depth-bearing events, no gamma *)
+  let count_depth d =
+    if d > !max_depth then max_depth := d;
+    Hashtbl.replace depth_tally d (1 + Option.value ~default:0 (Hashtbl.find_opt depth_tally d))
+  in
+  List.iter
+    (fun env ->
+      match env.Event.event with
+      | Event.Node_evaluated { depth; gamma; phat; reward; _ } ->
+        count_depth depth;
+        let node =
+          { gamma; token = last_token gamma; depth; phat; reward; seq = env.Event.seq;
+            children = [] }
+        in
+        (* Re-evaluations of the same gamma should not occur; keep the first. *)
+        if not (Hashtbl.mem by_gamma gamma) then begin
+          Hashtbl.add by_gamma gamma node;
+          match parent_gamma gamma with
+          | None -> root := Some node
+          | Some pg ->
+            (match Hashtbl.find_opt by_gamma pg with
+             | Some parent -> parent.children <- parent.children @ [ node ]
+             | None -> incr orphans)
+        end
+      | Event.Frontier_pop { depth; _ } ->
+        count_depth depth;
+        incr untracked
+      | Event.Exact_leaf { verified; depth; _ } ->
+        if depth > !max_depth then max_depth := depth;
+        if verified then incr exact_verified else incr exact_falsified
+      | _ -> ())
+    events;
+  let nodes = Hashtbl.length by_gamma + !untracked in
+  let depth_counts = Array.make (!max_depth + 1) 0 in
+  Hashtbl.iter
+    (fun d n -> if d >= 0 && d < Array.length depth_counts then depth_counts.(d) <- n)
+    depth_tally;
+  let interior = ref 0 and proved = ref 0 and cex = ref 0 and open_ = ref 0 in
+  Hashtbl.iter
+    (fun _ n ->
+      if n.children <> [] then incr interior
+      else if n.reward = neg_infinity then incr proved
+      else if n.reward = infinity then incr cex
+      else incr open_)
+    by_gamma;
+  { root = !root;
+    shape =
+      { nodes;
+        max_depth = !max_depth;
+        depth_counts;
+        interior = !interior;
+        leaves_proved = !proved;
+        leaves_cex = !cex;
+        leaves_open = !open_;
+        exact_verified = !exact_verified;
+        exact_falsified = !exact_falsified;
+        orphans = !orphans } }
+
+(* --- rendering --- *)
+
+let shape_to_string s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "nodes: %d (interior %d)  max depth: %d\n" s.nodes s.interior
+       s.max_depth);
+  Buffer.add_string buf
+    (Printf.sprintf "leaves: %d proved, %d counterexample, %d open\n" s.leaves_proved
+       s.leaves_cex s.leaves_open);
+  if s.exact_verified + s.exact_falsified > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "exact leaves: %d verified, %d falsified\n" s.exact_verified
+         s.exact_falsified);
+  if s.orphans > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "orphans: %d (parent missing — truncated trace?)\n" s.orphans);
+  let vmax = Array.fold_left Stdlib.max 1 s.depth_counts in
+  Buffer.add_string buf "depth histogram:\n";
+  Array.iteri
+    (fun d n ->
+      let width = n * 40 / vmax in
+      Buffer.add_string buf (Printf.sprintf "  %3d %6d %s\n" d n (String.make width '#')))
+    s.depth_counts;
+  Buffer.contents buf
+
+let fnum v =
+  if v = infinity then "+inf"
+  else if v = neg_infinity then "-inf"
+  else if Float.is_nan v then "nan"
+  else Printf.sprintf "%.4f" v
+
+let render_ascii ?(max_nodes = 200) root =
+  let buf = Buffer.create 1024 in
+  let printed = ref 0 and suppressed = ref 0 in
+  let rec go prefix is_last node =
+    if !printed >= max_nodes then incr suppressed
+    else begin
+      incr printed;
+      let connector =
+        if node.depth = 0 then "" else if is_last then "`-- " else "|-- "
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%s  phat=%s reward=%s\n" prefix connector node.token
+           (fnum node.phat) (fnum node.reward));
+      let child_prefix =
+        if node.depth = 0 then "" else prefix ^ (if is_last then "    " else "|   ")
+      in
+      let rec children = function
+        | [] -> ()
+        | [ c ] -> go child_prefix true c
+        | c :: rest ->
+          go child_prefix false c;
+          children rest
+      in
+      children node.children
+    end
+  in
+  go "" true root;
+  if !suppressed > 0 then
+    Buffer.add_string buf (Printf.sprintf "... (%d more nodes suppressed)\n" !suppressed);
+  Buffer.contents buf
+
+let render_dot ?(max_nodes = 2000) root =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph bab {\n";
+  Buffer.add_string buf "  node [shape=box, style=filled, fontname=\"monospace\"];\n";
+  let count = ref 0 in
+  let esc s =
+    String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                        (List.init (String.length s) (String.get s)))
+  in
+  let color n =
+    if n.children <> [] then "lightblue"
+    else if n.reward = neg_infinity then "palegreen"
+    else if n.reward = infinity then "salmon"
+    else "lightyellow"
+  in
+  let rec go n =
+    if !count < max_nodes then begin
+      incr count;
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\nphat=%s r=%s\", fillcolor=%s];\n" n.seq
+           (esc n.token) (fnum n.phat) (fnum n.reward) (color n));
+      List.iter
+        (fun c ->
+          if !count < max_nodes then begin
+            go c;
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" n.seq c.seq)
+          end)
+        n.children
+    end
+  in
+  go root;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -214,6 +214,54 @@ let test_histogram_buckets () =
     Alcotest.(check int) "bottom decade" 1 (at 1e-7)
   | _ -> Alcotest.fail "expected exactly h"
 
+let test_quantile_identical_samples () =
+  Metrics.set_enabled true;
+  (* all mass at one point: every quantile clamps to the observed value *)
+  List.iter (Obs.observe "q") [ 0.005; 0.005; 0.005; 0.005 ];
+  match (Metrics.snapshot ()).Metrics.hists with
+  | [ ("q", h) ] ->
+    List.iter
+      (fun q ->
+        Alcotest.(check (float 1e-12))
+          (Printf.sprintf "q=%g" q)
+          0.005 (Metrics.quantile h q))
+      [ 0.0; 0.25; 0.5; 0.99; 1.0 ]
+  | _ -> Alcotest.fail "expected exactly q"
+
+let test_quantile_interpolates_and_clamps () =
+  Metrics.set_enabled true;
+  (* 2 samples in the 1e-4 decade, 1 in 1e-2, 1 in [1, 10) *)
+  List.iter (Obs.observe "q") [ 1e-4; 1e-4; 1e-2; 7.0 ];
+  match (Metrics.snapshot ()).Metrics.hists with
+  | [ ("q", h) ] ->
+    Alcotest.(check (float 1e-12)) "q=0 is the min" 1e-4 (Metrics.quantile h 0.0);
+    Alcotest.(check (float 1e-12)) "q=1 clamps to the max" 7.0 (Metrics.quantile h 1.0);
+    (* rank 2 of 4 exhausts the first bucket: exactly its upper edge *)
+    Alcotest.(check (float 1e-12)) "p50 on a bucket boundary" 1e-3
+      (Metrics.quantile h 0.5);
+    (* out-of-range q is clamped, not an error *)
+    Alcotest.(check (float 1e-12)) "q<0 clamps" 1e-4 (Metrics.quantile h (-1.0));
+    Alcotest.(check (float 1e-12)) "q>1 clamps" 7.0 (Metrics.quantile h 2.0)
+  | _ -> Alcotest.fail "expected exactly q"
+
+let test_quantile_empty_is_nan () =
+  let h =
+    { Metrics.count = 0; sum = 0.0; lo = Float.nan; hi = Float.nan; buckets = [||] }
+  in
+  Alcotest.(check bool) "nan" true (Float.is_nan (Metrics.quantile h 0.5))
+
+let test_stats_report_shows_quantiles () =
+  Metrics.set_enabled true;
+  List.iter (Obs.observe "lp.solve") [ 1e-4; 2e-4; 3e-3 ];
+  let rendered = Abonn_harness.Report.stats (Metrics.snapshot ()) in
+  let contains affix =
+    let n = String.length affix and m = String.length rendered in
+    let rec go i = i + n <= m && (String.sub rendered i n = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "p50 column" true (contains "p50=");
+  Alcotest.(check bool) "p99 column" true (contains "p99=")
+
 let test_reset_clears_everything () =
   Metrics.set_enabled true;
   Obs.incr "c";
@@ -265,6 +313,13 @@ let suite =
         Alcotest.test_case "spans" `Quick (isolated test_spans);
         Alcotest.test_case "time" `Quick (isolated test_time_records_a_span);
         Alcotest.test_case "histogram buckets" `Quick (isolated test_histogram_buckets);
+        Alcotest.test_case "quantile identical samples" `Quick
+          (isolated test_quantile_identical_samples);
+        Alcotest.test_case "quantile interpolation" `Quick
+          (isolated test_quantile_interpolates_and_clamps);
+        Alcotest.test_case "quantile empty" `Quick (isolated test_quantile_empty_is_nan);
+        Alcotest.test_case "stats report quantiles" `Quick
+          (isolated test_stats_report_shows_quantiles);
         Alcotest.test_case "reset" `Quick (isolated test_reset_clears_everything);
         Alcotest.test_case "disabled is inert" `Quick (isolated test_disabled_records_nothing);
         Alcotest.test_case "tracing flips active" `Quick (isolated test_tracing_flips_active)

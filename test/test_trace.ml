@@ -1,0 +1,438 @@
+(* Tests for Abonn_trace: streaming reader with malformed-line recovery
+   and envelope validation, BaB-tree reconstruction, phase attribution,
+   anytime curves, per-run summaries and trace diff — against a
+   hand-written golden fixture with known shape and totals, and against
+   fresh engine runs (the summary must reproduce the engine's own
+   statistics exactly). *)
+
+module Rng = Abonn_util.Rng
+module Budget = Abonn_util.Budget
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Verdict = Abonn_spec.Verdict
+module Problem = Abonn_spec.Problem
+module Network = Abonn_nn.Network
+module Builder = Abonn_nn.Builder
+module Result = Abonn_bab.Result
+module Event = Abonn_obs.Event
+module Sink = Abonn_obs.Sink
+module Obs = Abonn_obs.Obs
+module Reader = Abonn_trace.Reader
+module Tree = Abonn_trace.Tree
+module Phases = Abonn_trace.Phases
+module Curve = Abonn_trace.Curve
+module Summary = Abonn_trace.Summary
+module Diff = Abonn_trace.Diff
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let count ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i acc =
+    if i + n > m then acc
+    else go (i + 1) (if String.sub s i n = affix then acc + 1 else acc)
+  in
+  if n = 0 then 0 else go 0 0
+
+let check_contains what affix s =
+  Alcotest.(check bool) what true (contains ~affix s)
+
+let golden = "fixtures/golden.jsonl"
+let malformed = "fixtures/malformed.jsonl"
+
+let read_clean path =
+  let events, issues = Reader.read_file path in
+  Alcotest.(check (list string)) (path ^ " has no issues") []
+    (List.map Reader.issue_to_string issues);
+  events
+
+(* --- reader --- *)
+
+let test_reader_golden () =
+  let events = read_clean golden in
+  Alcotest.(check int) "all events" 18 (List.length events);
+  let seqs = List.map (fun e -> e.Event.seq) events in
+  Alcotest.(check (list int)) "seqs in order" (List.init 18 (fun i -> i + 1)) seqs
+
+let test_reader_recovery () =
+  let events, issues = Reader.read_file malformed in
+  Alcotest.(check int) "good events survive" 5 (List.length events);
+  let malformed_lines =
+    List.filter_map
+      (function Reader.Malformed { line; _ } -> Some line | _ -> None)
+      issues
+  in
+  Alcotest.(check (list int)) "malformed lines" [ 3; 4 ] malformed_lines;
+  (match
+     List.find_opt (function Reader.Seq_gap _ -> true | _ -> false) issues
+   with
+   | Some (Reader.Seq_gap { line; expected; got }) ->
+     Alcotest.(check int) "gap line" 5 line;
+     Alcotest.(check int) "gap expected" 3 expected;
+     Alcotest.(check int) "gap got" 5 got
+   | _ -> Alcotest.fail "no seq gap reported");
+  match
+    List.find_opt (function Reader.Time_regression _ -> true | _ -> false) issues
+  with
+  | Some (Reader.Time_regression { line; _ }) ->
+    Alcotest.(check int) "regression line" 6 line
+  | _ -> Alcotest.fail "no time regression reported"
+
+let test_reader_missing_file () =
+  match Reader.read_file "fixtures/does_not_exist.jsonl" with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "expected Sys_error"
+
+(* --- tree --- *)
+
+let test_tree_golden_shape () =
+  let t = Tree.build (read_clean golden) in
+  let s = t.Tree.shape in
+  Alcotest.(check int) "nodes" 5 s.Tree.nodes;
+  Alcotest.(check int) "max depth" 2 s.Tree.max_depth;
+  Alcotest.(check (array int)) "depth histogram" [| 1; 2; 2 |] s.Tree.depth_counts;
+  Alcotest.(check int) "interior" 2 s.Tree.interior;
+  Alcotest.(check int) "proved leaves" 1 s.Tree.leaves_proved;
+  Alcotest.(check int) "cex leaves" 1 s.Tree.leaves_cex;
+  Alcotest.(check int) "open leaves" 1 s.Tree.leaves_open;
+  Alcotest.(check int) "orphans" 0 s.Tree.orphans;
+  match t.Tree.root with
+  | None -> Alcotest.fail "no root"
+  | Some root ->
+    Alcotest.(check string) "root gamma" Tree.root_gamma root.Tree.gamma;
+    Alcotest.(check int) "root children" 2 (List.length root.Tree.children);
+    let first = List.hd root.Tree.children in
+    Alcotest.(check string) "first child in eval order" "r1+" first.Tree.gamma;
+    Alcotest.(check int) "grandchildren" 2 (List.length first.Tree.children)
+
+let test_tree_renderings () =
+  let t = Tree.build (read_clean golden) in
+  let root = Option.get t.Tree.root in
+  let ascii = Tree.render_ascii root in
+  List.iter
+    (fun token -> check_contains (token ^ " in ascii") token ascii)
+    [ "r1+"; "r1-"; "r2+"; "r2-" ];
+  let dot = Tree.render_dot root in
+  check_contains "digraph" "digraph" dot;
+  check_contains "cex colored" "salmon" dot;
+  check_contains "proved colored" "palegreen" dot;
+  (* 5 nodes, 4 edges *)
+  Alcotest.(check int) "edges" 4 (count ~affix:" -> " dot)
+
+let test_tree_truncation () =
+  let t = Tree.build (read_clean golden) in
+  let root = Option.get t.Tree.root in
+  let ascii = Tree.render_ascii ~max_nodes:2 root in
+  check_contains "ellipsis" "3 more nodes suppressed" ascii
+
+let test_tree_baseline_profile_only () =
+  (* frontier_pop-only traces have no gammas: depth profile, no root. *)
+  let events =
+    List.mapi
+      (fun i depth ->
+        { Event.seq = i + 1; t = float_of_int i /. 100.0;
+          event =
+            Event.Frontier_pop
+              { engine = "bab-baseline"; depth; frontier = 1; priority = Float.nan } })
+      [ 0; 1; 1; 2 ]
+  in
+  let t = Tree.build events in
+  Alcotest.(check bool) "no root" true (t.Tree.root = None);
+  Alcotest.(check int) "nodes counted" 4 t.Tree.shape.Tree.nodes;
+  Alcotest.(check (array int)) "depth histogram" [| 1; 2; 1 |]
+    t.Tree.shape.Tree.depth_counts
+
+(* --- phases --- *)
+
+let test_phases_golden () =
+  let p = Phases.of_events (read_clean golden) in
+  check_float "wall" 0.07 p.Phases.wall;
+  Alcotest.(check int) "appver calls" 5 p.Phases.appver_total.Phases.calls;
+  check_float "appver total" 0.036 p.Phases.appver_total.Phases.total;
+  Alcotest.(check int) "lp calls" 1 p.Phases.lp.Phases.calls;
+  check_float "lp total" 0.002 p.Phases.lp.Phases.total;
+  check_float "no lp inside appver" 0.0 p.Phases.lp_in_appver;
+  (* pgd nests inside the best-effort window: top-level attack = best-effort only *)
+  Alcotest.(check int) "top-level attacks" 1 p.Phases.attack_total.Phases.calls;
+  check_float "attack total" 0.004 p.Phases.attack_total.Phases.total;
+  check_float "overhead" (0.07 -. 0.036 -. 0.002 -. 0.004) p.Phases.overhead;
+  check_contains "renders appver row" "appver.deeppoly" (Phases.to_string p)
+
+let test_phases_lp_inside_appver () =
+  (* An lp_solved whose window falls inside a bound_computed window is
+     charged to AppVer, not double-charged to the LP phase. *)
+  let env i t event = { Event.seq = i; t; event } in
+  let events =
+    [ env 1 0.008
+        (Event.Lp_solved { vars = 2; rows = 2; status = "optimal"; elapsed = 0.004 });
+      env 2 0.010
+        (Event.Bound_computed { appver = "lp"; depth = 0; phat = -0.1; elapsed = 0.006 });
+      env 3 0.020
+        (Event.Verdict_reached { engine = "abonn"; verdict = "timeout"; elapsed = 0.02 })
+    ]
+  in
+  let p = Phases.of_events events in
+  check_float "lp claimed by appver" 0.004 p.Phases.lp_in_appver;
+  check_float "overhead excludes nested lp" (0.02 -. 0.006) p.Phases.overhead
+
+(* --- curve --- *)
+
+let test_curve_golden () =
+  let points = Curve.of_events (read_clean golden) in
+  (* 5 node_evaluated + 1 verdict_reached *)
+  Alcotest.(check int) "points" 6 (List.length points);
+  let last = List.nth points 5 in
+  Alcotest.(check int) "calls" 5 last.Curve.calls;
+  Alcotest.(check int) "nodes" 5 last.Curve.nodes;
+  Alcotest.(check int) "max depth" 2 last.Curve.max_depth;
+  Alcotest.(check int) "frontier = open leaves" 1 last.Curve.frontier;
+  check_float "best reward is cex" infinity last.Curve.best_reward;
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "t monotone" true (a.Curve.t <= b.Curve.t);
+      monotone rest
+    | _ -> ()
+  in
+  monotone points;
+  let csv = Curve.to_csv points in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + rows" 7 (List.length lines);
+  Alcotest.(check string) "header" "t,seq,calls,nodes,max_depth,frontier,best_reward"
+    (List.hd lines)
+
+(* --- summary --- *)
+
+let test_summary_golden () =
+  match Summary.runs (read_clean golden) with
+  | [ run ] ->
+    Alcotest.(check string) "engine" "abonn" run.Summary.engine;
+    Alcotest.(check (option string)) "verdict" (Some "falsified") run.Summary.verdict;
+    Alcotest.(check int) "calls" 5 run.Summary.calls;
+    Alcotest.(check int) "nodes" 5 run.Summary.nodes;
+    Alcotest.(check int) "max depth" 2 run.Summary.max_depth;
+    check_float "wall" 0.07 run.Summary.wall;
+    Alcotest.(check int) "events" 18 run.Summary.events;
+    Alcotest.(check bool) "consistent (nothing reported)" true (Summary.consistent run)
+  | runs -> Alcotest.fail (Printf.sprintf "expected 1 run, got %d" (List.length runs))
+
+let test_summary_segments_harness_trace () =
+  (* Two harness runs in one file; verdict_reached inside a
+     run_started/run_finished bracket must not cut the segment. *)
+  let env i t event = { Event.seq = i; t; event } in
+  let run_pair i t0 engine verdict =
+    [ env i t0 (Event.Run_started { engine; instance = "inst" });
+      env (i + 1) (t0 +. 0.001)
+        (Event.Node_evaluated
+           { engine; depth = 0; gamma = Tree.root_gamma; phat = -0.1; reward = 0.1 });
+      env (i + 2) (t0 +. 0.002)
+        (Event.Verdict_reached { engine; verdict; elapsed = 0.002 });
+      env (i + 3) (t0 +. 0.003)
+        (Event.Run_finished
+           { engine; instance = "inst"; verdict; calls = 1; nodes = 1; max_depth = 0;
+             wall = 0.003 })
+    ]
+  in
+  let events = run_pair 1 0.0 "abonn" "verified" @ run_pair 5 1.0 "abonn" "timeout" in
+  let runs = Summary.runs events in
+  Alcotest.(check int) "two runs" 2 (List.length runs);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string)) "instance" (Some "inst") r.Summary.instance;
+      Alcotest.(check bool) "reported present" true (r.Summary.reported <> None);
+      Alcotest.(check bool) "reconstruction matches report" true (Summary.consistent r))
+    runs;
+  Alcotest.(check (option string)) "first verdict" (Some "verified")
+    (List.hd runs).Summary.verdict
+
+(* --- summary vs a fresh engine run (the acceptance property) --- *)
+
+let random_problem ?(seed = 0) ?(dims = [ 2; 6; 2 ]) ?(eps = 0.3) () =
+  let rng = Rng.create seed in
+  let net = Builder.mlp rng ~dims in
+  let in_dim = List.hd dims in
+  let center = Array.init in_dim (fun _ -> Rng.range rng (-0.5) 0.5) in
+  let region = Region.linf_ball ~center ~eps () in
+  let out_dim = List.nth dims (List.length dims - 1) in
+  let label = Network.predict net center in
+  let property = Property.robustness ~num_classes:out_dim ~label in
+  Problem.create ~network:net ~region ~property ()
+
+let traced_run verify =
+  let path = Filename.temp_file "abonn_trace_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let sink = Sink.jsonl_file path in
+  let result = Obs.with_sink sink verify in
+  sink.Sink.close ();
+  let events = read_clean path in
+  (result, events)
+
+(* [exact_shape]: bab-baseline node/depth reconstruction may undercount
+   by one split on timeout (see Summary docs), so those two fields are
+   only asserted for solved runs there. *)
+let check_summary_matches ?(exact_shape = true) name (result : Result.t) events =
+  match Summary.runs events with
+  | [ run ] ->
+    Alcotest.(check (option string)) (name ^ " verdict")
+      (Some (Verdict.to_string result.Result.verdict))
+      run.Summary.verdict;
+    Alcotest.(check int) (name ^ " calls") result.Result.stats.Result.appver_calls
+      run.Summary.calls;
+    if exact_shape then begin
+      Alcotest.(check int) (name ^ " nodes") result.Result.stats.Result.nodes
+        run.Summary.nodes;
+      Alcotest.(check int) (name ^ " max depth") result.Result.stats.Result.max_depth
+        run.Summary.max_depth
+    end
+  | runs ->
+    Alcotest.fail (Printf.sprintf "%s: expected 1 run, got %d" name (List.length runs))
+
+let test_summary_reproduces_abonn_run () =
+  List.iter
+    (fun seed ->
+      let problem = random_problem ~seed () in
+      let result, events =
+        traced_run (fun () ->
+            Abonn_core.Abonn.verify ~budget:(Budget.of_calls 200) problem)
+      in
+      check_summary_matches (Printf.sprintf "abonn seed %d" seed) result events)
+    [ 0; 1; 2; 3 ]
+
+let test_summary_reproduces_bfs_run () =
+  List.iter
+    (fun seed ->
+      let problem = random_problem ~seed () in
+      let result, events =
+        traced_run (fun () -> Abonn_bab.Bfs.verify ~budget:(Budget.of_calls 200) problem)
+      in
+      let exact_shape = Verdict.is_solved result.Result.verdict in
+      check_summary_matches ~exact_shape
+        (Printf.sprintf "bfs seed %d" seed)
+        result events)
+    [ 0; 1; 2 ]
+
+let test_summary_reproduces_bestfirst_run () =
+  let problem = random_problem ~seed:1 () in
+  let result, events =
+    traced_run (fun () ->
+        Abonn_bab.Bestfirst.verify ~budget:(Budget.of_calls 200) problem)
+  in
+  check_summary_matches "bestfirst" result events
+
+(* --- diff --- *)
+
+let test_diff_self_is_neutral () =
+  let events = read_clean golden in
+  let d = Diff.diff events events in
+  Alcotest.(check int) "same visits" d.Diff.visits_a d.Diff.visits_b;
+  Alcotest.(check int) "full shared prefix" 5 d.Diff.shared_prefix;
+  Alcotest.(check bool) "no divergence" true (d.Diff.divergence = None);
+  check_contains "renders delta column" "delta" (Diff.to_string d)
+
+let test_diff_abonn_vs_bfs () =
+  let problem = random_problem ~seed:2 () in
+  let _, abonn_events =
+    traced_run (fun () -> Abonn_core.Abonn.verify ~budget:(Budget.of_calls 150) problem)
+  in
+  let _, bfs_events =
+    traced_run (fun () -> Abonn_bab.Bfs.verify ~budget:(Budget.of_calls 150) problem)
+  in
+  let d = Diff.diff abonn_events bfs_events in
+  (* Both engines start at the unsplit root, so depth-compared visit
+     sequences share at least that first visit. *)
+  Alcotest.(check bool) "shared prefix >= 1" true (d.Diff.shared_prefix >= 1);
+  Alcotest.(check string) "engine a" "abonn" d.Diff.run_a.Summary.engine;
+  Alcotest.(check string) "engine b" "bab-baseline" d.Diff.run_b.Summary.engine;
+  let rendered = Diff.to_string ~label_a:"abonn" ~label_b:"bfs" d in
+  check_contains "mentions label a" "abonn" rendered;
+  check_contains "mentions label b" "bfs" rendered;
+  check_contains "reports shared prefix" "shared visit prefix" rendered
+
+(* --- progress sink --- *)
+
+let test_progress_sink_heartbeat () =
+  let path = Filename.temp_file "abonn_progress" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  let sink = Sink.progress ~out:oc ~every:0.0 () in
+  Obs.with_sink sink (fun () ->
+      List.iter Obs.emit
+        [ Event.Node_evaluated
+            { engine = "abonn"; depth = 0; gamma = Tree.root_gamma; phat = -0.2;
+              reward = 0.4 };
+          Event.Node_evaluated
+            { engine = "abonn"; depth = 1; gamma = "r1+"; phat = -0.1; reward = 0.6 };
+          Event.Exact_leaf { engine = "abonn"; depth = 2; verified = true } ]);
+  sink.Sink.close ();
+  close_out oc;
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (* heartbeats are \r-separated in-place updates of one line *)
+  let updates =
+    String.split_on_char '\r' content |> List.filter (fun s -> String.trim s <> "")
+  in
+  Alcotest.(check int) "one update per event" 3 (List.length updates);
+  let last = List.nth updates 2 in
+  check_contains "final calls" "calls=3" last;
+  check_contains "final nodes" "nodes=2" last;
+  check_contains "final depth" "depth=2" last;
+  check_contains "final best" "best=0.6" last;
+  Alcotest.(check bool) "close terminates the line" true
+    (String.length content > 0 && content.[String.length content - 1] = '\n')
+
+let test_progress_sink_silent_when_uninstalled () =
+  (* The single-branch overhead guarantee: an emitted event reaches no
+     sink that is not installed. *)
+  let path = Filename.temp_file "abonn_progress" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  let _sink : Sink.t = Sink.progress ~out:oc ~every:0.0 () in
+  Obs.emit
+    (Event.Node_evaluated
+       { engine = "abonn"; depth = 0; gamma = Tree.root_gamma; phat = -0.2; reward = 0.4 });
+  close_out oc;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Alcotest.(check int) "no output" 0 len
+
+let suite =
+  [ ( "trace.reader",
+      [ Alcotest.test_case "golden parses clean" `Quick test_reader_golden;
+        Alcotest.test_case "malformed-line recovery" `Quick test_reader_recovery;
+        Alcotest.test_case "missing file" `Quick test_reader_missing_file
+      ] );
+    ( "trace.tree",
+      [ Alcotest.test_case "golden shape" `Quick test_tree_golden_shape;
+        Alcotest.test_case "ascii + dot renderings" `Quick test_tree_renderings;
+        Alcotest.test_case "render truncation" `Quick test_tree_truncation;
+        Alcotest.test_case "baseline depth profile" `Quick test_tree_baseline_profile_only
+      ] );
+    ( "trace.phases",
+      [ Alcotest.test_case "golden totals" `Quick test_phases_golden;
+        Alcotest.test_case "lp inside appver window" `Quick test_phases_lp_inside_appver
+      ] );
+    ( "trace.curve", [ Alcotest.test_case "golden curve" `Quick test_curve_golden ] );
+    ( "trace.summary",
+      [ Alcotest.test_case "golden summary" `Quick test_summary_golden;
+        Alcotest.test_case "harness segmentation" `Quick test_summary_segments_harness_trace;
+        Alcotest.test_case "reproduces abonn run" `Quick test_summary_reproduces_abonn_run;
+        Alcotest.test_case "reproduces bfs run" `Quick test_summary_reproduces_bfs_run;
+        Alcotest.test_case "reproduces bestfirst run" `Quick
+          test_summary_reproduces_bestfirst_run
+      ] );
+    ( "trace.diff",
+      [ Alcotest.test_case "self diff is neutral" `Quick test_diff_self_is_neutral;
+        Alcotest.test_case "abonn vs bfs" `Quick test_diff_abonn_vs_bfs
+      ] );
+    ( "trace.progress",
+      [ Alcotest.test_case "heartbeat aggregates" `Quick test_progress_sink_heartbeat;
+        Alcotest.test_case "uninstalled is silent" `Quick
+          test_progress_sink_silent_when_uninstalled
+      ] )
+  ]
