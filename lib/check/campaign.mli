@@ -1,0 +1,55 @@
+(** Seeded differential-fuzzing campaigns.
+
+    A campaign generates [cases] problems from a single seed, runs the
+    selected oracle families on each, and turns every failure into a
+    {!Finding.t}: the case is greedily shrunk to a minimal reproducer
+    (same oracle check still failing), serialized with
+    {!Abonn_spec.Problem_file} next to its network, re-loaded and
+    re-checked — so every reported finding is replayable from disk by
+    construction.
+
+    While an {!Abonn_obs} sink is installed, each case additionally emits
+    [run_started] / [run_finished] trace events (engine ["fuzz"]), so
+    [abonn_trace summary] works on campaign traces unchanged. *)
+
+type config = {
+  seed : int;
+  cases : int;
+  families : Oracle.family list;
+  minimize : bool;           (** shrink failing cases before reporting *)
+  out_dir : string option;
+      (** where minimal repros are written; default: a fresh directory
+          under the system temp dir *)
+  oracle : Oracle.config;
+}
+
+val default : config
+(** Seed 1, 100 cases, all families, minimisation on, temp-dir repros,
+    {!Oracle.default_config}. *)
+
+type outcome = {
+  cases_run : int;
+  checks_run : int;          (** oracle-family runs, summed over cases *)
+  findings : Finding.t list; (** in discovery order *)
+}
+
+val run :
+  ?on_finding:(Finding.t -> unit) ->
+  ?on_case:(Gen.case -> unit) ->
+  config ->
+  outcome
+(** [on_case] fires before each case is checked (progress reporting);
+    [on_finding] fires as each finding is confirmed (streaming logs). *)
+
+val replay_file :
+  ?config:Oracle.config -> seed:int -> family:Oracle.family -> string -> Oracle.verdict
+(** Load a problem file and run one oracle family on it — the
+    replay path used both by fixture tests and for triaging findings. *)
+
+val export_corpus : ?seed:int -> dir:string -> unit -> (string * Oracle.family * int) list
+(** Seed a regression corpus: for every oracle family, find a generated
+    case that genuinely exercises it (solvable within budget, unstable
+    neurons present, certificate produced, …), shrink it while it stays
+    interesting, and save it under [dir] together with a [corpus.txt]
+    manifest of [file family seed] lines.  Returns the manifest entries.
+    Intended to (re)generate [test/fixtures/fuzz/]. *)

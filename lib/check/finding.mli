@@ -1,0 +1,28 @@
+(** One confirmed oracle failure, ready for logging and replay.
+
+    Findings are appended to a JSONL log — one flat JSON object per line
+    with an ["ev": "fuzz_finding"] discriminator, the same wire
+    conventions as [docs/TRACE_SCHEMA.md] (strings escaped identically,
+    non-finite floats as strings) — so the [abonn_trace] tooling's
+    streaming reader conventions apply to findings logs too. *)
+
+type t = {
+  case_index : int;            (** position in the campaign *)
+  case_seed : int;             (** regenerates the original case *)
+  family : Oracle.family;
+  check : string;              (** violated invariant id *)
+  detail : string;             (** evidence message *)
+  descr : string;              (** generated case description *)
+  relus : int;                 (** ReLU count of the original case *)
+  relus_minimized : int option;(** ReLU count after shrinking, if run *)
+  repro : string option;       (** path of the serialized minimal repro *)
+  roundtrip_ok : bool option;
+      (** whether the saved repro, re-loaded via [Problem_file], fails the
+          same oracle check (the replayability guarantee) *)
+}
+
+val to_json : t -> string
+(** One JSON line, no trailing newline. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering for CLI output. *)

@@ -1,0 +1,127 @@
+module Rng = Abonn_util.Rng
+module Vector = Abonn_tensor.Vector
+module Network = Abonn_nn.Network
+module Builder = Abonn_nn.Builder
+module Trainer = Abonn_nn.Trainer
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Problem = Abonn_spec.Problem
+
+type case = {
+  index : int;
+  seed : int;
+  descr : string;
+  problem : Problem.t;
+}
+
+let max_relus = 8
+
+let case_seed ~seed ~index =
+  (* One SplitMix64 step over a seed/index mix keeps nearby campaign
+     seeds and indices statistically unrelated. *)
+  let r = Rng.create ((seed * 1_000_003) lxor (index * 8191)) in
+  Int64.to_int (Int64.logand (Rng.int64 r) 0x3FFFFFFF_FFFFFFFFL)
+
+(* --- networks --- *)
+
+let mlp_dims rng =
+  let input = 2 + Rng.int rng 2 in
+  let out = 2 + Rng.int rng 2 in
+  let hidden =
+    if Rng.bool rng then [ 2 + Rng.int rng 5 ] (* one hidden layer, 2-6 wide *)
+    else [ 2 + Rng.int rng 2; 2 + Rng.int rng 2 ] (* two layers, 2-3 wide *)
+  in
+  (input :: hidden) @ [ out ]
+
+let dims_descr dims = "[" ^ String.concat ";" (List.map string_of_int dims) ^ "]"
+
+(* Brief training on a linearly separable task gives the weights the
+   correlated, non-random structure real benchmark models have. *)
+let train_briefly rng net ~in_dim ~out_dim =
+  let teacher = Array.init in_dim (fun _ -> Rng.range rng (-1.0) 1.0) in
+  let samples =
+    Array.init 48 (fun _ ->
+        let x = Array.init in_dim (fun _ -> Rng.range rng (-1.0) 1.0) in
+        let label = if Vector.dot teacher x > 0.0 then 1 mod out_dim else 0 in
+        { Trainer.features = x; label })
+  in
+  let config =
+    { Trainer.epochs = 4; batch_size = 8; learning_rate = 0.05; lr_decay = 0.9;
+      verbose = false }
+  in
+  Trainer.train ~config rng net samples
+
+let network rng =
+  let roll = Rng.int rng 100 in
+  if roll < 70 then begin
+    let dims = mlp_dims rng in
+    (Builder.mlp rng ~dims, "mlp" ^ dims_descr dims)
+  end
+  else if roll < 85 then begin
+    let dims = mlp_dims rng in
+    let net = Builder.mlp rng ~dims in
+    let in_dim = List.hd dims in
+    let out_dim = List.nth dims (List.length dims - 1) in
+    (train_briefly rng net ~in_dim ~out_dim, "mlp-trained" ^ dims_descr dims)
+  end
+  else begin
+    (* 1×3×3 input, one 2×2 convolution (4 ReLUs), linear head. *)
+    let convs = [ { Builder.out_channels = 1; kernel = 2; stride = 1; padding = 0 } ] in
+    let net =
+      Builder.convnet rng ~in_channels:1 ~in_h:3 ~in_w:3 ~convs ~dense:[] ~num_classes:2
+    in
+    (net, "conv1x3x3")
+  end
+
+(* --- regions --- *)
+
+let region rng ~dim =
+  let clip = Rng.int rng 100 < 25 in
+  let eps = exp (Rng.range rng (log 0.02) (log 0.7)) in
+  let center =
+    if clip then Array.init dim (fun _ -> Rng.range rng 0.25 0.75)
+    else Array.init dim (fun _ -> Rng.range rng (-0.5) 0.5)
+  in
+  if clip then Region.linf_ball ~clip:(0.0, 1.0) ~center ~eps ()
+  else Region.linf_ball ~center ~eps ()
+
+(* --- properties --- *)
+
+let property rng net region =
+  let y = Network.forward net (Region.center region) in
+  let out_dim = Array.length y in
+  let label = Vector.argmax y in
+  match Rng.int rng 100 with
+  | r when r < 40 -> Property.robustness ~num_classes:out_dim ~label
+  | r when r < 60 ->
+    let target = (label + 1 + Rng.int rng (out_dim - 1)) mod out_dim in
+    Property.targeted ~num_classes:out_dim ~label ~target
+  | r when r < 85 ->
+    (* Single inequality with centre margin in the hard band around 0. *)
+    let coeffs = Array.init out_dim (fun _ -> Rng.range rng (-1.0) 1.0) in
+    let delta = Rng.range rng (-0.05) 0.35 in
+    let offset = delta -. Vector.dot coeffs y in
+    Property.single ~description:"fuzz-single" coeffs offset
+  | _ ->
+    let output = Rng.int rng out_dim in
+    let lo = y.(output) -. Rng.range rng 0.05 0.5 in
+    let hi = y.(output) +. Rng.range rng 0.05 0.5 in
+    Property.output_range ~num_classes:out_dim ~output ~lo ~hi
+
+let problem rng =
+  let net, net_descr = network rng in
+  let region = region rng ~dim:(Network.input_dim net) in
+  let property = property rng net region in
+  let eps = Vector.max_elt (Region.radius region) in
+  let descr =
+    Printf.sprintf "%s eps=%.3g prop=%s relus=%d" net_descr eps
+      property.Property.description (Network.num_relus net)
+  in
+  let p = Problem.create ~name:descr ~network:net ~region ~property () in
+  (p, descr)
+
+let case ~seed ~index =
+  let cs = case_seed ~seed ~index in
+  let rng = Rng.create cs in
+  let p, descr = problem rng in
+  { index; seed = cs; descr; problem = p }

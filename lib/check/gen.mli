@@ -1,0 +1,50 @@
+(** Seed-driven generators for tiny verification problems.
+
+    Every differential-fuzzing campaign draws its cases from this module:
+    small random or briefly-trained MLPs and CNNs, L∞ / box input
+    regions, and all four property shapes, assembled into full
+    {!Abonn_spec.Problem.t} instances.  Sizes are capped (≤ 3 inputs for
+    dense nets, ≤ {!max_relus} ReLUs) so that ground truth stays
+    computable: exact enumeration over all 2^K ReLU phase cells, dense
+    corner sampling and generous engine budgets all terminate in
+    milliseconds per case.
+
+    All randomness flows through {!Abonn_util.Rng}: a case is a pure
+    function of [(campaign seed, case index)], so any finding anywhere
+    can be regenerated from two integers. *)
+
+type case = {
+  index : int;       (** position in the campaign *)
+  seed : int;        (** derived per-case seed; regenerates the case alone *)
+  descr : string;    (** human-readable shape, e.g. ["mlp[2;4;2] eps=0.13 robust"] *)
+  problem : Abonn_spec.Problem.t;
+}
+
+val max_relus : int
+(** Upper bound on ReLU count of every generated network (currently 8). *)
+
+val case_seed : seed:int -> index:int -> int
+(** Deterministic per-case seed derived from the campaign seed and the
+    case index (SplitMix64 mixing; always non-negative). *)
+
+val network : Abonn_util.Rng.t -> Abonn_nn.Network.t * string
+(** A tiny network and its description: a random MLP (70%), an MLP
+    briefly trained on a linearly-separable synthetic task (15%) — so
+    fuzzing also sees non-random weight structure — or a one-convolution
+    CNN (15%). *)
+
+val region : Abonn_util.Rng.t -> dim:int -> Abonn_spec.Region.t
+(** An L∞ ball with log-uniform radius in [\[0.02, 0.7\]] around a random
+    centre; occasionally clipped to [\[0, 1\]] like pixel inputs. *)
+
+val property :
+  Abonn_util.Rng.t -> Abonn_nn.Network.t -> Abonn_spec.Region.t -> Abonn_spec.Property.t
+(** One of: local robustness of the centre's predicted label, targeted
+    robustness, a single linear inequality with margin near zero at the
+    centre (the hard band), or an output-range envelope. *)
+
+val problem : Abonn_util.Rng.t -> Abonn_spec.Problem.t * string
+(** A full random problem and its description. *)
+
+val case : seed:int -> index:int -> case
+(** The [index]-th case of the campaign started from [seed]. *)

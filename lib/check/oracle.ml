@@ -1,0 +1,435 @@
+module Rng = Abonn_util.Rng
+module Budget = Abonn_util.Budget
+module Obs = Abonn_obs.Obs
+module Matrix = Abonn_tensor.Matrix
+module Vector = Abonn_tensor.Vector
+module Affine = Abonn_nn.Affine
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Problem = Abonn_spec.Problem
+module Split = Abonn_spec.Split
+module Verdict = Abonn_spec.Verdict
+module Outcome = Abonn_prop.Outcome
+module Interval = Abonn_prop.Interval
+module Zonotope = Abonn_prop.Zonotope
+module Deeppoly = Abonn_prop.Deeppoly
+module Symbolic = Abonn_prop.Symbolic
+module Bounds = Abonn_prop.Bounds
+module Bfs = Abonn_bab.Bfs
+module Bestfirst = Abonn_bab.Bestfirst
+module Inputsplit = Abonn_bab.Inputsplit
+module Exact = Abonn_bab.Exact
+module Certificate = Abonn_bab.Certificate
+module Result = Abonn_bab.Result
+
+type family = Sampling | Bounds | Exact | Engines | Cert
+
+let all_families = [ Sampling; Bounds; Exact; Engines; Cert ]
+
+let family_name = function
+  | Sampling -> "sampling"
+  | Bounds -> "bounds"
+  | Exact -> "exact"
+  | Engines -> "engines"
+  | Cert -> "cert"
+
+let family_of_string = function
+  | "sampling" -> Some Sampling
+  | "bounds" -> Some Bounds
+  | "exact" -> Some Exact
+  | "engines" -> Some Engines
+  | "cert" -> Some Cert
+  | _ -> None
+
+type failure = {
+  family : family;
+  check : string;
+  detail : string;
+}
+
+type verdict = Pass | Fail of failure
+
+let is_pass = function Pass -> true | Fail _ -> false
+
+type config = {
+  samples : int;
+  engine_budget : int;
+  exact_max_relus : int;
+  tol : float;
+}
+
+let default_config = { samples = 120; engine_budget = 600; exact_max_relus = 6; tol = 1e-6 }
+
+let fail family check detail = Fail { family; check; detail }
+
+let failf family check fmt = Printf.ksprintf (fail family check) fmt
+
+(* Sampled probe points: uniform draws plus every box corner on
+   low-dimensional inputs (corners are where linear pieces are extremal). *)
+let probe_points cfg rng (problem : Problem.t) =
+  let region = problem.Problem.region in
+  let dim = Region.dim region in
+  let samples = Array.init cfg.samples (fun _ -> Region.sample rng region) in
+  let corners =
+    if dim > 4 then [||]
+    else
+      Array.init (1 lsl dim) (fun mask -> Region.corner region (fun i -> mask land (1 lsl i) <> 0))
+  in
+  Array.append samples corners
+
+let min_margin problem points =
+  Array.fold_left
+    (fun acc x -> Float.min acc (Problem.concrete_margin problem x))
+    Float.infinity points
+
+(* --- sampling oracle --- *)
+
+let run_sampling cfg rng problem =
+  let points = probe_points cfg rng problem in
+  (* Internal consistency of the concrete layer itself: a contained point
+     with non-positive margin IS a counterexample, and vice versa. *)
+  let inconsistent =
+    Array.find_opt
+      (fun x ->
+        Problem.is_counterexample problem x <> (Problem.concrete_margin problem x <= 0.0))
+      points
+  in
+  match inconsistent with
+  | Some x ->
+    failf Sampling "sampling.validity-mismatch"
+      "margin sign and is_counterexample disagree at margin %.9g"
+      (Problem.concrete_margin problem x)
+  | None ->
+    let r = Bfs.verify ~budget:(Budget.of_calls cfg.engine_budget) problem in
+    (match r.Result.verdict with
+     | Verdict.Timeout -> Pass
+     | Verdict.Falsified x ->
+       if Problem.is_counterexample problem x then Pass
+       else
+         failf Sampling "sampling.bogus-cex"
+           "bfs reported Falsified but the witness has margin %.9g (or is outside the region)"
+           (Problem.concrete_margin problem x)
+     | Verdict.Verified ->
+       let worst = min_margin problem points in
+       if worst < -.cfg.tol then
+         failf Sampling "sampling.verified-but-violated"
+           "bfs claimed Verified, but a sampled point has margin %.9g" worst
+       else Pass)
+
+(* --- bound-lattice oracle --- *)
+
+type domain = {
+  dname : string;
+  drun : Problem.t -> Split.gamma -> Outcome.t;
+  dhidden : Problem.t -> Split.gamma -> Bounds.t array option;
+}
+
+let domains =
+  [ { dname = "interval"; drun = Interval.run; dhidden = Interval.hidden_bounds };
+    { dname = "zonotope"; drun = Zonotope.run; dhidden = Zonotope.hidden_bounds };
+    { dname = "deeppoly"; drun = Deeppoly.run ?slope:None;
+      dhidden = Deeppoly.hidden_bounds ?slope:None };
+    { dname = "deeppoly-zero"; drun = Deeppoly.run ~slope:Deeppoly.Always_zero;
+      dhidden = Deeppoly.hidden_bounds ~slope:Deeppoly.Always_zero };
+    { dname = "deeppoly-one"; drun = Deeppoly.run ~slope:Deeppoly.Always_one;
+      dhidden = Deeppoly.hidden_bounds ~slope:Deeppoly.Always_one };
+    { dname = "symbolic"; drun = Symbolic.run; dhidden = Symbolic.hidden_bounds }
+  ]
+
+let row_margins (problem : Problem.t) y =
+  let prop = problem.Problem.property in
+  Array.mapi (fun r v -> v +. prop.Property.d.(r)) (Matrix.mv prop.Property.c y)
+
+(* The hidden pre-activations of every probe point must lie inside the
+   domain's per-layer interval concretisation. *)
+let containment_failure cfg ~dname ~gamma_str problem (bounds : Bounds.t array) points =
+  let affine = problem.Problem.affine in
+  let bad = ref None in
+  Array.iter
+    (fun x ->
+      if !bad = None then begin
+        let pre = Affine.pre_activations affine x in
+        Array.iteri
+          (fun l (b : Bounds.t) ->
+            if !bad = None then
+              Array.iteri
+                (fun i v ->
+                  if !bad = None
+                     && (v < b.Bounds.lower.(i) -. cfg.tol || v > b.Bounds.upper.(i) +. cfg.tol)
+                  then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "%s: layer %d neuron %d pre-activation %.9g outside [%.9g, %.9g] (gamma %s)"
+                           dname l i v b.Bounds.lower.(i) b.Bounds.upper.(i) gamma_str))
+                pre.(l))
+          bounds
+      end)
+    points;
+  !bad
+
+(* Split constraints matching a concrete point's actual phases keep the
+   point feasible: folded-in bounds must still contain it. *)
+let gamma_of_point (problem : Problem.t) x =
+  let affine = problem.Problem.affine in
+  let pre = Affine.pre_activations affine x in
+  let k = Problem.num_relus problem in
+  let take = min 2 k in
+  let rec build gamma i =
+    if i >= take then gamma
+    else begin
+      (* spread the picked relus over the index range *)
+      let relu = i * k / take in
+      let layer, idx = Affine.relu_position affine relu in
+      let phase = if pre.(layer).(idx) >= 0.0 then Split.Active else Split.Inactive in
+      build (Split.extend gamma ~relu ~phase) (i + 1)
+    end
+  in
+  build [] 0
+
+let run_bounds cfg rng problem =
+  let points = probe_points cfg rng problem in
+  let contain_points =
+    (* containment is the expensive check: cap the probe count *)
+    if Array.length points > 40 then Array.sub points 0 40 else points
+  in
+  let worst = min_margin problem points in
+  let sampled_rows =
+    (* per-row minima over the probes *)
+    let nrows = Property.num_constraints problem.Problem.property in
+    let mins = Array.make nrows Float.infinity in
+    Array.iter
+      (fun x ->
+        let rm = row_margins problem (Abonn_nn.Network.forward problem.Problem.network x) in
+        Array.iteri (fun r v -> if v < mins.(r) then mins.(r) <- v) rm)
+      points;
+    mins
+  in
+  let check_domain acc (d : domain) =
+    match acc with
+    | Fail _ -> acc
+    | Pass ->
+      let outcome = d.drun problem [] in
+      if outcome.Outcome.infeasible then
+        failf Bounds "bounds.root-infeasible" "%s reports the unsplit root infeasible" d.dname
+      else if outcome.Outcome.phat > worst +. cfg.tol then
+        failf Bounds "bounds.phat-unsound"
+          "%s claims phat %.9g but a sampled margin is %.9g" d.dname outcome.Outcome.phat
+          worst
+      else begin
+        let rl = outcome.Outcome.row_lower in
+        let row_bad = ref Pass in
+        if Array.length rl = Array.length sampled_rows then
+          Array.iteri
+            (fun r lo ->
+              if is_pass !row_bad && lo > sampled_rows.(r) +. cfg.tol then
+                row_bad :=
+                  failf Bounds "bounds.row-lower-unsound"
+                    "%s row %d claims lower bound %.9g but a sampled row margin is %.9g"
+                    d.dname r lo sampled_rows.(r))
+            rl;
+        match !row_bad with
+        | Fail _ as f -> f
+        | Pass ->
+          (match d.dhidden problem [] with
+           | None ->
+             failf Bounds "bounds.root-infeasible" "%s hidden_bounds None at the root" d.dname
+           | Some bounds ->
+             (match containment_failure cfg ~dname:d.dname ~gamma_str:"ε" problem bounds
+                      contain_points with
+              | Some msg -> fail Bounds "bounds.containment" msg
+              | None ->
+                (* split folding: constrain two ReLUs to the phases of a
+                   probe point; the point must stay inside the bounds *)
+                if Problem.num_relus problem = 0 || Array.length contain_points = 0 then Pass
+                else begin
+                  let x0 = contain_points.(0) in
+                  let gamma = gamma_of_point problem x0 in
+                  match d.dhidden problem gamma with
+                  | None ->
+                    failf Bounds "bounds.split-infeasible"
+                      "%s declares infeasible a cell containing a concrete point (gamma %s)"
+                      d.dname (Split.to_string gamma)
+                  | Some bounds ->
+                    (match containment_failure cfg ~dname:d.dname
+                             ~gamma_str:(Split.to_string gamma) problem bounds [| x0 |] with
+                     | Some msg -> fail Bounds "bounds.split-containment" msg
+                     | None -> Pass)
+                end))
+      end
+  in
+  match List.fold_left check_domain Pass domains with
+  | Fail _ as f -> f
+  | Pass ->
+    (* Documented dominance: DeepPoly and symbolic intersect with forward
+       intervals, so neither may be looser than plain IBP.  This is the
+       tightness the αβ-CROWN-style stack's bound engine claims. *)
+    let phat_of d = (d.drun problem []).Outcome.phat in
+    let ibp = phat_of (List.nth domains 0) in
+    let dp = phat_of (List.nth domains 2) in
+    let sym = phat_of (List.nth domains 5) in
+    if dp < ibp -. cfg.tol then
+      failf Bounds "bounds.deeppoly-looser-than-interval"
+        "deeppoly phat %.9g < interval phat %.9g" dp ibp
+    else if sym < ibp -. cfg.tol then
+      failf Bounds "bounds.symbolic-looser-than-interval"
+        "symbolic phat %.9g < interval phat %.9g" sym ibp
+    else Pass
+
+(* --- exact enumeration oracle --- *)
+
+let enumerate_cells problem =
+  let k = Problem.num_relus problem in
+  let cex = ref None in
+  let cells = 1 lsl k in
+  (try
+     for mask = 0 to cells - 1 do
+       let gamma = ref [] in
+       for relu = k - 1 downto 0 do
+         let phase = if mask land (1 lsl relu) <> 0 then Split.Active else Split.Inactive in
+         gamma := { Split.relu; phase } :: !gamma
+       done;
+       match Exact.resolve problem !gamma with
+       | `Verified -> ()
+       | `Falsified x ->
+         cex := Some x;
+         raise Exit
+     done
+   with Exit -> ());
+  !cex
+
+let run_exact cfg rng problem =
+  if Problem.num_relus problem > cfg.exact_max_relus then Pass
+  else begin
+    let points = probe_points cfg rng problem in
+    match enumerate_cells problem with
+    | Some x when not (Problem.is_counterexample problem x) ->
+      failf Exact "exact.bogus-cex" "enumeration produced a non-validating witness (margin %.9g)"
+        (Problem.concrete_margin problem x)
+    | truth_cex ->
+      (* Margins within [tol] of zero are documented tie territory: the
+         engines may legitimately land on either side (Exact.resolve's
+         -1e-7 slack, Inputsplit's Timeout on ties), so only a strictly
+         interior witness counts as a disagreement. *)
+      let truth_falsified = truth_cex <> None in
+      let truth_interior =
+        match truth_cex with
+        | Some x -> Problem.concrete_margin problem x < -.cfg.tol
+        | None -> false
+      in
+      let worst = min_margin problem points in
+      if (not truth_falsified) && worst < -.cfg.tol then
+        failf Exact "exact.misses-sampled-violation"
+          "every phase cell verified, yet a sampled point has margin %.9g" worst
+      else begin
+        let r = Bfs.verify ~budget:(Budget.of_calls cfg.engine_budget) problem in
+        match r.Result.verdict with
+        | Verdict.Timeout -> Pass
+        | Verdict.Verified when truth_interior ->
+          failf Exact "exact.engine-disagreement"
+            "bfs claims Verified but exact enumeration found a counterexample (margin %.9g)"
+            (Problem.concrete_margin problem (Option.get truth_cex))
+        | Verdict.Falsified x
+          when (not truth_falsified) && Problem.concrete_margin problem x < -.cfg.tol ->
+          failf Exact "exact.engine-disagreement"
+            "bfs claims Falsified (margin %.9g) but every phase cell verified exactly"
+            (Problem.concrete_margin problem x)
+        | Verdict.Verified | Verdict.Falsified _ -> Pass
+      end
+  end
+
+(* --- cross-engine agreement oracle --- *)
+
+let run_engines cfg _rng problem =
+  let budget () = Budget.of_calls cfg.engine_budget in
+  let engines =
+    [ ("bfs", fun () -> (Bfs.verify ~budget:(budget ()) problem).Result.verdict);
+      ("bestfirst", fun () -> (Bestfirst.verify ~budget:(budget ()) problem).Result.verdict);
+      ("abonn", fun () -> (Abonn_core.Abonn.verify ~budget:(budget ()) problem).Result.verdict);
+      ("ab-crown",
+       fun () -> (Abonn_crown.Alphabeta.verify ~budget:(budget ()) problem).Result.verdict);
+      ("inputsplit",
+       fun () -> (Inputsplit.verify ~budget:(budget ()) problem).Result.verdict)
+    ]
+  in
+  let verdicts = List.map (fun (name, f) -> (name, f ())) engines in
+  let bogus =
+    List.find_opt
+      (fun (_, v) ->
+        match v with
+        | Verdict.Falsified x -> not (Problem.is_counterexample problem x)
+        | Verdict.Verified | Verdict.Timeout -> false)
+      verdicts
+  in
+  match bogus with
+  | Some (name, Verdict.Falsified x) ->
+    failf Engines "engines.bogus-cex"
+      "%s reported Falsified with a non-validating witness (margin %.9g)" name
+      (Problem.concrete_margin problem x)
+  | Some _ | None ->
+    let verified = List.filter (fun (_, v) -> Verdict.is_verified v) verdicts in
+    (* A Falsified verdict only conflicts with Verified when its witness
+       is strictly interior: ties (margin within [tol] of zero) are
+       documented ambiguity and either verdict is acceptable. *)
+    let falsified_interior =
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Verdict.Falsified x ->
+            let m = Problem.concrete_margin problem x in
+            if m < -.cfg.tol then Some (name, m) else None
+          | Verdict.Verified | Verdict.Timeout -> None)
+        verdicts
+    in
+    (match verified, falsified_interior with
+     | (vn, _) :: _, (fn, m) :: _ ->
+       failf Engines "engines.verdict-conflict"
+         "%s claims Verified while %s claims Falsified (margin %.9g)" vn fn m
+     | _ -> Pass)
+
+(* --- certificate oracle --- *)
+
+let run_cert cfg _rng problem =
+  let result, cert =
+    Bfs.verify_with_certificate ~budget:(Budget.of_calls cfg.engine_budget) problem
+  in
+  match result.Result.verdict, cert with
+  | Verdict.Verified, None ->
+    fail Cert "cert.missing" "Verified run produced no certificate"
+  | Verdict.Verified, Some cert ->
+    if Certificate.num_leaves cert < 1 then
+      fail Cert "cert.empty" "certificate has no leaves"
+    else
+      (match Certificate.check problem cert with
+       | Ok () -> Pass
+       | Error e ->
+         failf Cert "cert.rejected" "certificate checker: %s"
+           (Format.asprintf "%a" Certificate.pp_error e))
+  | (Verdict.Falsified _ | Verdict.Timeout), Some _ ->
+    fail Cert "cert.spurious" "non-Verified run produced a certificate"
+  | (Verdict.Falsified _ | Verdict.Timeout), None -> Pass
+
+(* --- dispatch --- *)
+
+let run ?(config = default_config) ~seed family problem =
+  if Obs.active () then Obs.incr (Printf.sprintf "fuzz.oracle.%s" (family_name family));
+  let rng = Rng.create seed in
+  let go =
+    match family with
+    | Sampling -> run_sampling
+    | Bounds -> run_bounds
+    | Exact -> run_exact
+    | Engines -> run_engines
+    | Cert -> run_cert
+  in
+  try go config rng problem with
+  | Stack_overflow | Out_of_memory as e -> raise e
+  | e ->
+    fail family
+      (family_name family ^ ".exception")
+      (Printexc.to_string e)
+
+let run_families ?config ~seed families problem =
+  List.fold_left
+    (fun acc f -> match acc with Fail _ -> acc | Pass -> run ?config ~seed f problem)
+    Pass families

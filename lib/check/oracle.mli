@@ -1,0 +1,64 @@
+(** Soundness oracles: independent ground-truth checks for one problem.
+
+    Each family interrogates a different layer of the stack and knows a
+    cheaper or independent way to refute it:
+
+    - {b Sampling}: concrete forward passes are the ultimate authority —
+      any sampled violation refutes a [Verified] claim, and every
+      reported counterexample must validate concretely.
+    - {b Bounds}: the bound lattice.  Every propagation domain's hidden
+      interval concretisations must contain the sampled pre-activations
+      (at the root and under split constraints), every certified [p̂] and
+      per-row lower bound must under-approximate the sampled margins, and
+      the documented dominance order (DeepPoly and symbolic at least as
+      tight as plain intervals — the bound the αβ-CROWN-style stack
+      claims) must hold.
+    - {b Exact}: on nets with ≤ {!config.exact_max_relus} ReLUs, full
+      enumeration of every ReLU phase cell through
+      {!Abonn_bab.Exact.resolve} computes the true verdict, which the
+      search engines and the sampled margins must both agree with.
+    - {b Engines}: all five search engines (BFS, best-first, ABONN,
+      αβ-CROWN-style, input splitting) must agree up to [Timeout], and
+      every [Falsified] must carry a genuine counterexample.
+    - {b Cert}: a [Verified] BFS run must produce a certificate that
+      passes {!Abonn_bab.Certificate.check}; non-verified runs must not
+      produce one.
+
+    Oracles are deterministic in [(seed, problem)] and never raise: an
+    escaped exception is itself reported as a failure. *)
+
+type family = Sampling | Bounds | Exact | Engines | Cert
+
+val all_families : family list
+
+val family_name : family -> string
+(** ["sampling" | "bounds" | "exact" | "engines" | "cert"]. *)
+
+val family_of_string : string -> family option
+
+type failure = {
+  family : family;
+  check : string;   (** dotted id of the violated invariant, e.g. ["bounds.phat-unsound"] *)
+  detail : string;  (** human-readable evidence *)
+}
+
+type verdict = Pass | Fail of failure
+
+val is_pass : verdict -> bool
+
+type config = {
+  samples : int;         (** sampled points per case (corners are added on top) *)
+  engine_budget : int;   (** AppVer-call budget per engine invocation *)
+  exact_max_relus : int; (** enumeration cap for the [Exact] family *)
+  tol : float;           (** float slack for every soundness comparison *)
+}
+
+val default_config : config
+(** 120 samples, 600-call budgets, 6-ReLU enumeration cap, [tol = 1e-6]. *)
+
+val run : ?config:config -> seed:int -> family -> Abonn_spec.Problem.t -> verdict
+(** Run one family.  [seed] drives the sampling stream. *)
+
+val run_families :
+  ?config:config -> seed:int -> family list -> Abonn_spec.Problem.t -> verdict
+(** Run several families in order; the first failure wins. *)

@@ -1,0 +1,88 @@
+module Matrix = Abonn_tensor.Matrix
+module Affine = Abonn_nn.Affine
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Problem = Abonn_spec.Problem
+
+let drop_row (m : Matrix.t) i =
+  Matrix.init (m.Matrix.rows - 1) m.Matrix.cols (fun r c ->
+      Matrix.get m (if r < i then r else r + 1) c)
+
+let drop_col (m : Matrix.t) j =
+  Matrix.init m.Matrix.rows (m.Matrix.cols - 1) (fun r c ->
+      Matrix.get m r (if c < j then c else c + 1))
+
+let drop_elt (a : float array) i =
+  Array.init (Array.length a - 1) (fun k -> a.(if k < i then k else k + 1))
+
+let layers_of_affine (affine : Affine.t) =
+  Array.to_list
+    (Array.mapi (fun l w -> (w, affine.Affine.biases.(l))) affine.Affine.weights)
+
+let rebuild (problem : Problem.t) layers region property =
+  Problem.of_affine ~name:problem.Problem.name ~affine:(Affine.of_weights layers) ~region
+    ~property ()
+
+(* Remove hidden neuron [i] of hidden layer [l]: its row in (W_l, b_l)
+   and the matching column of W_{l+1}. *)
+let drop_neuron layers l i =
+  List.mapi
+    (fun k (w, b) ->
+      if k = l then (drop_row w i, drop_elt b i)
+      else if k = l + 1 then (drop_col w i, b)
+      else (w, b))
+    layers
+
+let halve_region (region : Region.t) =
+  let center = Region.center region in
+  let radius = Region.radius region in
+  let lower = Array.mapi (fun i c -> c -. (radius.(i) /. 2.0)) center in
+  let upper = Array.mapi (fun i c -> c +. (radius.(i) /. 2.0)) center in
+  Region.create ~lower ~upper
+
+let candidates (problem : Problem.t) =
+  let affine = problem.Problem.affine in
+  let region = problem.Problem.region in
+  let property = problem.Problem.property in
+  let layers = layers_of_affine affine in
+  let num_hidden = List.length layers - 1 in
+  let acc = ref [] in
+  let add p = acc := p :: !acc in
+  let try_add f = match f () with p -> add p | exception _ -> () in
+  (* halve the region (last priority: try it after structural shrinks) *)
+  if Abonn_tensor.Vector.max_elt (Region.radius region) > 1e-4 then
+    try_add (fun () -> rebuild problem layers (halve_region region) property);
+  (* drop property rows *)
+  let nrows = Property.num_constraints property in
+  if nrows > 1 then
+    for r = nrows - 1 downto 0 do
+      try_add (fun () ->
+          let keep = List.filter (fun k -> k <> r) (List.init nrows Fun.id) in
+          let c =
+            Matrix.of_rows
+              (Array.of_list (List.map (Matrix.row property.Property.c) keep))
+          in
+          let d = Array.of_list (List.map (fun k -> property.Property.d.(k)) keep) in
+          rebuild problem layers region
+            (Property.create ~description:property.Property.description c d))
+    done;
+  (* drop hidden neurons (highest priority: emitted last, consumed first) *)
+  for l = num_hidden - 1 downto 0 do
+    let w, _ = List.nth layers l in
+    if w.Matrix.rows > 1 then
+      for i = w.Matrix.rows - 1 downto 0 do
+        try_add (fun () -> rebuild problem (drop_neuron layers l i) region property)
+      done
+  done;
+  !acc
+
+let minimize ?(max_rounds = 200) ~failing problem =
+  let still_fails p = try failing p with _ -> false in
+  let rec loop problem rounds =
+    if rounds >= max_rounds then problem
+    else
+      match List.find_opt still_fails (candidates problem) with
+      | Some smaller -> loop smaller (rounds + 1)
+      | None -> problem
+  in
+  loop problem 0

@@ -1,0 +1,29 @@
+(** Greedy minimisation of failing fuzz cases.
+
+    Given a predicate that re-checks whether a problem still exhibits a
+    failure, [minimize] repeatedly applies the first single-step
+    simplification that preserves it — delta-debugging style — until no
+    step does.  Steps, tried in this order:
+
+    + drop one hidden neuron (remove its weight row/bias and the
+      following layer's matching column);
+    + drop one property row (when more than one remains);
+    + halve the input region around its centre.
+
+    The result is a local minimum: every neuron, property row and
+    remaining half-region is necessary to reproduce the failure.  All
+    candidates are rebuilt through {!Abonn_spec.Problem.of_affine}, so a
+    minimised problem round-trips through {!Abonn_spec.Problem_file}
+    exactly like a generated one. *)
+
+val candidates : Abonn_spec.Problem.t -> Abonn_spec.Problem.t list
+(** All one-step simplifications of a problem (possibly empty). *)
+
+val minimize :
+  ?max_rounds:int ->
+  failing:(Abonn_spec.Problem.t -> bool) ->
+  Abonn_spec.Problem.t ->
+  Abonn_spec.Problem.t
+(** Greedy fixed point of [candidates] under [failing] (which must hold
+    for the input).  [max_rounds] (default 200) caps the number of
+    accepted steps. *)

@@ -121,11 +121,7 @@ let frobenius m = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 m.data)
 
 let approx_equal ?(tol = 1e-9) a b =
   a.rows = b.rows && a.cols = b.cols
-  && begin
-       let ok = ref true in
-       Array.iteri (fun k x -> if Float.abs (x -. b.data.(k)) > tol then ok := false) a.data;
-       !ok
-     end
+  && Vector.approx_equal ~tol a.data b.data
 
 let pp fmt m =
   Format.fprintf fmt "@[<v>";

@@ -77,12 +77,22 @@ let clamp ~lo ~hi x =
   check_dims "clamp" hi x;
   Array.mapi (fun i xi -> Float.max lo.(i) (Float.min hi.(i) xi)) x
 
+(* [x.(i) -. y.(i)] is NaN whenever either side is NaN (or both are the
+   same infinity), and [NaN > tol] is false — so a plain difference test
+   silently accepts NaN against anything.  Compare scalars explicitly:
+   equal iff both NaN, or exactly equal (covers matching infinities), or
+   within [tol]. *)
+let scalar_approx_equal ~tol a b =
+  (Float.is_nan a && Float.is_nan b)
+  || a = b
+  || Float.abs (a -. b) <= tol
+
 let approx_equal ?(tol = 1e-9) x y =
   Array.length x = Array.length y
   && begin
        let ok = ref true in
        for i = 0 to Array.length x - 1 do
-         if Float.abs (x.(i) -. y.(i)) > tol then ok := false
+         if not (scalar_approx_equal ~tol x.(i) y.(i)) then ok := false
        done;
        !ok
      end

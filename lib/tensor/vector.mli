@@ -47,6 +47,9 @@ val clamp : lo:t -> hi:t -> t -> t
 (** Element-wise clipping of each entry into [\[lo_i, hi_i\]]. *)
 
 val approx_equal : ?tol:float -> t -> t -> bool
-(** Pointwise comparison within [tol] (default [1e-9]). *)
+(** Pointwise comparison within [tol] (default [1e-9]).  Non-finite
+    entries compare by identity: [nan] equals only [nan] and each
+    infinity equals only itself — so a NaN produced by a numerical bug
+    can never pass as equal to a finite expectation. *)
 
 val pp : Format.formatter -> t -> unit

@@ -17,6 +17,7 @@ type run = {
   max_depth : int;
   wall : float;
   events : int;
+  composite : bool;
   reported : reported option;
 }
 
@@ -56,12 +57,19 @@ let segments events =
 let of_events events =
   let engine = ref None and instance = ref None and verdict = ref None in
   let reported = ref None in
+  (* [bracket] is the engine named by the run_started/run_finished pair;
+     interior events from a different engine mark the segment composite
+     (one wrapper run containing whole engine runs, e.g. a fuzz case). *)
+  let bracket = ref None and foreign = ref false in
   let node_evaluated = ref 0 and frontier_pop = ref 0 and exact_leaf = ref 0 in
   let bound_computed = ref 0 in
   let max_depth = ref 0 and last_frontier = ref 0 in
   let engine_elapsed = ref None in
   let t_first = ref None and t_last = ref 0.0 in
-  let saw_engine e = if !engine = None then engine := Some e in
+  let saw_engine e =
+    if !engine = None then engine := Some e;
+    (match !bracket with Some b when b <> e -> foreign := true | _ -> ())
+  in
   let depth d = if d > !max_depth then max_depth := d in
   List.iter
     (fun env ->
@@ -69,6 +77,7 @@ let of_events events =
       t_last := env.Event.t;
       match env.Event.event with
       | Event.Run_started { engine = e; instance = i } ->
+        if !bracket = None then bracket := Some e;
         saw_engine e;
         instance := Some i
       | Event.Run_finished { engine = e; verdict = v; calls; nodes; max_depth = d; wall; _ }
@@ -120,14 +129,24 @@ let of_events events =
        | Some r -> r.wall
        | None -> !t_last -. Option.value ~default:!t_last !t_first)
   in
-  { engine;
+  let composite = !foreign && !bracket <> None in
+  (* A composite bracket wraps whole engine runs: per-engine event
+     reconstruction does not apply, so the wrapper's own accounting is
+     the ground truth for the row. *)
+  let verdict, calls, nodes, max_depth, wall =
+    match (composite, !reported) with
+    | true, Some r -> (Some r.verdict, r.calls, r.nodes, r.max_depth, r.wall)
+    | _ -> (!verdict, calls, nodes, !max_depth, wall)
+  in
+  { engine = (if composite then Option.value ~default:engine !bracket else engine);
     instance = !instance;
-    verdict = !verdict;
+    verdict;
     calls;
     nodes;
-    max_depth = !max_depth;
+    max_depth;
     wall;
     events = List.length events;
+    composite;
     reported = !reported }
 
 let runs events = List.map of_events (segments events)

@@ -39,6 +39,12 @@ type run = {
   max_depth : int;
   wall : float;  (** engine seconds ([verdict_reached]), else event-time span *)
   events : int;  (** envelopes in this run's segment *)
+  composite : bool;
+      (** the bracket wraps events from a different engine — one wrapper
+          run containing whole engine runs (e.g. an [abonn_fuzz] case
+          whose oracles run several engines inside).  Per-engine
+          reconstruction does not apply, so verdict/calls/nodes/depth
+          come from the wrapper's [run_finished] report. *)
   reported : reported option;  (** the [run_finished] payload, if any *)
 }
 

@@ -8,7 +8,15 @@ type t = {
 let now () = Unix.gettimeofday ()
 
 let make ?calls ?seconds () =
-  { max_calls = calls; max_seconds = seconds; started = now (); calls = 0 }
+  (* Clamp negative limits to zero: a budget with nothing left is born
+     exhausted rather than relying on [elapsed >= negative] holding by
+     accident of float comparison. *)
+  let clamp_int = Option.map (fun n -> if n < 0 then 0 else n) in
+  let clamp_float = Option.map (fun s -> if s < 0.0 then 0.0 else s) in
+  { max_calls = clamp_int calls;
+    max_seconds = clamp_float seconds;
+    started = now ();
+    calls = 0 }
 
 let unlimited () = make ()
 

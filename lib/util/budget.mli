@@ -30,4 +30,8 @@ val elapsed : t -> float
 (** Wall-clock seconds since creation. *)
 
 val exhausted : t -> bool
-(** True once any limit has been reached. *)
+(** True once any limit has been reached.  Limits are inclusive at
+    exactly-zero remaining: [of_calls 0], [of_seconds 0.] and any
+    negative limit (clamped to zero) are exhausted from birth, so a
+    caller that checks the budget before its first unit of work never
+    starts. *)

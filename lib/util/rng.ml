@@ -32,7 +32,17 @@ let uniform t =
 
 let float t bound = uniform t *. bound
 
-let range t lo hi = lo +. (uniform t *. (hi -. lo))
+let range t lo hi =
+  (* Normalise the interval so reversed bounds cannot silently flip the
+     distribution's direction (lo + u*(hi-lo) decreases when hi < lo);
+     equal bounds are a degenerate one-point distribution.  The generator
+     is always advanced so call sites stay stream-stable regardless of
+     the bounds they pass. *)
+  let u = uniform t in
+  if lo = hi then lo
+  else
+    let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+    lo +. (u *. (hi -. lo))
 
 let gaussian t =
   let rec draw () =

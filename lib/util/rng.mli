@@ -32,7 +32,10 @@ val uniform : t -> float
 (** Uniform in [\[0, 1)]. *)
 
 val range : t -> float -> float -> float
-(** [range t lo hi] is uniform in [\[lo, hi)]. *)
+(** [range t lo hi] is uniform in [\[lo, hi)].  Reversed bounds are
+    normalised ([range t hi lo] draws from the same interval) and equal
+    bounds return that point; the generator advances exactly once in
+    every case. *)
 
 val gaussian : t -> float
 (** Standard normal deviate (Box–Muller). *)

@@ -404,3 +404,123 @@ let regression_suite =
     ] )
 
 let suite = suite @ [ regression_suite ]
+
+(* --- exhaustive enumeration & input-split refinement --- *)
+
+module Outcome = Abonn_prop.Outcome
+
+(* Enumerate every ReLU phase cell with Exact.resolve.  On small nets
+   this is ground truth: it must agree with dense sampling and with the
+   BFS verdict (up to margin ties, which either side may call). *)
+let enumerate_exact problem =
+  let k = Problem.num_relus problem in
+  let cex = ref None in
+  (try
+     for mask = 0 to (1 lsl k) - 1 do
+       let gamma = ref [] in
+       for relu = k - 1 downto 0 do
+         let phase = if mask land (1 lsl relu) <> 0 then Split.Active else Split.Inactive in
+         gamma := { Split.relu; phase } :: !gamma
+       done;
+       match Exact.resolve problem !gamma with
+       | `Verified -> ()
+       | `Falsified x ->
+         cex := Some x;
+         raise Exit
+     done
+   with Exit -> ());
+  !cex
+
+let test_exact_enumeration_matches_sampling () =
+  let checked = ref 0 in
+  for seed = 0 to 11 do
+    let eps = 0.1 +. (0.12 *. float_of_int (seed mod 4)) in
+    let problem = random_problem ~seed ~dims:[ 2; 4; 2 ] ~eps () in
+    if Problem.num_relus problem <= 6 then begin
+      incr checked;
+      let truth = enumerate_exact problem in
+      (* the enumeration's own witness must be genuine *)
+      (match truth with
+       | Some x ->
+         Alcotest.(check bool)
+           (Printf.sprintf "seed %d: enumeration witness validates" seed)
+           true (Problem.is_counterexample problem x)
+       | None -> ());
+      (* dense sampling cannot beat ground truth *)
+      let rng = Rng.create (300 + seed) in
+      for _ = 1 to 400 do
+        let x = Region.sample rng problem.Problem.region in
+        let m = Problem.concrete_margin problem x in
+        if m < -1e-6 && truth = None then
+          Alcotest.failf "seed %d: enumeration verified but sample has margin %.9g" seed m
+      done;
+      (* and the BFS verdict must agree up to ties *)
+      let r = Bfs.verify ~budget:(Budget.of_calls 2000) problem in
+      (match r.Result.verdict, truth with
+       | Verdict.Timeout, _ -> ()
+       | Verdict.Verified, Some x ->
+         let m = Problem.concrete_margin problem x in
+         if m < -1e-6 then
+           Alcotest.failf "seed %d: bfs Verified, enumeration margin %.9g" seed m
+       | Verdict.Falsified x, None ->
+         let m = Problem.concrete_margin problem x in
+         if m < -1e-6 then
+           Alcotest.failf "seed %d: bfs Falsified (margin %.9g), enumeration Verified"
+             seed m
+       | Verdict.Verified, None | Verdict.Falsified _, Some _ -> ())
+    end
+  done;
+  Alcotest.(check bool) "enumerated at least one instance" true (!checked > 0)
+
+(* Bisecting the input region can only tighten the certified bound:
+   the min over the two halves is at least the parent's bound. *)
+let test_inputsplit_refines_bounds_monotonically () =
+  for seed = 0 to 9 do
+    let problem = random_problem ~seed ~dims:[ 2; 6; 2 ] ~eps:0.4 () in
+    let phat p =
+      let o = Abonn_prop.Deeppoly.run p [] in
+      if o.Outcome.infeasible then Float.infinity else o.Outcome.phat
+    in
+    let parent = phat problem in
+    let region = problem.Problem.region in
+    let with_box ~lower ~upper =
+      Problem.create ~network:problem.Problem.network
+        ~region:(Region.create ~lower ~upper) ~property:problem.Problem.property ()
+    in
+    let dims = Array.length region.Region.lower in
+    for d = 0 to dims - 1 do
+      let mid = 0.5 *. (region.Region.lower.(d) +. region.Region.upper.(d)) in
+      let half bound_side =
+        let lower = Array.copy region.Region.lower in
+        let upper = Array.copy region.Region.upper in
+        (match bound_side with
+         | `Lo -> upper.(d) <- mid
+         | `Hi -> lower.(d) <- mid);
+        with_box ~lower ~upper
+      in
+      let refined = Float.min (phat (half `Lo)) (phat (half `Hi)) in
+      if refined < parent -. 1e-9 then
+        Alcotest.failf "seed %d dim %d: bisection loosened bound %.12g -> %.12g" seed d
+          parent refined
+    done;
+    (* a second bisection level on dimension 0 refines again *)
+    let mid = 0.5 *. (region.Region.lower.(0) +. region.Region.upper.(0)) in
+    let lo_upper = Array.copy region.Region.upper in
+    lo_upper.(0) <- mid;
+    let parent1 = phat (with_box ~lower:(Array.copy region.Region.lower) ~upper:lo_upper) in
+    let quarter_upper = Array.copy lo_upper in
+    quarter_upper.(0) <- 0.5 *. (region.Region.lower.(0) +. mid);
+    let quarter = with_box ~lower:(Array.copy region.Region.lower) ~upper:quarter_upper in
+    if phat quarter < parent1 -. 1e-9 then
+      Alcotest.failf "seed %d: second-level bisection loosened bound" seed
+  done
+
+let enumeration_suite =
+  ( "bab.exhaustive",
+    [ Alcotest.test_case "exact enumeration vs sampling and bfs" `Quick
+        test_exact_enumeration_matches_sampling;
+      Alcotest.test_case "input bisection refines bounds monotonically" `Quick
+        test_inputsplit_refines_bounds_monotonically
+    ] )
+
+let suite = suite @ [ enumeration_suite ]

@@ -1,0 +1,219 @@
+(* Direct unit tests for the αβ-CROWN-style engine (lib/crown):
+   soundness of verdicts against sampled outputs, bound monotonicity
+   under split refinement, and exact agreement with DeepPoly on
+   pure-linear networks. *)
+
+module Rng = Abonn_util.Rng
+module Budget = Abonn_util.Budget
+module Vector = Abonn_tensor.Vector
+module Matrix = Abonn_tensor.Matrix
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Split = Abonn_spec.Split
+module Verdict = Abonn_spec.Verdict
+module Problem = Abonn_spec.Problem
+module Network = Abonn_nn.Network
+module Affine = Abonn_nn.Affine
+module Builder = Abonn_nn.Builder
+module Outcome = Abonn_prop.Outcome
+module Deeppoly = Abonn_prop.Deeppoly
+module Alphabeta = Abonn_crown.Alphabeta
+
+let tol = 1e-6
+
+let random_problem ?(seed = 0) ?(dims = [ 2; 5; 2 ]) ?(eps = 0.25) () =
+  let rng = Rng.create seed in
+  let net = Builder.mlp rng ~dims in
+  let in_dim = List.hd dims in
+  let center = Array.init in_dim (fun _ -> Rng.range rng (-0.5) 0.5) in
+  let region = Region.linf_ball ~center ~eps () in
+  let out_dim = List.nth dims (List.length dims - 1) in
+  let label = Network.predict net center in
+  let property = Property.robustness ~num_classes:out_dim ~label in
+  Problem.create ~network:net ~region ~property ()
+
+let sampled_min_margin ?(samples = 300) problem =
+  let rng = Rng.create 7 in
+  let worst = ref Float.infinity in
+  for _ = 1 to samples do
+    let x = Region.sample rng problem.Problem.region in
+    let m = Problem.concrete_margin problem x in
+    if m < !worst then worst := m
+  done;
+  !worst
+
+(* Verified ⟹ no sampled point violates; Falsified ⟹ the witness is a
+   genuine counterexample inside the region. *)
+let test_alphabeta_sound_vs_sampling () =
+  for seed = 0 to 14 do
+    let eps = 0.05 +. (0.1 *. float_of_int (seed mod 5)) in
+    let problem = random_problem ~seed ~eps () in
+    let r = Alphabeta.verify ~budget:(Budget.of_calls 400) problem in
+    match r.Abonn_bab.Result.verdict with
+    | Verdict.Verified ->
+      let worst = sampled_min_margin problem in
+      if worst < -.tol then
+        Alcotest.failf "seed %d: Verified but sampled margin %.9g" seed worst
+    | Verdict.Falsified x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: witness validates" seed)
+        true (Problem.is_counterexample problem x)
+    | Verdict.Timeout -> ()
+  done
+
+(* Split refinement and monotonicity.  Interval propagation is
+   inclusion-isotone, so folding a phase clamp into a child node can
+   only tighten its certified bound: min over the two phase children ≥
+   the parent bound.  One-pass CROWN back-substitution does NOT have
+   this property — an Active child replaces the ReLU by the identity
+   but still concretises over the full input box, losing the ẑ ≥ 0
+   side of the split (the information β-CROWN's β multipliers encode) —
+   so for DeepPoly the test instead pins per-cell soundness: every
+   child bound stays below the sampled margins of its own cell. *)
+let test_bound_monotone_under_splits () =
+  for seed = 0 to 9 do
+    let problem = random_problem ~seed ~dims:[ 2; 6; 2 ] ~eps:0.35 () in
+    let phat gamma =
+      let o = Abonn_prop.Interval.run problem gamma in
+      if o.Outcome.infeasible then Float.infinity else o.Outcome.phat
+    in
+    let parent = phat [] in
+    let k = Problem.num_relus problem in
+    for relu = 0 to k - 1 do
+      let child phase = phat [ { Split.relu; phase } ] in
+      let refined = Float.min (child Split.Active) (child Split.Inactive) in
+      if refined < parent -. 1e-9 then
+        Alcotest.failf "seed %d relu %d: split loosened interval bound %.12g -> %.12g"
+          seed relu parent refined
+    done;
+    (* second-level refinement keeps refining *)
+    if k >= 2 then begin
+      let parent1 = phat [ { Split.relu = 0; phase = Split.Active } ] in
+      let grand phase =
+        phat [ { Split.relu = 0; phase = Split.Active }; { Split.relu = 1; phase } ]
+      in
+      let refined = Float.min (grand Split.Active) (grand Split.Inactive) in
+      if refined < parent1 -. 1e-9 then
+        Alcotest.failf "seed %d: depth-2 split loosened interval bound %.12g -> %.12g"
+          seed parent1 refined
+    end
+  done
+
+let test_split_bounds_sound_per_cell () =
+  for seed = 0 to 9 do
+    let problem = random_problem ~seed ~dims:[ 2; 6; 2 ] ~eps:0.35 () in
+    let affine = problem.Problem.affine in
+    let rng = Rng.create (50 + seed) in
+    let k = Problem.num_relus problem in
+    for relu = 0 to min 2 (k - 1) do
+      List.iter
+        (fun phase ->
+          let gamma = [ { Split.relu; phase } ] in
+          let o = Deeppoly.run problem gamma in
+          if not o.Outcome.infeasible then
+            (* sample the region, keep the points inside this phase cell *)
+            for _ = 1 to 200 do
+              let x = Region.sample rng problem.Problem.region in
+              let pre = Affine.pre_activations affine x in
+              let layer, idx = Affine.relu_position affine relu in
+              let in_cell =
+                match phase with
+                | Split.Active -> pre.(layer).(idx) >= 0.0
+                | Split.Inactive -> pre.(layer).(idx) <= 0.0
+              in
+              if in_cell then begin
+                let m = Problem.concrete_margin problem x in
+                if o.Outcome.phat > m +. tol then
+                  Alcotest.failf
+                    "seed %d relu %d: cell bound %.9g above cell margin %.9g" seed relu
+                    o.Outcome.phat m
+              end
+            done)
+        [ Split.Active; Split.Inactive ]
+    done
+  done
+
+(* On a network with no ReLU the CROWN relaxation is exact: its root
+   bound equals the true box minimum of the margin, and the engine's
+   verdict matches that bound's sign. *)
+let test_linear_agrees_with_deeppoly () =
+  for seed = 0 to 19 do
+    let rng = Rng.create (1000 + seed) in
+    let w = Matrix.init 2 3 (fun _ _ -> Rng.range rng (-1.0) 1.0) in
+    let b = [| Rng.range rng (-0.3) 0.3; Rng.range rng (-0.3) 0.3 |] in
+    let affine = Affine.of_weights [ (w, b) ] in
+    let center = Array.init 3 (fun _ -> Rng.range rng (-0.5) 0.5) in
+    let region = Region.linf_ball ~center ~eps:(Rng.range rng 0.05 0.4) () in
+    let property = Property.targeted ~num_classes:2 ~label:0 ~target:1 in
+    let problem = Problem.of_affine ~affine ~region ~property () in
+    (* exact box minimum of the (linear) margin, coordinate-wise *)
+    let crow = Matrix.row property.Property.c 0 in
+    let coefs = Matrix.tmv w crow in
+    let exact_min =
+      let acc = ref (Vector.dot crow b +. property.Property.d.(0)) in
+      Array.iteri
+        (fun j a ->
+          acc :=
+            !acc
+            +. (if a > 0.0 then a *. region.Region.lower.(j)
+                else a *. region.Region.upper.(j)))
+        coefs;
+      !acc
+    in
+    let o = Deeppoly.run problem [] in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "seed %d: deeppoly exact on linear" seed)
+      exact_min o.Outcome.phat;
+    let r = Alphabeta.verify ~budget:(Budget.of_calls 50) problem in
+    (match r.Abonn_bab.Result.verdict with
+     | Verdict.Verified ->
+       Alcotest.(check bool)
+         (Printf.sprintf "seed %d: Verified iff margin positive" seed)
+         true
+         (exact_min > -.tol)
+     | Verdict.Falsified x ->
+       Alcotest.(check bool)
+         (Printf.sprintf "seed %d: Falsified iff margin non-positive" seed)
+         true
+         (exact_min <= tol && Problem.is_counterexample problem x)
+     | Verdict.Timeout ->
+       Alcotest.failf "seed %d: linear problem timed out" seed)
+  done
+
+(* The attack warm start must never flip a verifiable instance: on
+   problems BFS proves, αβ-CROWN must prove too (same AppVer, and
+   attacks cannot produce spurious counterexamples). *)
+let test_alphabeta_agrees_with_bfs_on_verified () =
+  let checked = ref 0 in
+  for seed = 0 to 19 do
+    let problem = random_problem ~seed ~eps:0.08 () in
+    let budget () = Budget.of_calls 400 in
+    match (Abonn_bab.Bfs.verify ~budget:(budget ()) problem).Abonn_bab.Result.verdict with
+    | Verdict.Verified ->
+      incr checked;
+      (match (Alphabeta.verify ~budget:(budget ()) problem).Abonn_bab.Result.verdict with
+       | Verdict.Verified | Verdict.Timeout -> ()
+       | Verdict.Falsified x ->
+         (* only a genuine tie may disagree with a Verified BFS *)
+         let m = Problem.concrete_margin problem x in
+         if m < -.tol then
+           Alcotest.failf "seed %d: ab-crown falsified a verified problem (margin %.9g)"
+             seed m)
+    | Verdict.Falsified _ | Verdict.Timeout -> ()
+  done;
+  Alcotest.(check bool) "exercised at least one verified instance" true (!checked > 0)
+
+let suite =
+  [ ( "crown",
+      [ Alcotest.test_case "alphabeta sound vs sampling" `Quick
+          test_alphabeta_sound_vs_sampling;
+        Alcotest.test_case "bounds monotone under split refinement" `Quick
+          test_bound_monotone_under_splits;
+        Alcotest.test_case "split bounds sound per cell" `Quick
+          test_split_bounds_sound_per_cell;
+        Alcotest.test_case "exact on linear networks" `Quick
+          test_linear_agrees_with_deeppoly;
+        Alcotest.test_case "agrees with bfs on verified instances" `Quick
+          test_alphabeta_agrees_with_bfs_on_verified
+      ] )
+  ]

@@ -149,6 +149,33 @@ let prop_matmul_associative =
         (Matrix.matmul (Matrix.matmul a b) c)
         (Matrix.matmul a (Matrix.matmul b c)))
 
+(* Regression (fuzz-generator audit): [approx_equal] compared by
+   [|x - y| > tol], which is false whenever the difference is NaN — so a
+   NaN entry passed as equal to anything.  Non-finite entries must
+   compare by identity. *)
+let test_vec_approx_equal_nan_inf () =
+  Alcotest.(check bool) "nan is not a finite value" false
+    (Vector.approx_equal [| Float.nan |] [| 0.0 |]);
+  Alcotest.(check bool) "finite value is not nan" false
+    (Vector.approx_equal [| 0.0 |] [| Float.nan |]);
+  Alcotest.(check bool) "nan equals nan" true
+    (Vector.approx_equal [| Float.nan |] [| Float.nan |]);
+  Alcotest.(check bool) "inf equals inf" true
+    (Vector.approx_equal [| Float.infinity |] [| Float.infinity |]);
+  Alcotest.(check bool) "inf is not -inf" false
+    (Vector.approx_equal [| Float.infinity |] [| Float.neg_infinity |]);
+  Alcotest.(check bool) "inf is not finite" false
+    (Vector.approx_equal [| Float.infinity |] [| 1e308 |]);
+  Alcotest.(check bool) "mixed vector still compares" true
+    (Vector.approx_equal [| 1.0; Float.nan; Float.infinity |]
+       [| 1.0 +. 1e-12; Float.nan; Float.infinity |])
+
+let test_mat_approx_equal_nan () =
+  let a = Matrix.of_rows [| [| Float.nan; 1.0 |] |] in
+  let b = Matrix.of_rows [| [| 0.0; 1.0 |] |] in
+  Alcotest.(check bool) "matrix nan is not 0" false (Matrix.approx_equal a b);
+  Alcotest.(check bool) "matrix nan equals itself" true (Matrix.approx_equal a (Matrix.copy a))
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -163,6 +190,7 @@ let suite =
         Alcotest.test_case "argmax" `Quick test_vec_argmax;
         Alcotest.test_case "clamp" `Quick test_vec_clamp;
         Alcotest.test_case "scale/neg" `Quick test_vec_scale_neg;
+        Alcotest.test_case "approx_equal nan/inf" `Quick test_vec_approx_equal_nan_inf;
         qtest prop_dot_symmetric
       ] );
     ( "tensor.matrix",
@@ -177,6 +205,7 @@ let suite =
         Alcotest.test_case "ragged rejected" `Quick test_mat_of_rows_ragged;
         Alcotest.test_case "bounds checked" `Quick test_mat_bounds_check;
         Alcotest.test_case "frobenius" `Quick test_mat_frobenius;
+        Alcotest.test_case "approx_equal nan" `Quick test_mat_approx_equal_nan;
         qtest prop_transpose_involution;
         qtest prop_matmul_mv_agree;
         qtest prop_tmv_is_transpose_mv;

@@ -249,6 +249,40 @@ let test_summary_segments_harness_trace () =
   Alcotest.(check (option string)) "first verdict" (Some "verified")
     (List.hd runs).Summary.verdict
 
+let test_summary_composite_bracket () =
+  (* A wrapper run (e.g. an abonn_fuzz case) whose bracket contains
+     whole engine runs: reconstruction must flag it composite and take
+     the row's statistics from the wrapper's report, not from the
+     interior engines' events. *)
+  let env i t event = { Event.seq = i; t; event } in
+  let events =
+    [ env 1 0.0 (Event.Run_started { engine = "fuzz"; instance = "case-0" });
+      env 2 0.001
+        (Event.Node_evaluated
+           { engine = "abonn"; depth = 1; gamma = Tree.root_gamma; phat = -0.1;
+             reward = 0.1 });
+      env 3 0.002
+        (Event.Verdict_reached { engine = "abonn"; verdict = "falsified"; elapsed = 0.002 });
+      env 4 0.003
+        (Event.Verdict_reached
+           { engine = "bab-baseline"; verdict = "verified"; elapsed = 0.001 });
+      env 5 0.004
+        (Event.Run_finished
+           { engine = "fuzz"; instance = "case-0"; verdict = "pass"; calls = 5; nodes = 0;
+             max_depth = 0; wall = 0.004 })
+    ]
+  in
+  match Summary.runs events with
+  | [ run ] ->
+    Alcotest.(check bool) "composite" true run.Summary.composite;
+    Alcotest.(check string) "engine is the bracket's" "fuzz" run.Summary.engine;
+    Alcotest.(check (option string)) "verdict from report" (Some "pass")
+      run.Summary.verdict;
+    Alcotest.(check int) "calls from report" 5 run.Summary.calls;
+    Alcotest.(check bool) "consistent (cross-check not applicable)" true
+      (Summary.consistent run)
+  | runs -> Alcotest.failf "expected one segment, got %d" (List.length runs)
+
 (* --- summary vs a fresh engine run (the acceptance property) --- *)
 
 let random_problem ?(seed = 0) ?(dims = [ 2; 6; 2 ]) ?(eps = 0.3) () =
@@ -421,6 +455,8 @@ let suite =
     ( "trace.summary",
       [ Alcotest.test_case "golden summary" `Quick test_summary_golden;
         Alcotest.test_case "harness segmentation" `Quick test_summary_segments_harness_trace;
+        Alcotest.test_case "composite bracket uses reported stats" `Quick
+          test_summary_composite_bracket;
         Alcotest.test_case "reproduces abonn run" `Quick test_summary_reproduces_abonn_run;
         Alcotest.test_case "reproduces bfs run" `Quick test_summary_reproduces_bfs_run;
         Alcotest.test_case "reproduces bestfirst run" `Quick

@@ -198,6 +198,22 @@ let test_budget_combine () =
   Budget.record_call b;
   Alcotest.(check bool) "calls trip first" true (Budget.exhausted b)
 
+(* Regression (fuzz-generator audit): budgets with exactly zero remaining
+   must be exhausted from birth — an engine that checks the budget before
+   its first AppVer call must not get to make it. *)
+let test_budget_zero_remaining () =
+  Alcotest.(check bool) "of_calls 0 born exhausted" true (Budget.exhausted (Budget.of_calls 0));
+  Alcotest.(check bool) "of_seconds 0 born exhausted" true
+    (Budget.exhausted (Budget.of_seconds 0.0));
+  Alcotest.(check bool) "combine zero seconds trips despite call headroom" true
+    (Budget.exhausted (Budget.combine ~calls:1000 ~seconds:0.0 ()));
+  Alcotest.(check bool) "negative limits clamp to zero" true
+    (Budget.exhausted (Budget.of_calls (-3)) && Budget.exhausted (Budget.of_seconds (-1.0)));
+  let b = Budget.of_calls 1 in
+  Alcotest.(check bool) "one call of headroom" false (Budget.exhausted b);
+  Budget.record_call b;
+  Alcotest.(check bool) "inclusive at the limit" true (Budget.exhausted b)
+
 (* --- Table --- *)
 
 let test_table_render_shape () =
@@ -224,6 +240,24 @@ let test_table_fmt_float () =
   Alcotest.(check string) "-inf" "-inf" (Table.fmt_float neg_infinity);
   Alcotest.(check string) "nan" "nan" (Table.fmt_float Float.nan)
 
+(* Regression (fuzz-generator audit): [range] with reversed bounds used to
+   draw from a *decreasing* affine map — values landed in (hi, lo] and
+   downstream interval constructions silently inverted.  Bounds are now
+   normalised, equal bounds are a point mass, and the stream advances
+   exactly once per call either way. *)
+let test_rng_range_reversed_and_equal () =
+  let rng = Rng.create 91 in
+  for _ = 1 to 500 do
+    let v = Rng.range rng 2.0 (-1.0) in
+    Alcotest.(check bool) "reversed bounds normalised" true (v >= -1.0 && v < 2.0)
+  done;
+  Alcotest.(check (float 0.0)) "equal bounds are a point" 3.5 (Rng.range rng 3.5 3.5);
+  (* stream stability: a degenerate call consumes exactly one draw *)
+  let a = Rng.create 17 and b = Rng.create 17 in
+  ignore (Rng.range a 1.0 1.0);
+  ignore (Rng.uniform b);
+  Alcotest.(check int64) "advances once" (Rng.int64 a) (Rng.int64 b)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -237,7 +271,8 @@ let suite =
         Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
         Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
         Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
-        Alcotest.test_case "int rejects non-positive" `Quick test_rng_int_rejects_nonpositive
+        Alcotest.test_case "int rejects non-positive" `Quick test_rng_int_rejects_nonpositive;
+        Alcotest.test_case "range reversed/equal bounds" `Quick test_rng_range_reversed_and_equal
       ] );
     ( "util.stats",
       [ Alcotest.test_case "mean" `Quick test_stats_mean;
@@ -265,7 +300,8 @@ let suite =
       [ Alcotest.test_case "calls" `Quick test_budget_calls;
         Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
         Alcotest.test_case "seconds" `Quick test_budget_seconds;
-        Alcotest.test_case "combine" `Quick test_budget_combine
+        Alcotest.test_case "combine" `Quick test_budget_combine;
+        Alcotest.test_case "zero remaining" `Quick test_budget_zero_remaining
       ] );
     ( "util.table",
       [ Alcotest.test_case "render shape" `Quick test_table_render_shape;
