@@ -1,0 +1,149 @@
+(* Node-throughput benchmark for the incremental bound cache.
+
+     dune exec bench/bab_nodes.exe
+     dune exec bench/bab_nodes.exe -- --json BENCH_bab_nodes.json
+
+   Runs the same best-first BaB searches twice — warm-started bound
+   propagation on (default) and off (--no-bound-cache path) — and
+   reports nodes explored per second for each, plus the speedup ratio.
+   The instances are deep MLPs whose searches reach depth >= 4, where
+   prefix reuse pays: a child split at hidden layer l skips the
+   backsubstitution of every layer below l.  The verdicts of the two
+   runs are asserted identical, so the ratio compares equal work. *)
+
+module Rng = Abonn_util.Rng
+module Budget = Abonn_util.Budget
+module Builder = Abonn_nn.Builder
+module Network = Abonn_nn.Network
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Problem = Abonn_spec.Problem
+module Verdict = Abonn_spec.Verdict
+module Incremental = Abonn_prop.Incremental
+module Bestfirst = Abonn_bab.Bestfirst
+module Branching = Abonn_bab.Branching
+module Result = Abonn_bab.Result
+
+let mlp_problem ~dims ~eps seed =
+  let rng = Rng.create seed in
+  let network = Builder.mlp rng ~dims in
+  let dim = List.hd dims in
+  let center = Array.init dim (fun _ -> Rng.range rng (-0.5) 0.5) in
+  let region = Region.linf_ball ~center ~eps () in
+  let label = Network.predict network center in
+  let property =
+    Property.robustness ~num_classes:(List.nth dims (List.length dims - 1)) ~label
+  in
+  Problem.create ~network ~region ~property ()
+
+(* The widest-interval heuristic concentrates splits in deep layers
+   (interval width accumulates with depth), which is where prefix reuse
+   skips the most work; it is also a heuristic the CLI exposes. *)
+let heuristic =
+  match Branching.find "widest" with
+  | Some h -> h
+  | None -> Branching.default
+
+let calls = 400
+let repeats = 3
+
+let timed_run ~cache problem =
+  Incremental.with_enabled cache @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let r = Bestfirst.verify ~heuristic ~budget:(Budget.of_calls calls) problem in
+  let dt = Unix.gettimeofday () -. t0 in
+  (r, dt)
+
+(* nodes/sec over [repeats] runs; the repeat loop amortises timer noise
+   on these sub-second searches. *)
+let throughput ~cache problem =
+  let nodes = ref 0 and time = ref 0.0 and last = ref None in
+  for _ = 1 to repeats do
+    let r, dt = timed_run ~cache problem in
+    nodes := !nodes + r.Result.stats.Result.nodes;
+    time := !time +. dt;
+    last := Some r
+  done;
+  let r = Option.get !last in
+  (float_of_int !nodes /. !time, r)
+
+type row = {
+  name : string;
+  nodes : int;
+  max_depth : int;
+  verdict : string;
+  nps_cached : float;
+  nps_uncached : float;
+  speedup : float;
+}
+
+let bench_instance (name, dims, eps, seed) =
+  let problem = mlp_problem ~dims ~eps seed in
+  (* one throwaway pass per mode so both measurements run warm *)
+  ignore (timed_run ~cache:false problem);
+  ignore (timed_run ~cache:true problem);
+  let nps_uncached, r_off = throughput ~cache:false problem in
+  let nps_cached, r_on = throughput ~cache:true problem in
+  let v_on = Verdict.to_string r_on.Result.verdict in
+  let v_off = Verdict.to_string r_off.Result.verdict in
+  (* A decided-vs-decided disagreement would be a soundness bug; a
+     decided-vs-timeout difference is just the tighter bounds changing
+     which child the heuristic pops inside a finite budget. *)
+  if Verdict.is_verified r_on.Result.verdict && Verdict.is_falsified r_off.Result.verdict
+     || Verdict.is_falsified r_on.Result.verdict
+        && Verdict.is_verified r_off.Result.verdict
+  then
+    failwith (Printf.sprintf "%s: verdict conflict cache on/off (%s vs %s)" name v_on v_off);
+  { name;
+    nodes = r_on.Result.stats.Result.nodes;
+    max_depth = r_on.Result.stats.Result.max_depth;
+    verdict = v_on;
+    nps_cached;
+    nps_uncached;
+    speedup = nps_cached /. nps_uncached }
+
+let instances =
+  [ ("mlp_d6_seed1", [ 4; 24; 24; 24; 24; 24; 24; 2 ], 0.22, 1);
+    ("mlp_d6_seed5", [ 4; 24; 24; 24; 24; 24; 24; 2 ], 0.22, 5);
+    ("mlp_d8_seed3", [ 3; 20; 20; 20; 20; 20; 20; 20; 20; 2 ], 0.2, 3) ]
+
+let write_json path rows geomean =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iter
+    (fun r ->
+      output_string oc
+        (Printf.sprintf
+           "  %S: {\"nodes\": %d, \"max_depth\": %d, \"verdict\": %S, \
+            \"nodes_per_sec_cached\": %.1f, \"nodes_per_sec_uncached\": %.1f, \
+            \"speedup\": %.3f},\n"
+           r.name r.nodes r.max_depth r.verdict r.nps_cached r.nps_uncached r.speedup))
+    rows;
+  output_string oc (Printf.sprintf "  \"geomean_speedup\": %.3f\n}\n" geomean);
+  close_out oc;
+  Printf.printf "json results written to: %s\n%!" path
+
+let json_path =
+  let rec scan = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let () =
+  Printf.printf "%-16s %6s %6s %10s %12s %14s %8s\n" "instance" "nodes" "depth" "verdict"
+    "cached n/s" "uncached n/s" "speedup";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let rows = List.map bench_instance instances in
+  List.iter
+    (fun r ->
+      Printf.printf "%-16s %6d %6d %10s %12.1f %14.1f %7.2fx\n" r.name r.nodes
+        r.max_depth r.verdict r.nps_cached r.nps_uncached r.speedup)
+    rows;
+  let geomean =
+    exp (List.fold_left (fun acc r -> acc +. log r.speedup) 0.0 rows
+         /. float_of_int (List.length rows))
+  in
+  Printf.printf "\ngeomean speedup: %.2fx\n" geomean;
+  Option.iter (fun path -> write_json path rows geomean) json_path

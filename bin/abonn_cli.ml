@@ -71,7 +71,7 @@ let with_observability ~trace_file ~progress ~stats f =
   Fun.protect ~finally f
 
 let verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-    progress stats ~context =
+    progress stats no_cache ~context =
   let heuristic =
     match Abonn_bab.Branching.find heuristic with
     | Some h -> h
@@ -86,6 +86,9 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
   in
   let budget = Budget.combine ~calls ?seconds () in
   match
+    (* --no-bound-cache: drop warm-started incremental propagation and
+       restore the from-scratch bound path bit-for-bit *)
+    Abonn_prop.Incremental.with_enabled (not no_cache) @@ fun () ->
     with_observability ~trace_file ~progress ~stats (fun () ->
         match engine with
         | "abonn" ->
@@ -121,12 +124,12 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
   `Ok ()
 
 let run problem_file model_name index eps factor engine lambda c heuristic appver calls
-    seconds models_dir trace_file progress stats =
+    seconds models_dir trace_file progress stats no_cache =
   match problem_file with
   | Some path ->
     let problem = Abonn_spec.Problem_file.load path in
     verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-      progress stats ~context:(Printf.sprintf "problem=%s" path)
+      progress stats no_cache ~context:(Printf.sprintf "problem=%s" path)
   | None ->
   match Models.find model_name with
   | None ->
@@ -140,7 +143,7 @@ let run problem_file model_name index eps factor engine lambda c heuristic appve
      | `Error _ as e -> e
      | `Ok (problem, eps) ->
        verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-         progress stats
+         progress stats no_cache
          ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps))
 
 let problem_arg =
@@ -206,6 +209,13 @@ let stats_arg =
        & info [ "stats" ]
            ~doc:"Print per-subsystem counters, timers and histograms after the run.")
 
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-bound-cache" ]
+           ~doc:"Disable incremental (warm-started) bound propagation: every BaB node \
+                 recomputes its bounds from scratch, restoring the pre-cache search \
+                 path bit-for-bit.")
+
 let cmd =
   let doc = "ABONN: adaptive branch-and-bound neural-network verification" in
   Cmd.v
@@ -214,6 +224,6 @@ let cmd =
       ret
         (const run $ problem_arg $ model_arg $ index_arg $ eps_arg $ factor_arg $ engine_arg
          $ lambda_arg $ c_arg $ heuristic_arg $ appver_arg $ calls_arg $ seconds_arg
-         $ models_dir_arg $ trace_arg $ progress_arg $ stats_arg))
+         $ models_dir_arg $ trace_arg $ progress_arg $ stats_arg $ no_cache_arg))
 
 let () = exit (Cmd.eval cmd)

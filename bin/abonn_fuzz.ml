@@ -30,7 +30,7 @@ let parse_families s =
           Error
             (Printf.sprintf
                "unknown oracle family %S (expected all, sampling, bounds, exact, \
-                engines or cert)"
+                engines, cert or incremental)"
                p))
     in
     go [] parts
@@ -138,7 +138,8 @@ let oracle_arg =
     & info [ "oracle" ] ~docv:"FAMILIES"
         ~doc:
           "Oracle families to run: $(b,all) or a comma-separated subset of \
-           $(b,sampling), $(b,bounds), $(b,exact), $(b,engines), $(b,cert).")
+           $(b,sampling), $(b,bounds), $(b,exact), $(b,engines), $(b,cert), \
+           $(b,incremental).")
 
 let minimize_arg =
   Arg.(

@@ -12,6 +12,8 @@ type frontier_node = {
   gamma : Split.gamma;
   depth : int;
   outcome : Outcome.t;
+  state : Abonn_prop.Incremental.t option;
+      (* this node's own incremental state, warm-starting its children *)
 }
 
 exception Found of float array
@@ -32,18 +34,19 @@ let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget 
     Result.make ~verdict ~appver_calls:(Budget.calls_used budget) ~nodes:!nodes
       ~max_depth:!max_depth ~wall_time
   in
-  (* Evaluate a node; push it when undecided; raise [Found] on a real
-     counterexample. *)
-  let evaluate gamma depth =
+  (* Evaluate a node, warm-starting from its parent's state; push it
+     when undecided; raise [Found] on a real counterexample. *)
+  let evaluate ?parent gamma depth =
     Budget.record_call budget;
     nodes := !nodes + 1;
     max_depth := Stdlib.max !max_depth depth;
-    let outcome = appver.Appver.run problem gamma in
+    let outcome, state = Appver.run_warm appver ?state:parent problem gamma in
     if Outcome.proved outcome then ()
     else begin
       match outcome.Outcome.candidate with
       | Some x when Problem.is_counterexample problem x -> raise (Found x)
-      | Some _ | None -> Heap.push heap outcome.Outcome.phat { gamma; depth; outcome }
+      | Some _ | None ->
+        Heap.push heap outcome.Outcome.phat { gamma; depth; outcome; state }
     end
   in
   match
@@ -69,8 +72,12 @@ let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget 
                choose ~gamma:node.gamma ~pre_bounds:node.outcome.Outcome.pre_bounds
              with
              | Some relu ->
-               evaluate (Split.extend node.gamma ~relu ~phase:Split.Active) (node.depth + 1);
-               evaluate (Split.extend node.gamma ~relu ~phase:Split.Inactive) (node.depth + 1);
+               (* one shared pre-split computation per expansion: both
+                  children warm-start from the popped node's state *)
+               evaluate ?parent:node.state
+                 (Split.extend node.gamma ~relu ~phase:Split.Active) (node.depth + 1);
+               evaluate ?parent:node.state
+                 (Split.extend node.gamma ~relu ~phase:Split.Inactive) (node.depth + 1);
                loop ()
              | None ->
                Budget.record_call budget;

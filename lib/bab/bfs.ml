@@ -13,7 +13,9 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
   let started = Unix.gettimeofday () in
   let choose = heuristic.Branching.prepare problem in
   let queue = Queue.create () in
-  Queue.add ([], 0) queue;
+  (* Each entry carries its parent's incremental state so the AppVer can
+     warm-start; the root has none. *)
+  Queue.add ([], 0, None) queue;
   let nodes = ref 1 and max_depth = ref 0 in
   let finish verdict =
     let wall_time = Unix.gettimeofday () -. started in
@@ -29,7 +31,7 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
     if Queue.is_empty queue then finish Verdict.Verified
     else if Budget.exhausted budget then finish Verdict.Timeout
     else begin
-      let gamma, depth = Queue.pop queue in
+      let gamma, depth, state = Queue.pop queue in
       if Obs.active () then begin
         Obs.incr "bfs.pop";
         Obs.observe "bfs.depth" (float_of_int depth);
@@ -40,7 +42,7 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
                  priority = Float.nan })
       end;
       Budget.record_call budget;
-      let outcome = appver.Appver.run problem gamma in
+      let outcome, node_state = Appver.run_warm appver ?state problem gamma in
       if Outcome.proved outcome then begin
         record { Certificate.gamma; phat = outcome.Outcome.phat; by_exact = false };
         loop ()
@@ -56,8 +58,13 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
         | None ->
           begin match choose ~gamma ~pre_bounds:outcome.Outcome.pre_bounds with
           | Some relu ->
-            Queue.add (Split.extend gamma ~relu ~phase:Split.Active, depth + 1) queue;
-            Queue.add (Split.extend gamma ~relu ~phase:Split.Inactive, depth + 1) queue;
+            (* One shared pre-split computation per expansion: both
+               children warm-start from this node's state instead of
+               re-deriving the parent's layer bounds independently. *)
+            Queue.add (Split.extend gamma ~relu ~phase:Split.Active, depth + 1, node_state)
+              queue;
+            Queue.add (Split.extend gamma ~relu ~phase:Split.Inactive, depth + 1, node_state)
+              queue;
             nodes := !nodes + 2;
             max_depth := Stdlib.max !max_depth (depth + 1);
             loop ()

@@ -67,7 +67,11 @@ let verify ?(appver = Appver.deeppoly) ?(strategy = Gradient_weighted) ?budget
   let property = problem.Problem.property in
   let sub_problem region = Problem.of_affine ~affine ~region ~property () in
   let queue = Queue.create () in
-  Queue.add (problem.Problem.region, 0) queue;
+  (* Region bisection changes the input box, so a child can never share
+     a bound prefix — re-propagation is forced from layer 0 — but the
+     parent's state still tightens the child's bounds by intersection
+     (the [Tighten] reuse mode). *)
+  Queue.add (problem.Problem.region, 0, None) queue;
   let nodes = ref 1 and max_depth = ref 0 in
   (* Point-sized boxes that resist proving (margin touching 0 on a null
      set) cannot be soundly pruned; they downgrade Verified to Timeout. *)
@@ -86,10 +90,10 @@ let verify ?(appver = Appver.deeppoly) ?(strategy = Gradient_weighted) ?budget
     if Queue.is_empty queue then finish Verdict.Verified
     else if Budget.exhausted budget then finish Verdict.Timeout
     else begin
-      let region, depth = Queue.pop queue in
+      let region, depth, state = Queue.pop queue in
       Budget.record_call budget;
       let sub = sub_problem region in
-      let outcome = appver.Appver.run sub [] in
+      let outcome, node_state = Appver.run_warm appver ?state sub [] in
       if Outcome.proved outcome then loop ()
       else begin
         let valid_cex =
@@ -121,8 +125,8 @@ let verify ?(appver = Appver.deeppoly) ?(strategy = Gradient_weighted) ?budget
           end
           else begin
             let left, right = bisect region dim in
-            Queue.add (left, depth + 1) queue;
-            Queue.add (right, depth + 1) queue;
+            Queue.add (left, depth + 1, node_state) queue;
+            Queue.add (right, depth + 1, node_state) queue;
             nodes := !nodes + 2;
             max_depth := Stdlib.max !max_depth (depth + 1);
             loop ()

@@ -161,6 +161,13 @@ let interesting oracle_cfg family (problem : Problem.t) =
      | { Result.verdict = Verdict.Verified; _ }, Some cert ->
        Certificate.num_leaves cert >= 2
      | _ -> false)
+  | Oracle.Incremental ->
+    (* warm-start reuse only does work when there is a split path to
+       walk and unstable neurons for the intersection to tighten *)
+    Problem.num_relus problem >= 2
+    && (match Deeppoly.hidden_bounds problem [] with
+        | Some bs -> Array.exists (fun b -> Bounds.num_unstable b > 0) bs
+        | None -> false)
 
 (* Corpus entries also target both verdict polarities for the sampling
    family, so the committed set covers proves and refutes. *)
@@ -177,7 +184,15 @@ let corpus_targets : (string * Oracle.family * (Oracle.config -> Problem.t -> bo
     ("bounds", Oracle.Bounds, (fun cfg p -> interesting cfg Oracle.Bounds p));
     ("exact", Oracle.Exact, (fun cfg p -> interesting cfg Oracle.Exact p));
     ("engines", Oracle.Engines, (fun cfg p -> interesting cfg Oracle.Engines p));
-    ("cert", Oracle.Cert, (fun cfg p -> interesting cfg Oracle.Cert p))
+    ("cert", Oracle.Cert, (fun cfg p -> interesting cfg Oracle.Cert p));
+    ("incremental", Oracle.Incremental, (fun cfg p -> interesting cfg Oracle.Incremental p));
+    ("incremental_deep", Oracle.Incremental,
+     (* enough ReLUs for a full depth-3 warm-started walk plus a
+        multi-layer prefix to skip *)
+     fun cfg p ->
+       interesting cfg Oracle.Incremental p
+       && Problem.num_relus p >= 4
+       && Array.length p.Problem.affine.Abonn_nn.Affine.weights >= 3)
   ]
 
 let export_corpus ?(seed = 2025) ~dir () =

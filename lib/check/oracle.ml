@@ -15,6 +15,7 @@ module Zonotope = Abonn_prop.Zonotope
 module Deeppoly = Abonn_prop.Deeppoly
 module Symbolic = Abonn_prop.Symbolic
 module Bounds = Abonn_prop.Bounds
+module Incremental = Abonn_prop.Incremental
 module Bfs = Abonn_bab.Bfs
 module Bestfirst = Abonn_bab.Bestfirst
 module Inputsplit = Abonn_bab.Inputsplit
@@ -22,9 +23,9 @@ module Exact = Abonn_bab.Exact
 module Certificate = Abonn_bab.Certificate
 module Result = Abonn_bab.Result
 
-type family = Sampling | Bounds | Exact | Engines | Cert
+type family = Sampling | Bounds | Exact | Engines | Cert | Incremental
 
-let all_families = [ Sampling; Bounds; Exact; Engines; Cert ]
+let all_families = [ Sampling; Bounds; Exact; Engines; Cert; Incremental ]
 
 let family_name = function
   | Sampling -> "sampling"
@@ -32,6 +33,7 @@ let family_name = function
   | Exact -> "exact"
   | Engines -> "engines"
   | Cert -> "cert"
+  | Incremental -> "incremental"
 
 let family_of_string = function
   | "sampling" -> Some Sampling
@@ -39,6 +41,7 @@ let family_of_string = function
   | "exact" -> Some Exact
   | "engines" -> Some Engines
   | "cert" -> Some Cert
+  | "incremental" -> Some Incremental
   | _ -> None
 
 type failure = {
@@ -409,6 +412,198 @@ let run_cert cfg _rng problem =
     fail Cert "cert.spurious" "non-Verified run produced a certificate"
   | (Verdict.Falsified _ | Verdict.Timeout), None -> Pass
 
+(* --- incremental warm-start oracle --- *)
+
+(* Differential checks for the parent-state bound cache: walk a
+   root-to-leaf split path whose phases match a concrete probe point (so
+   the point stays feasible in every cell), warm-starting each node from
+   its parent exactly as the BaB engines do, and check at every step
+
+   - soundness: the in-cell point's pre-activations and row margins
+     respect the warm bounds;
+   - lattice containment: the warm child is nowhere looser than its
+     parent (exact, no tolerance — intersection guarantees it);
+   - warm vs scratch: the warm p̂ is never looser than from-scratch
+     DeepPoly on the same gamma;
+   - idempotence: re-evaluating the leaf's own gamma warm from its own
+     state reproduces its outcome bit-for-bit;
+
+   then replay two engines cache-on vs cache-off: solved verdicts must
+   agree in polarity and every Falsified witness must validate. *)
+
+let contained_in_parent (warm : Outcome.t) (parent : Incremental.t) =
+  let bad = ref None in
+  Array.iteri
+    (fun l (b : Bounds.t) ->
+      if !bad = None && l < Array.length parent.Incremental.pre_bounds then begin
+        let p = parent.Incremental.pre_bounds.(l) in
+        Array.iteri
+          (fun i lo ->
+            if !bad = None
+               && (lo < p.Bounds.lower.(i) || b.Bounds.upper.(i) > p.Bounds.upper.(i))
+            then
+              bad :=
+                Some
+                  (Printf.sprintf
+                     "layer %d neuron %d: warm [%.9g, %.9g] not inside parent [%.9g, %.9g]"
+                     l i lo b.Bounds.upper.(i) p.Bounds.lower.(i) p.Bounds.upper.(i)))
+          b.Bounds.lower
+      end)
+    warm.Outcome.pre_bounds;
+  (match !bad with
+   | None ->
+     let prl = parent.Incremental.row_lower in
+     if Array.length warm.Outcome.row_lower = Array.length prl then
+       Array.iteri
+         (fun r lo ->
+           if !bad = None && lo < prl.(r) then
+             bad := Some (Printf.sprintf "row %d: warm lower %.9g below parent %.9g" r lo prl.(r)))
+         warm.Outcome.row_lower
+   | Some _ -> ());
+  !bad
+
+let run_incremental cfg rng problem =
+  let slope = Deeppoly.Adaptive in
+  let k = Problem.num_relus problem in
+  let points = probe_points cfg rng problem in
+  let walk_verdict =
+    if k = 0 || Array.length points = 0 then Pass
+    else begin
+      let x0 = points.(0) in
+      let affine = problem.Problem.affine in
+      let pre = Affine.pre_activations affine x0 in
+      let rows0 = row_margins problem (Abonn_nn.Network.forward problem.Problem.network x0) in
+      let steps = min 3 k in
+      let result = ref Pass in
+      let gamma = ref [] and state = ref None in
+      let step_check parent (warm : Outcome.t) (scratch : Outcome.t) =
+        let gs = Split.to_string !gamma in
+        if warm.Outcome.infeasible then
+          failf Incremental "incremental.spurious-infeasible"
+            "warm DeepPoly declares infeasible a cell containing a concrete point (gamma %s)" gs
+        else if warm.Outcome.phat > Problem.concrete_margin problem x0 +. cfg.tol then
+          failf Incremental "incremental.phat-unsound"
+            "warm phat %.9g exceeds the margin %.9g of an in-cell point (gamma %s)"
+            warm.Outcome.phat (Problem.concrete_margin problem x0) gs
+        else begin
+          let row_bad = ref Pass in
+          if Array.length warm.Outcome.row_lower = Array.length rows0 then
+            Array.iteri
+              (fun r lo ->
+                if is_pass !row_bad && lo > rows0.(r) +. cfg.tol then
+                  row_bad :=
+                    failf Incremental "incremental.row-lower-unsound"
+                      "warm row %d lower bound %.9g exceeds the in-cell margin %.9g (gamma %s)"
+                      r lo rows0.(r) gs)
+              warm.Outcome.row_lower;
+          match !row_bad with
+          | Fail _ as f -> f
+          | Pass ->
+            (match containment_failure cfg ~dname:"deeppoly-warm" ~gamma_str:gs problem
+                     warm.Outcome.pre_bounds [| x0 |] with
+             | Some msg -> fail Incremental "incremental.containment" msg
+             | None ->
+               if warm.Outcome.phat < scratch.Outcome.phat -. cfg.tol then
+                 failf Incremental "incremental.looser-than-scratch"
+                   "warm phat %.9g is looser than from-scratch phat %.9g (gamma %s)"
+                   warm.Outcome.phat scratch.Outcome.phat gs
+               else
+                 (match parent with
+                  | None -> Pass
+                  | Some p ->
+                    (match contained_in_parent warm p with
+                     | Some msg ->
+                       failf Incremental "incremental.not-contained-in-parent" "%s (gamma %s)"
+                         msg gs
+                     | None -> Pass)))
+        end
+      in
+      (try
+         for i = 0 to steps - 1 do
+           let relu = i * k / steps in
+           let layer, idx = Affine.relu_position affine relu in
+           let phase = if pre.(layer).(idx) >= 0.0 then Split.Active else Split.Inactive in
+           gamma := Split.extend !gamma ~relu ~phase;
+           let scratch = Deeppoly.run ~slope problem !gamma in
+           let parent = !state in
+           let warm, next = Deeppoly.run_warm ~slope ?state:parent problem !gamma in
+           (match step_check parent warm scratch with
+            | Pass -> ()
+            | Fail _ as f ->
+              result := f;
+              raise Exit);
+           (* idempotence: the node's own state reproduces its outcome *)
+           (match next with
+            | None ->
+              result :=
+                failf Incremental "incremental.state-dropped"
+                  "feasible warm evaluation returned no reusable state (gamma %s)"
+                  (Split.to_string !gamma);
+              raise Exit
+            | Some st ->
+              let again, _ = Deeppoly.run_warm ~slope ~state:st problem !gamma in
+              let same_rows =
+                Array.length again.Outcome.row_lower = Array.length warm.Outcome.row_lower
+                && Array.for_all2 Float.equal again.Outcome.row_lower warm.Outcome.row_lower
+              in
+              if not (Float.equal again.Outcome.phat warm.Outcome.phat && same_rows) then begin
+                result :=
+                  failf Incremental "incremental.same-gamma-drift"
+                    "re-evaluating gamma %s from its own state drifts: phat %.17g vs %.17g"
+                    (Split.to_string !gamma) again.Outcome.phat warm.Outcome.phat;
+                raise Exit
+              end);
+           state := next
+         done
+       with Exit -> ());
+      !result
+    end
+  in
+  match walk_verdict with
+  | Fail _ as f -> f
+  | Pass ->
+    (* cache-on vs cache-off engine agreement *)
+    let budget () = Budget.of_calls cfg.engine_budget in
+    let engines =
+      [ ("bfs", fun () -> (Bfs.verify ~budget:(budget ()) problem).Result.verdict);
+        ("bestfirst", fun () -> (Bestfirst.verify ~budget:(budget ()) problem).Result.verdict)
+      ]
+    in
+    let check_engine acc (name, f) =
+      match acc with
+      | Fail _ -> acc
+      | Pass ->
+        let on = Incremental.with_enabled true f in
+        let off = Incremental.with_enabled false f in
+        let bogus v =
+          match v with
+          | Verdict.Falsified x -> not (Problem.is_counterexample problem x)
+          | Verdict.Verified | Verdict.Timeout -> false
+        in
+        if bogus on || bogus off then
+          failf Incremental "incremental.bogus-cex"
+            "%s (cache %s) reported Falsified with a non-validating witness" name
+            (if bogus on then "on" else "off")
+        else begin
+          (* ties (margin within tol of 0) may legitimately land on either
+             side; only a strictly interior witness conflicts *)
+          let interior v =
+            match v with
+            | Verdict.Falsified x -> Problem.concrete_margin problem x < -.cfg.tol
+            | Verdict.Verified | Verdict.Timeout -> false
+          in
+          match (on, off) with
+          | Verdict.Verified, f when interior f ->
+            failf Incremental "incremental.cache-verdict-conflict"
+              "%s: Verified with cache on, interior Falsified with cache off" name
+          | f, Verdict.Verified when interior f ->
+            failf Incremental "incremental.cache-verdict-conflict"
+              "%s: interior Falsified with cache on, Verified with cache off" name
+          | _ -> Pass
+        end
+    in
+    List.fold_left check_engine Pass engines
+
 (* --- dispatch --- *)
 
 let run ?(config = default_config) ~seed family problem =
@@ -421,6 +616,7 @@ let run ?(config = default_config) ~seed family problem =
     | Exact -> run_exact
     | Engines -> run_engines
     | Cert -> run_cert
+    | Incremental -> run_incremental
   in
   try go config rng problem with
   | Stack_overflow | Out_of_memory as e -> raise e

@@ -23,16 +23,23 @@
     - {b Cert}: a [Verified] BFS run must produce a certificate that
       passes {!Abonn_bab.Certificate.check}; non-verified runs must not
       produce one.
+    - {b Incremental}: the warm-started bound cache.  Along a
+      root-to-leaf split path matching a probe point's ReLU phases, each
+      warm DeepPoly evaluation must stay sound for the in-cell point,
+      be contained in its parent's bounds (exact — intersection
+      guarantees it), be no looser than from-scratch DeepPoly, and
+      reproduce itself bit-for-bit when re-evaluated from its own state;
+      BFS and best-first must agree cache-on vs cache-off up to ties.
 
     Oracles are deterministic in [(seed, problem)] and never raise: an
     escaped exception is itself reported as a failure. *)
 
-type family = Sampling | Bounds | Exact | Engines | Cert
+type family = Sampling | Bounds | Exact | Engines | Cert | Incremental
 
 val all_families : family list
 
 val family_name : family -> string
-(** ["sampling" | "bounds" | "exact" | "engines" | "cert"]. *)
+(** ["sampling" | "bounds" | "exact" | "engines" | "cert" | "incremental"]. *)
 
 val family_of_string : string -> family option
 

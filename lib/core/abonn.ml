@@ -16,6 +16,8 @@ type node = {
   gamma : Split.gamma;
   depth : int;
   outcome : Outcome.t;
+  state : Abonn_prop.Incremental.t option;
+      (* incremental bound state, warm-starting this node's children *)
   mutable reward : float;
   mutable size : int;  (* |T(Γ)|: nodes in the sub-tree rooted here *)
   mutable children : (node * node) option;
@@ -38,12 +40,15 @@ let potentiality s ~depth ~phat ~valid_cex =
   Potentiality.value ~lambda:s.config.Config.lambda ~num_relus:s.num_relus
     ~phat_min:s.phat_min ~depth ~phat ~valid_cex
 
-(* Evaluate one fresh node: AppVer call, candidate validation, reward. *)
-let eval_node s gamma depth =
+(* Evaluate one fresh node: AppVer call (warm-started from the parent's
+   incremental state), candidate validation, reward. *)
+let eval_node ?parent s gamma depth =
   Budget.record_call s.budget;
   s.nodes_created <- s.nodes_created + 1;
   s.max_depth <- Stdlib.max s.max_depth depth;
-  let outcome = s.config.Config.appver.Appver.run s.problem gamma in
+  let outcome, state =
+    Appver.run_warm s.config.Config.appver ?state:parent s.problem gamma
+  in
   let valid_cex =
     match outcome.Outcome.candidate with
     | Some x when Problem.is_counterexample s.problem x ->
@@ -61,7 +66,7 @@ let eval_node s gamma depth =
            { engine = "abonn"; depth; gamma = Split.to_string gamma;
              phat = outcome.Outcome.phat; reward })
   end;
-  { gamma; depth; outcome; reward; size = 1; children = None }
+  { gamma; depth; outcome; state; reward; size = 1; children = None }
 
 (* UCB1 (Alg. 1 Line 13). *)
 let ucb1 s parent child =
@@ -101,9 +106,15 @@ let expand s node =
     s.choose ~gamma:node.gamma ~pre_bounds:node.outcome.Outcome.pre_bounds
   with
   | Some relu ->
-    let plus = eval_node s (Split.extend node.gamma ~relu ~phase:Split.Active) (node.depth + 1) in
+    (* both children warm-start from this node's state: the shared
+       pre-split bounds are computed once, not re-derived per child *)
+    let plus =
+      eval_node ?parent:node.state s
+        (Split.extend node.gamma ~relu ~phase:Split.Active) (node.depth + 1)
+    in
     let minus =
-      eval_node s (Split.extend node.gamma ~relu ~phase:Split.Inactive) (node.depth + 1)
+      eval_node ?parent:node.state s
+        (Split.extend node.gamma ~relu ~phase:Split.Inactive) (node.depth + 1)
     in
     node.children <- Some (plus, minus)
   | None ->

@@ -150,4 +150,4 @@ let run (problem : Problem.t) gamma =
     outcome
   end
 
-let appver = { Abonn_prop.Appver.name = "lp"; run }
+let appver = { Abonn_prop.Appver.name = "lp"; run; warm = None }

@@ -31,6 +31,13 @@ type t =
       phat : float;
       elapsed : float;
     }
+  | Bound_reuse of {
+      appver : string;
+      depth : int;
+      from_layer : int;
+      layers_skipped : int;
+      clamps : int;
+    }
   | Lp_solved of { vars : int; rows : int; status : string; elapsed : float }
   | Attack_tried of { attack : string; success : bool; elapsed : float }
   | Verdict_reached of { engine : string; verdict : string; elapsed : float }
@@ -46,6 +53,7 @@ let name = function
   | Frontier_pop _ -> "frontier_pop"
   | Exact_leaf _ -> "exact_leaf"
   | Bound_computed _ -> "bound_computed"
+  | Bound_reuse _ -> "bound_reuse"
   | Lp_solved _ -> "lp_solved"
   | Attack_tried _ -> "attack_tried"
   | Verdict_reached _ -> "verdict_reached"
@@ -115,6 +123,9 @@ let to_json { seq; t; event } =
     | Bound_computed { appver; depth; phat; elapsed } ->
       [ ("appver", S appver); ("depth", I depth); ("phat", F phat);
         ("elapsed", F elapsed) ]
+    | Bound_reuse { appver; depth; from_layer; layers_skipped; clamps } ->
+      [ ("appver", S appver); ("depth", I depth); ("from_layer", I from_layer);
+        ("layers_skipped", I layers_skipped); ("clamps", I clamps) ]
     | Lp_solved { vars; rows; status; elapsed } ->
       [ ("vars", I vars); ("rows", I rows); ("status", S status);
         ("elapsed", F elapsed) ]
@@ -294,6 +305,10 @@ let of_json line =
         Bound_computed
           { appver = s "appver"; depth = i "depth"; phat = f "phat";
             elapsed = f "elapsed" }
+      | "bound_reuse" ->
+        Bound_reuse
+          { appver = s "appver"; depth = i "depth"; from_layer = i "from_layer";
+            layers_skipped = i "layers_skipped"; clamps = i "clamps" }
       | "lp_solved" ->
         Lp_solved
           { vars = i "vars"; rows = i "rows"; status = s "status";
@@ -340,7 +355,7 @@ let event_equal a b =
     x.engine = y.engine && x.instance = y.instance && x.verdict = y.verdict
     && x.calls = y.calls && x.nodes = y.nodes && x.max_depth = y.max_depth
     && feq x.wall y.wall
-  | (Run_started _ | Exact_leaf _), _ -> a = b
+  | (Run_started _ | Exact_leaf _ | Bound_reuse _), _ -> a = b
   | _, _ -> false
 
 let equal a b = a.seq = b.seq && feq a.t b.t && event_equal a.event b.event

@@ -52,6 +52,17 @@ type t =
       phat : float;
       elapsed : float;
     }  (** One approximate-verifier bound computation. *)
+  | Bound_reuse of {
+      appver : string;
+      depth : int;
+      from_layer : int;
+      layers_skipped : int;
+      clamps : int;
+    }  (** A warm-started bound computation reused a parent node's
+          incremental state: layers [< from_layer] were shared verbatim
+          ([layers_skipped] of them) and [clamps] child bounds were
+          tightened by intersection with the parent's.  Always emitted
+          immediately after the [bound_computed] of the same call. *)
   | Lp_solved of { vars : int; rows : int; status : string; elapsed : float }
       (** One simplex solve ([status] ∈ optimal / infeasible / unbounded). *)
   | Attack_tried of { attack : string; success : bool; elapsed : float }

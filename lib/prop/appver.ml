@@ -1,9 +1,16 @@
 module Obs = Abonn_obs.Obs
 module Ev = Abonn_obs.Event
 
+type warm =
+  ?state:Incremental.t ->
+  Abonn_spec.Problem.t ->
+  Abonn_spec.Split.gamma ->
+  Outcome.t * Incremental.t option
+
 type t = {
   name : string;
   run : Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Outcome.t;
+  warm : warm option;
 }
 
 (* Observe a verifier: per-call counter, a span timer and a
@@ -12,7 +19,7 @@ type t = {
    itself inside [Deeppoly.run] (it is also called directly, e.g. by
    branching heuristics and the harness cost model), so only the other
    engines are wrapped here. *)
-let observed { name; run } =
+let observed { name; run; warm } =
   { name;
     run =
       (fun problem gamma ->
@@ -29,19 +36,38 @@ let observed { name; run } =
                  { appver = name; depth = Abonn_spec.Split.depth gamma;
                    phat = outcome.Outcome.phat; elapsed });
           outcome
-        end) }
+        end);
+    warm }
 
-let deeppoly = { name = "deeppoly"; run = Deeppoly.run ~slope:Deeppoly.Adaptive }
+(* Warm-start dispatch: engines call this on every node.  Verifiers
+   without a warm entry point, and every call while the cache is
+   disabled (--no-bound-cache), fall through to the plain [run] —
+   bit-for-bit the pre-cache path, returning no state. *)
+let run_warm v ?state problem gamma =
+  match v.warm with
+  | Some w when Incremental.enabled () -> w ?state problem gamma
+  | Some _ | None -> (v.run problem gamma, None)
 
-let deeppoly_zero = { name = "deeppoly-zero"; run = Deeppoly.run ~slope:Deeppoly.Always_zero }
+let deeppoly =
+  { name = "deeppoly";
+    run = Deeppoly.run ~slope:Deeppoly.Adaptive;
+    warm = Some (Deeppoly.run_warm ~slope:Deeppoly.Adaptive) }
 
-let deeppoly_one = { name = "deeppoly-one"; run = Deeppoly.run ~slope:Deeppoly.Always_one }
+let deeppoly_zero =
+  { name = "deeppoly-zero";
+    run = Deeppoly.run ~slope:Deeppoly.Always_zero;
+    warm = Some (Deeppoly.run_warm ~slope:Deeppoly.Always_zero) }
 
-let interval = observed { name = "interval"; run = Interval.run }
+let deeppoly_one =
+  { name = "deeppoly-one";
+    run = Deeppoly.run ~slope:Deeppoly.Always_one;
+    warm = Some (Deeppoly.run_warm ~slope:Deeppoly.Always_one) }
 
-let zonotope = observed { name = "zonotope"; run = Zonotope.run }
+let interval = observed { name = "interval"; run = Interval.run; warm = None }
 
-let symbolic = observed { name = "symbolic"; run = Symbolic.run }
+let zonotope = observed { name = "zonotope"; run = Zonotope.run; warm = None }
+
+let symbolic = observed { name = "symbolic"; run = Symbolic.run; warm = None }
 
 let all = [ deeppoly; deeppoly_zero; deeppoly_one; zonotope; symbolic; interval ]
 

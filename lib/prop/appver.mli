@@ -5,10 +5,33 @@
     engines in this repository count calls through
     [Abonn_util.Budget]; the AppVer itself is pure. *)
 
+type warm =
+  ?state:Incremental.t ->
+  Abonn_spec.Problem.t ->
+  Abonn_spec.Split.gamma ->
+  Outcome.t * Incremental.t option
+(** A warm-startable bound computation: reuse a parent node's
+    {!Incremental.t} when compatible and return the node's own state
+    for its children ([None] for infeasible sub-problems). *)
+
 type t = {
   name : string;
   run : Abonn_spec.Problem.t -> Abonn_spec.Split.gamma -> Outcome.t;
+  warm : warm option;
+      (** warm-start entry point; [None] for verifiers that always run
+          from scratch *)
 }
+
+val run_warm :
+  t ->
+  ?state:Incremental.t ->
+  Abonn_spec.Problem.t ->
+  Abonn_spec.Split.gamma ->
+  Outcome.t * Incremental.t option
+(** Warm-start when the verifier supports it and {!Incremental.enabled}
+    is on; otherwise exactly [v.run problem gamma] (same instrumentation,
+    same floats) paired with [None].  The BaB engines call this on every
+    node, threading each node's returned state to its children. *)
 
 val observed : t -> t
 (** Wrap a verifier with [Abonn_obs] instrumentation: an

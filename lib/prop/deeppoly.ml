@@ -132,13 +132,40 @@ let affine_interval w b ~lo ~hi = Bounds.affine_image w b ~lo ~hi
 
 let intersect (a : Bounds.t) ~lo ~hi = Bounds.intersect a ~lo ~hi
 
+(* Intersect a freshly recomputed layer with the parent's certified
+   bounds for the same layer.  Sound monotone tightening: the child's
+   feasible set is contained in the parent's, so the parent's bounds
+   still hold — keep the tighter side and count each side that actually
+   tightened. *)
+let intersect_parent (b : Bounds.t) (p : Bounds.t) clamps =
+  let n = Array.length b.Bounds.lower in
+  let lo = Array.make n 0.0 and hi = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let bl = b.Bounds.lower.(i) and pl = p.Bounds.lower.(i) in
+    let bu = b.Bounds.upper.(i) and pu = p.Bounds.upper.(i) in
+    if pl > bl then begin lo.(i) <- pl; incr clamps end else lo.(i) <- bl;
+    if pu < bu then begin hi.(i) <- pu; incr clamps end else hi.(i) <- bu
+  done;
+  Bounds.create ~lower:lo ~upper:hi
+
 (* Hidden-layer bounds plus the forward interval of the deepest
-   post-activation layer (used to clamp the property rows as well). *)
-let compute_hidden_bounds slope (problem : Problem.t) gamma =
+   post-activation layer (used to clamp the property rows as well).
+
+   The warm-started variant aliases the parent's bounds for every layer
+   below [from_layer] (the split layer: bounds there depend only on the
+   region, lower layers and splits at those layers, all of which a child
+   shares with its parent verbatim), re-propagates from [from_layer]
+   upward and intersects each recomputed layer with the parent's. *)
+let compute_hidden_bounds_from ?parent ?(from_layer = 0) ~clamps slope
+    (problem : Problem.t) gamma =
   let affine = problem.Problem.affine in
   let region = problem.Problem.region in
   let n_hidden = Affine.num_layers affine - 1 in
+  let from_layer = Stdlib.min from_layer n_hidden in
   let pre_bounds = Array.make n_hidden (Bounds.create ~lower:[||] ~upper:[||]) in
+  (match parent with
+   | Some (p : Bounds.t array) -> Array.blit p 0 pre_bounds 0 from_layer
+   | None -> ());
   let rec loop l lo hi =
     if l >= n_hidden then Ok (pre_bounds, lo, hi)
     else begin
@@ -150,6 +177,7 @@ let compute_hidden_bounds slope (problem : Problem.t) gamma =
           (fun b (idx, phase) -> Bounds.apply_split b ~idx ~phase)
           b (splits_for_layer affine gamma l)
       in
+      let b = match parent with Some p -> intersect_parent b p.(l) clamps | None -> b in
       if Bounds.is_infeasible b then Error (Array.sub pre_bounds 0 l)
       else begin
         pre_bounds.(l) <- b;
@@ -159,7 +187,16 @@ let compute_hidden_bounds slope (problem : Problem.t) gamma =
       end
     end
   in
-  loop 0 (Array.copy region.Region.lower) (Array.copy region.Region.upper)
+  if from_layer = 0 then loop 0 (Array.copy region.Region.lower) (Array.copy region.Region.upper)
+  else begin
+    let b = pre_bounds.(from_layer - 1) in
+    loop from_layer
+      (Array.map (fun v -> Float.max 0.0 v) b.Bounds.lower)
+      (Array.map (fun v -> Float.max 0.0 v) b.Bounds.upper)
+  end
+
+let compute_hidden_bounds slope problem gamma =
+  compute_hidden_bounds_from ~clamps:(ref 0) slope problem gamma
 
 let property_syms (problem : Problem.t) =
   let affine = problem.Problem.affine in
@@ -190,10 +227,13 @@ let interval_row_lower (problem : Problem.t) ~lo ~hi =
       done;
       !acc)
 
-let analyse slope (problem : Problem.t) gamma =
+let analyse_core ?parent ?(from_layer = 0) ~clamps slope (problem : Problem.t) gamma =
   let affine = problem.Problem.affine in
   let region = problem.Problem.region in
-  match compute_hidden_bounds slope problem gamma with
+  let parent_bounds = Option.map (fun (p : Incremental.t) -> p.Incremental.pre_bounds) parent in
+  match
+    compute_hidden_bounds_from ?parent:parent_bounds ~from_layer ~clamps slope problem gamma
+  with
   | Error partial -> Outcome.vacuous ~pre_bounds:partial
   | Ok (pre_bounds, post_lo, post_hi) ->
     let syms = property_syms problem in
@@ -201,6 +241,15 @@ let analyse slope (problem : Problem.t) gamma =
     let pairs = backsub slope affine region ~pre_bounds ~start_layer:last syms in
     let ibp_rows = interval_row_lower problem ~lo:post_lo ~hi:post_hi in
     let row_lower = Array.mapi (fun i (lo, _) -> Float.max lo ibp_rows.(i)) pairs in
+    (* The parent's certified rows are still lower bounds over the
+       child's (smaller) feasible set: keep the tighter per row. *)
+    (match parent with
+     | Some (p : Incremental.t)
+       when Array.length p.Incremental.row_lower = Array.length row_lower ->
+       Array.iteri
+         (fun i v -> if v > row_lower.(i) then begin row_lower.(i) <- v; incr clamps end)
+         p.Incremental.row_lower
+     | _ -> ());
     let phat = Array.fold_left Float.min infinity row_lower in
     let candidate =
       if phat > 0.0 then None
@@ -212,6 +261,8 @@ let analyse slope (problem : Problem.t) gamma =
       end
     in
     Outcome.make ~phat ?candidate ~pre_bounds ~row_lower ()
+
+let analyse slope problem gamma = analyse_core ~clamps:(ref 0) slope problem gamma
 
 let slope_name = function
   | Adaptive -> "deeppoly"
@@ -239,3 +290,66 @@ let hidden_bounds ?(slope = Adaptive) problem gamma =
   match compute_hidden_bounds slope problem gamma with
   | Ok (b, _, _) -> Some b
   | Error _ -> None
+
+(* Warm-started analysis: classify how much of [state] is reusable for
+   this node, alias the shared prefix, re-propagate the rest and return
+   the node's own state for its future children.  An incompatible or
+   absent state degenerates to the from-scratch path (plus building the
+   state).  Instrumentation mirrors [run] exactly — the same
+   [bound_computed] event and counters — so trace reconstruction is
+   unchanged; reuse additionally emits one [bound_reuse] event and the
+   [appver.cache.*] counters. *)
+let run_warm ?(slope = Adaptive) ?state (problem : Problem.t) gamma =
+  let name = slope_name slope in
+  let reuse =
+    match state with
+    | Some st -> Incremental.classify st ~appver:name ~problem ~gamma
+    | None -> Incremental.Incompatible
+  in
+  let parent, from_layer =
+    match reuse with
+    | Incremental.Prefix l -> (state, l)
+    | Incremental.Tighten -> (state, 0)
+    | Incremental.Incompatible -> (None, 0)
+  in
+  let clamps = ref 0 in
+  let compute () = analyse_core ?parent ~from_layer ~clamps slope problem gamma in
+  let outcome =
+    if not (Obs.active ()) then compute ()
+    else begin
+      let t0 = Obs.now () in
+      let outcome = compute () in
+      let elapsed = Obs.now () -. t0 in
+      Obs.incr (Printf.sprintf "appver.%s.calls" name);
+      Obs.span ("appver." ^ name) elapsed;
+      if parent <> None then begin
+        Obs.incr "appver.cache.prefix_hits";
+        Obs.incr ~by:from_layer "appver.cache.layers_skipped";
+        Obs.incr ~by:!clamps "appver.cache.tighten_clamps"
+      end;
+      if Obs.tracing () then begin
+        Obs.emit
+          (Ev.Bound_computed
+             { appver = name; depth = Split.depth gamma;
+               phat = outcome.Outcome.phat; elapsed });
+        if parent <> None then
+          Obs.emit
+            (Ev.Bound_reuse
+               { appver = name; depth = Split.depth gamma; from_layer;
+                 layers_skipped = from_layer; clamps = !clamps })
+      end;
+      outcome
+    end
+  in
+  let n_hidden = Affine.num_layers problem.Problem.affine - 1 in
+  let state' =
+    if outcome.Outcome.infeasible
+       || Array.length outcome.Outcome.pre_bounds <> n_hidden
+    then None
+    else
+      Some
+        (Incremental.make ~appver:name ~problem ~gamma
+           ~pre_bounds:outcome.Outcome.pre_bounds
+           ~row_lower:outcome.Outcome.row_lower)
+  in
+  (outcome, state')

@@ -40,3 +40,20 @@ val hidden_bounds :
   Bounds.t array option
 (** Just the per-layer pre-activation bounds ([None] when the splits are
     infeasible).  Used by branching heuristics and tests. *)
+
+val run_warm :
+  ?slope:slope ->
+  ?state:Incremental.t ->
+  Abonn_spec.Problem.t ->
+  Abonn_spec.Split.gamma ->
+  Outcome.t * Incremental.t option
+(** Warm-started analysis reusing a parent node's {!Incremental.t}:
+    layers below the split layer are shared verbatim (O(1) aliasing),
+    the rest is re-propagated and intersected with the parent's bounds
+    (monotone tightening — never looser than [run], and identical to it
+    whenever no parent bound is strictly tighter than the recomputed
+    one).  With [?state] absent or incompatible this is exactly [run]
+    plus the construction of a fresh state.  Returns the node's own
+    state for its children; [None] when the sub-problem was infeasible.
+    Does not consult {!Incremental.enabled} — gating the cache is the
+    caller's ([Appver.run_warm]'s) job. *)

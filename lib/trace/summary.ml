@@ -103,7 +103,10 @@ let of_events events =
       | Event.Bound_computed { depth = d; _ } ->
         incr bound_computed;
         depth d
-      | Event.Lp_solved _ | Event.Attack_tried _ -> ()
+      (* bound_reuse is a cache-effectiveness annotation on the
+         preceding bound_computed, not extra AppVer work: it must not
+         perturb call/node reconstruction. *)
+      | Event.Lp_solved _ | Event.Attack_tried _ | Event.Bound_reuse _ -> ()
       | Event.Verdict_reached { engine = e; verdict = v; elapsed } ->
         saw_engine e;
         verdict := Some v;

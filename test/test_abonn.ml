@@ -253,9 +253,11 @@ let test_abonn_faster_on_violated_ensemble () =
   (* The paper's headline: on violated problems ABONN's guided order finds
      counterexamples with fewer sub-problem visits than breadth-first
      BaB.  Individual instances can go either way; the ensemble total
-     must favour ABONN. *)
+     must favour ABONN.  60 instances keep the statistic robust to the
+     small trajectory shifts bound caching introduces (monotone
+     tightening can reorder which child a heuristic pops first). *)
   let total_abonn = ref 0 and total_bfs = ref 0 and falsified = ref 0 in
-  for seed = 100 to 124 do
+  for seed = 100 to 159 do
     let problem = random_problem ~seed ~dims:[ 3; 8; 8; 2 ] ~eps:0.6 () in
     let bfs = Bfs.verify ~budget:(Budget.of_calls 3000) problem in
     let abonn = Abonn.verify ~budget:(Budget.of_calls 3000) problem in
@@ -266,7 +268,7 @@ let test_abonn_faster_on_violated_ensemble () =
       total_abonn := !total_abonn + abonn.Result.stats.Result.appver_calls
     | _, _ -> ()
   done;
-  Alcotest.(check bool) "enough falsified instances" true (!falsified >= 5);
+  Alcotest.(check bool) "enough falsified instances" true (!falsified >= 12);
   Alcotest.(check bool)
     (Printf.sprintf "ABONN total calls (%d) <= BFS total calls (%d)" !total_abonn !total_bfs)
     true
@@ -346,7 +348,8 @@ let scripted_appver problem script =
         match List.assoc_opt key script with
         | Some (phat, valid) ->
           Outcome.make ~phat ?candidate:(if valid then Some centre else None) ()
-        | None -> Outcome.make ~phat:1.0 ()) }
+        | None -> Outcome.make ~phat:1.0 ());
+    warm = None }
 
 let run_scripted script ~lambda ~c =
   let problem = mock_problem () in

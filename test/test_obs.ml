@@ -29,6 +29,8 @@ let sample_events =
     Event.Exact_leaf { engine = "bab-baseline"; depth = 6; verified = true };
     Event.Bound_computed
       { appver = "deeppoly"; depth = 2; phat = Float.infinity; elapsed = 0.001 };
+    Event.Bound_reuse
+      { appver = "deeppoly"; depth = 3; from_layer = 1; layers_skipped = 1; clamps = 4 };
     Event.Lp_solved { vars = 12; rows = 30; status = "optimal"; elapsed = 0.002 };
     Event.Attack_tried { attack = "pgd"; success = false; elapsed = 0.0125 };
     Event.Verdict_reached { engine = "abonn"; verdict = "verified"; elapsed = 0.5 };

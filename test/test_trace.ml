@@ -43,6 +43,7 @@ let check_contains what affix s =
   Alcotest.(check bool) what true (contains ~affix s)
 
 let golden = "fixtures/golden.jsonl"
+let golden_cached = "fixtures/golden_cached.jsonl"
 let malformed = "fixtures/malformed.jsonl"
 
 let read_clean path =
@@ -82,6 +83,28 @@ let test_reader_recovery () =
   | Some (Reader.Time_regression { line; _ }) ->
     Alcotest.(check int) "regression line" 6 line
   | _ -> Alcotest.fail "no time regression reported"
+
+(* The cached golden trace is a real best-first run with the incremental
+   bound cache on (dims [2;6;2], seed 0, 200-call budget): every
+   non-root bound computation carries a bound_reuse annotation. *)
+let test_reader_golden_cached () =
+  let events = read_clean golden_cached in
+  Alcotest.(check int) "all events" 109 (List.length events);
+  let reuses =
+    List.filter
+      (fun e -> match e.Event.event with Event.Bound_reuse _ -> true | _ -> false)
+      events
+  in
+  Alcotest.(check int) "bound_reuse events" 30 (List.length reuses);
+  List.iter
+    (fun e ->
+      match e.Event.event with
+      | Event.Bound_reuse r ->
+        Alcotest.(check string) "appver" "deeppoly" r.appver;
+        Alcotest.(check int) "layers_skipped mirrors from_layer" r.from_layer
+          r.layers_skipped
+      | _ -> ())
+    reuses
 
 let test_reader_missing_file () =
   match Reader.read_file "fixtures/does_not_exist.jsonl" with
@@ -219,6 +242,30 @@ let test_summary_golden () =
     Alcotest.(check int) "events" 18 run.Summary.events;
     Alcotest.(check bool) "consistent (nothing reported)" true (Summary.consistent run)
   | runs -> Alcotest.fail (Printf.sprintf "expected 1 run, got %d" (List.length runs))
+
+(* bound_reuse is an annotation, not AppVer work: reconstruction over
+   the cached golden trace must count exactly the bound_computed and
+   exact_leaf events, reproducing the engine's own statistics with no
+   MISMATCH. *)
+let test_summary_golden_cached () =
+  let events = read_clean golden_cached in
+  (match Summary.runs events with
+   | [ run ] ->
+     Alcotest.(check string) "engine" "bestfirst" run.Summary.engine;
+     Alcotest.(check (option string)) "verdict" (Some "verified") run.Summary.verdict;
+     Alcotest.(check int) "calls = bound_computed + exact_leaf" 47 run.Summary.calls;
+     Alcotest.(check int) "nodes = bound_computed" 31 run.Summary.nodes;
+     Alcotest.(check int) "max depth" 4 run.Summary.max_depth;
+     Alcotest.(check bool) "consistent" true (Summary.consistent run)
+   | runs -> Alcotest.failf "expected 1 run, got %d" (List.length runs));
+  let rendered = Summary.to_string (Summary.runs events) in
+  Alcotest.(check bool) "no MISMATCH" false (contains ~affix:"MISMATCH" rendered)
+
+let test_phases_golden_cached () =
+  let p = Phases.of_events (read_clean golden_cached) in
+  Alcotest.(check int) "appver calls = bound_computed" 31
+    p.Phases.appver_total.Phases.calls;
+  check_contains "renders appver row" "appver.deeppoly" (Phases.to_string p)
 
 let test_summary_segments_harness_trace () =
   (* Two harness runs in one file; verdict_reached inside a
@@ -386,6 +433,36 @@ let test_diff_abonn_vs_bfs () =
   check_contains "mentions label b" "bfs" rendered;
   check_contains "reports shared prefix" "shared visit prefix" rendered
 
+(* The bound cache must not change what the search does, only what each
+   bound computation costs: cached and uncached traces of the same
+   instance agree on verdict and visit sequence, and the extra
+   bound_reuse annotations are invisible to the visit comparison. *)
+let test_diff_cached_vs_uncached () =
+  let problem = random_problem ~seed:0 () in
+  let run () = Abonn_bab.Bestfirst.verify ~budget:(Budget.of_calls 200) problem in
+  let r_on, cached =
+    traced_run (fun () -> Abonn_prop.Incremental.with_enabled true run)
+  in
+  let r_off, uncached =
+    traced_run (fun () -> Abonn_prop.Incremental.with_enabled false run)
+  in
+  Alcotest.(check string) "same verdict"
+    (Verdict.to_string r_off.Result.verdict)
+    (Verdict.to_string r_on.Result.verdict);
+  Alcotest.(check bool) "cached trace has bound_reuse" true
+    (List.exists
+       (fun e -> match e.Event.event with Event.Bound_reuse _ -> true | _ -> false)
+       cached);
+  Alcotest.(check bool) "uncached trace has none" false
+    (List.exists
+       (fun e -> match e.Event.event with Event.Bound_reuse _ -> true | _ -> false)
+       uncached);
+  let d = Diff.diff cached uncached in
+  Alcotest.(check int) "identical visit counts" d.Diff.visits_b d.Diff.visits_a;
+  Alcotest.(check int) "identical calls" d.Diff.run_b.Summary.calls
+    d.Diff.run_a.Summary.calls;
+  Alcotest.(check bool) "no divergence" true (d.Diff.divergence = None)
+
 (* --- progress sink --- *)
 
 let test_progress_sink_heartbeat () =
@@ -438,6 +515,7 @@ let test_progress_sink_silent_when_uninstalled () =
 let suite =
   [ ( "trace.reader",
       [ Alcotest.test_case "golden parses clean" `Quick test_reader_golden;
+        Alcotest.test_case "cached golden parses clean" `Quick test_reader_golden_cached;
         Alcotest.test_case "malformed-line recovery" `Quick test_reader_recovery;
         Alcotest.test_case "missing file" `Quick test_reader_missing_file
       ] );
@@ -449,11 +527,13 @@ let suite =
       ] );
     ( "trace.phases",
       [ Alcotest.test_case "golden totals" `Quick test_phases_golden;
+        Alcotest.test_case "cached golden totals" `Quick test_phases_golden_cached;
         Alcotest.test_case "lp inside appver window" `Quick test_phases_lp_inside_appver
       ] );
     ( "trace.curve", [ Alcotest.test_case "golden curve" `Quick test_curve_golden ] );
     ( "trace.summary",
       [ Alcotest.test_case "golden summary" `Quick test_summary_golden;
+        Alcotest.test_case "cached golden summary" `Quick test_summary_golden_cached;
         Alcotest.test_case "harness segmentation" `Quick test_summary_segments_harness_trace;
         Alcotest.test_case "composite bracket uses reported stats" `Quick
           test_summary_composite_bracket;
@@ -464,7 +544,8 @@ let suite =
       ] );
     ( "trace.diff",
       [ Alcotest.test_case "self diff is neutral" `Quick test_diff_self_is_neutral;
-        Alcotest.test_case "abonn vs bfs" `Quick test_diff_abonn_vs_bfs
+        Alcotest.test_case "abonn vs bfs" `Quick test_diff_abonn_vs_bfs;
+        Alcotest.test_case "cached vs uncached run" `Quick test_diff_cached_vs_uncached
       ] );
     ( "trace.progress",
       [ Alcotest.test_case "heartbeat aggregates" `Quick test_progress_sink_heartbeat;
