@@ -13,6 +13,9 @@
 
 module Rng = Abonn_util.Rng
 module Budget = Abonn_util.Budget
+module Provenance = Abonn_util.Provenance
+module Resource = Abonn_obs.Resource
+module Registry = Abonn_trace.Registry
 module Builder = Abonn_nn.Builder
 module Network = Abonn_nn.Network
 module Region = Abonn_spec.Region
@@ -75,6 +78,10 @@ type row = {
   nps_cached : float;
   nps_uncached : float;
   speedup : float;
+  peak_rss_bytes : int;
+  calls_used : int;
+  wall : float;
+  seed : int;
 }
 
 let bench_instance (name, dims, eps, seed) =
@@ -100,25 +107,39 @@ let bench_instance (name, dims, eps, seed) =
     verdict = v_on;
     nps_cached;
     nps_uncached;
-    speedup = nps_cached /. nps_uncached }
+    speedup = nps_cached /. nps_uncached;
+    peak_rss_bytes = Resource.peak_rss ();
+    calls_used = r_on.Result.stats.Result.appver_calls;
+    wall = r_on.Result.stats.Result.wall_time;
+    seed }
 
 let instances =
   [ ("mlp_d6_seed1", [ 4; 24; 24; 24; 24; 24; 24; 2 ], 0.22, 1);
     ("mlp_d6_seed5", [ 4; 24; 24; 24; 24; 24; 24; 2 ], 0.22, 5);
     ("mlp_d8_seed3", [ 3; 20; 20; 20; 20; 20; 20; 20; 20; 2 ], 0.2, 3) ]
 
+(* Stamped layout (schema 1): provenance at top level, instances nested
+   under "rows".  The regression gate (lib/trace/regress.ml) reads this
+   and the historical flat layout. *)
 let write_json path rows geomean =
   let oc = open_out path in
-  output_string oc "{\n";
-  List.iter
-    (fun r ->
+  output_string oc
+    (Printf.sprintf "{\n  \"schema\": 1,\n  \"commit\": %S,\n  \"date\": %S,\n"
+       (Provenance.git_commit ()) (Provenance.iso_now ()));
+  output_string oc "  \"rows\": {\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
       output_string oc
         (Printf.sprintf
-           "  %S: {\"nodes\": %d, \"max_depth\": %d, \"verdict\": %S, \
+           "    %S: {\"nodes\": %d, \"max_depth\": %d, \"verdict\": %S, \
             \"nodes_per_sec_cached\": %.1f, \"nodes_per_sec_uncached\": %.1f, \
-            \"speedup\": %.3f},\n"
-           r.name r.nodes r.max_depth r.verdict r.nps_cached r.nps_uncached r.speedup))
+            \"speedup\": %.3f, \"peak_rss_bytes\": %d}%s\n"
+           r.name r.nodes r.max_depth r.verdict r.nps_cached r.nps_uncached r.speedup
+           r.peak_rss_bytes
+           (if i = last then "" else ",")))
     rows;
+  output_string oc "  },\n";
   output_string oc (Printf.sprintf "  \"geomean_speedup\": %.3f\n}\n" geomean);
   close_out oc;
   Printf.printf "json results written to: %s\n%!" path
@@ -132,18 +153,30 @@ let json_path =
   scan (Array.to_list Sys.argv)
 
 let () =
-  Printf.printf "%-16s %6s %6s %10s %12s %14s %8s\n" "instance" "nodes" "depth" "verdict"
-    "cached n/s" "uncached n/s" "speedup";
-  Printf.printf "%s\n" (String.make 78 '-');
+  Printf.printf "%-16s %6s %6s %10s %12s %14s %8s %9s\n" "instance" "nodes" "depth"
+    "verdict" "cached n/s" "uncached n/s" "speedup" "peak MiB";
+  Printf.printf "%s\n" (String.make 88 '-');
   let rows = List.map bench_instance instances in
   List.iter
     (fun r ->
-      Printf.printf "%-16s %6d %6d %10s %12.1f %14.1f %7.2fx\n" r.name r.nodes
-        r.max_depth r.verdict r.nps_cached r.nps_uncached r.speedup)
+      Printf.printf "%-16s %6d %6d %10s %12.1f %14.1f %7.2fx %9.1f\n" r.name r.nodes
+        r.max_depth r.verdict r.nps_cached r.nps_uncached r.speedup
+        (float_of_int r.peak_rss_bytes /. (1024.0 *. 1024.0)))
     rows;
   let geomean =
     exp (List.fold_left (fun acc r -> acc +. log r.speedup) 0.0 rows
          /. float_of_int (List.length rows))
   in
   Printf.printf "\ngeomean speedup: %.2fx\n" geomean;
-  Option.iter (fun path -> write_json path rows geomean) json_path
+  Option.iter (fun path -> write_json path rows geomean) json_path;
+  (* bench runs are campaign runs too: one registry record per instance
+     so cross-commit comparisons can join on (instance, commit) *)
+  List.iter
+    (fun r ->
+      Registry.append
+        (Registry.make ~engine:"bestfirst-bench" ~model:"bench_mlp" ~instance:r.name
+           ~seed:r.seed ~verdict:r.verdict ~wall:r.wall ~calls:r.calls_used
+           ~nodes:r.nodes ~max_depth:r.max_depth ~peak_rss_bytes:r.peak_rss_bytes ()))
+    rows;
+  Printf.printf "(%d run records appended to %s)\n%!" (List.length rows)
+    Registry.default_path

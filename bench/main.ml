@@ -125,21 +125,27 @@ let tests =
       bench_appver_interval; bench_appver_zonotope; bench_appver_symbolic; bench_appver_lp;
       bench_engine_bfs; bench_engine_abonn; bench_attack_pgd ]
 
-(* name -> (ns/run estimate, r^2), as one flat JSON object sorted by
-   name.  Non-finite estimates (no samples) are encoded as null. *)
+(* name -> (ns/run estimate, r^2), nested under "rows" with schema,
+   commit and date stamps at top level so numbers stay traceable to the
+   code that produced them.  Non-finite estimates (no samples) are
+   encoded as null. *)
 let write_json path rows =
   let oc = open_out path in
-  output_string oc "{\n";
+  output_string oc
+    (Printf.sprintf "{\n  \"schema\": 1,\n  \"commit\": %S,\n  \"date\": %S,\n"
+       (Abonn_util.Provenance.git_commit ())
+       (Abonn_util.Provenance.iso_now ()));
+  output_string oc "  \"rows\": {\n";
   let n = List.length rows in
   List.iteri
     (fun i (name, est_ns, r2) ->
       let num v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
       output_string oc
-        (Printf.sprintf "  %S: {\"ns_per_run\": %s, \"r_square\": %s}%s\n" name
+        (Printf.sprintf "    %S: {\"ns_per_run\": %s, \"r_square\": %s}%s\n" name
            (num est_ns) (num r2)
            (if i = n - 1 then "" else ",")))
     rows;
-  output_string oc "}\n";
+  output_string oc "  }\n}\n";
   close_out oc;
   Printf.printf "json results written to: %s\n%!" path
 

@@ -17,6 +17,7 @@ module Verdict = Abonn_spec.Verdict
 module Obs = Abonn_obs.Obs
 module Sink = Abonn_obs.Sink
 module Metrics = Abonn_obs.Metrics
+module Registry = Abonn_trace.Registry
 
 let build_problem trained index eps factor =
   let dataset = trained.Models.dataset in
@@ -71,7 +72,7 @@ let with_observability ~trace_file ~progress ~stats f =
   Fun.protect ~finally f
 
 let verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-    progress stats no_cache ~context =
+    progress stats no_cache registry ~model ~instance ~context =
   let heuristic =
     match Abonn_bab.Branching.find heuristic with
     | Some h -> h
@@ -116,6 +117,17 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
      Printf.printf "counterexample margin: %.6f (<= 0 confirms violation)\n" margin
    | None -> ());
   Option.iter (Printf.printf "trace written to: %s\n") trace_file;
+  Option.iter
+    (fun path ->
+      Registry.append ~path
+        (Registry.make ~engine ~model ~instance ~seed:0
+           ~verdict:(Verdict.to_string result.Result.verdict)
+           ~wall:result.Result.stats.Result.wall_time
+           ~calls:result.Result.stats.Result.appver_calls
+           ~nodes:result.Result.stats.Result.nodes
+           ~max_depth:result.Result.stats.Result.max_depth ());
+      Printf.printf "registry record appended to: %s\n" path)
+    registry;
   if stats then begin
     print_newline ();
     print_string (Abonn_harness.Report.stats (Metrics.snapshot ()));
@@ -124,12 +136,14 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
   `Ok ()
 
 let run problem_file model_name index eps factor engine lambda c heuristic appver calls
-    seconds models_dir trace_file progress stats no_cache =
+    seconds models_dir trace_file progress stats no_cache registry =
   match problem_file with
   | Some path ->
     let problem = Abonn_spec.Problem_file.load path in
     verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-      progress stats no_cache ~context:(Printf.sprintf "problem=%s" path)
+      progress stats no_cache registry ~model:"problem-file"
+      ~instance:(Filename.basename path)
+      ~context:(Printf.sprintf "problem=%s" path)
   | None ->
   match Models.find model_name with
   | None ->
@@ -143,7 +157,8 @@ let run problem_file model_name index eps factor engine lambda c heuristic appve
      | `Error _ as e -> e
      | `Ok (problem, eps) ->
        verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-         progress stats no_cache
+         progress stats no_cache registry ~model:model_name
+         ~instance:(Printf.sprintf "index%d_eps%.5g" index eps)
          ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps))
 
 let problem_arg =
@@ -216,6 +231,13 @@ let no_cache_arg =
                  recomputes its bounds from scratch, restoring the pre-cache search \
                  path bit-for-bit.")
 
+let registry_arg =
+  Arg.(value & opt ~vopt:(Some Registry.default_path) (some string) None
+       & info [ "registry" ] ~docv:"FILE"
+           ~doc:"Append one run-registry record (model, engine, verdict, wall, nodes, \
+                 peak RSS, commit) to $(docv) after the run (default \
+                 results/registry.jsonl).")
+
 let cmd =
   let doc = "ABONN: adaptive branch-and-bound neural-network verification" in
   Cmd.v
@@ -224,6 +246,7 @@ let cmd =
       ret
         (const run $ problem_arg $ model_arg $ index_arg $ eps_arg $ factor_arg $ engine_arg
          $ lambda_arg $ c_arg $ heuristic_arg $ appver_arg $ calls_arg $ seconds_arg
-         $ models_dir_arg $ trace_arg $ progress_arg $ stats_arg $ no_cache_arg))
+         $ models_dir_arg $ trace_arg $ progress_arg $ stats_arg $ no_cache_arg
+         $ registry_arg))
 
 let () = exit (Cmd.eval cmd)

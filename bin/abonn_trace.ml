@@ -6,6 +6,8 @@
      abonn_trace phases run.jsonl
      abonn_trace curve run.jsonl -o curve.csv
      abonn_trace diff abonn.jsonl baseline.jsonl
+     abonn_trace watch run.jsonl --calls 2000
+     abonn_trace bench --against BENCH_bab_nodes.json --max-regress 20
 
    Schema: docs/TRACE_SCHEMA.md; analytics: lib/trace. *)
 
@@ -16,6 +18,8 @@ module Tree = Abonn_trace.Tree
 module Phases = Abonn_trace.Phases
 module Curve = Abonn_trace.Curve
 module Diff = Abonn_trace.Diff
+module Monitor = Abonn_trace.Monitor
+module Regress = Abonn_trace.Regress
 
 let load path =
   match Reader.read_file path with
@@ -172,9 +176,166 @@ let diff_cmd =
           nodes-to-verdict, visit-sequence divergence and per-phase deltas.")
     Term.(ret (const run $ file_a $ file_b))
 
+(* --- watch: live monitor over a growing trace --- *)
+
+let watch_cmd =
+  let run file interval calls max_seconds once =
+    (* the trace file usually appears moments after the watcher starts
+       (writer opens it lazily); wait rather than racing the writer *)
+    let deadline = Unix.gettimeofday () +. Float.max max_seconds 10.0 in
+    let rec wait_open () =
+      match Reader.tail_open file with
+      | tail -> Ok tail
+      | exception Sys_error msg ->
+        if Unix.gettimeofday () > deadline then Error msg
+        else begin
+          ignore (Unix.select [] [] [] 0.2);
+          wait_open ()
+        end
+    in
+    match wait_open () with
+    | Error msg -> `Error (false, msg)
+    | Ok tail ->
+      let m = Monitor.create () in
+      let tty = Unix.isatty Unix.stdout in
+      let started = Unix.gettimeofday () in
+      let issues = ref [] in
+      let draw () =
+        if tty then print_string "\027[2J\027[H";
+        print_string (Monitor.render ?calls_budget:calls m);
+        if !issues <> [] then
+          Printf.printf "\n%d trace issue(s); first: %s\n" (List.length !issues)
+            (Reader.issue_to_string (List.hd (List.rev !issues)));
+        flush stdout
+      in
+      let rec loop () =
+        issues := !issues @ Reader.tail_poll tail ~f:(Monitor.feed m);
+        draw ();
+        let timed_out =
+          max_seconds > 0.0 && Unix.gettimeofday () -. started >= max_seconds
+        in
+        if Monitor.finished m || once || timed_out then begin
+          Reader.tail_close tail;
+          if (not (Monitor.finished m)) && timed_out && not once then
+            Printf.printf "\nwatch: --max-seconds elapsed before the run finished\n";
+          `Ok ()
+        end
+        else begin
+          ignore (Unix.select [] [] [] interval);
+          loop ()
+        end
+      in
+      loop ()
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TRACE" ~doc:"Trace file being written by a live run.")
+  in
+  let interval =
+    Arg.(value & opt float 0.5
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Poll/refresh interval.")
+  in
+  let calls =
+    Arg.(value & opt (some int) None
+         & info [ "calls" ] ~docv:"N"
+             ~doc:"The run's AppVer-call budget; enables the ETA line.")
+  in
+  let max_seconds =
+    Arg.(value & opt float 0.0
+         & info [ "max-seconds" ] ~docv:"SECONDS"
+             ~doc:"Stop watching after this long (0 = until the run finishes).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render a single snapshot of the trace so far and exit.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Live dashboard over a trace that is still being written: node \
+          throughput, depth histogram, phase split, memory curve from \
+          resource_sample events, and a budget ETA.  Exits when the traced run \
+          finishes.")
+    Term.(ret (const run $ file $ interval $ calls $ max_seconds $ once))
+
+(* --- bench: performance regression gate --- *)
+
+let bench_cmd =
+  let run fresh against max_regress scale_baseline bench_exe keep =
+    let fresh_path, cleanup =
+      match fresh with
+      | Some path -> (path, fun () -> ())
+      | None ->
+        let tmp = Filename.temp_file "abonn_bench" ".json" in
+        let cmd = Printf.sprintf "%s --json %s" (Filename.quote bench_exe) (Filename.quote tmp) in
+        Printf.printf "running: %s\n%!" cmd;
+        if Sys.command cmd <> 0 then begin
+          Sys.remove tmp;
+          prerr_endline "bench run failed";
+          exit 2
+        end;
+        (tmp, fun () -> if not keep then Sys.remove tmp)
+    in
+    match (Regress.load_file against, Regress.load_file fresh_path) with
+    | Error msg, _ | _, Error msg ->
+      cleanup ();
+      `Error (false, msg)
+    | Ok baseline, Ok fresh ->
+      let report =
+        Regress.compare_benches ~scale_baseline ~max_regress ~baseline ~fresh ()
+      in
+      (match (baseline.Regress.commit, fresh.Regress.commit) with
+       | Some b, Some f -> Printf.printf "baseline commit %s, fresh commit %s\n" b f
+       | _ -> ());
+      print_string (Regress.report_to_string ~max_regress report);
+      cleanup ();
+      if report.Regress.ok then `Ok () else exit 1
+  in
+  let fresh =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FRESH"
+             ~doc:"Fresh bench JSON to gate.  Omitted: run $(b,--bench-exe) first.")
+  in
+  let against =
+    Arg.(value & opt file "BENCH_bab_nodes.json"
+         & info [ "against" ] ~docv:"BASELINE" ~doc:"Committed baseline JSON.")
+  in
+  let max_regress =
+    Arg.(value & opt float 20.0
+         & info [ "max-regress" ] ~docv:"PCT"
+             ~doc:"Maximum tolerated throughput drop below the baseline, percent.")
+  in
+  let scale_baseline =
+    Arg.(value & opt float 1.0
+         & info [ "scale-baseline" ] ~docv:"FACTOR"
+             ~doc:
+               "Multiply baseline numbers first (CI uses 10 as a synthetic \
+                must-fail check of the gate itself).")
+  in
+  let bench_exe =
+    Arg.(value & opt string "_build/default/bench/bab_nodes.exe"
+         & info [ "bench-exe" ] ~docv:"EXE"
+             ~doc:"Bench binary to produce FRESH when it is not given.")
+  in
+  let keep =
+    Arg.(value & flag
+         & info [ "keep" ] ~doc:"Keep the temporary fresh-run JSON file.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Performance regression gate: compare a fresh bab_nodes bench run \
+          against the committed baseline (per-instance cached nodes/sec, geomean \
+          speedup, peak RSS columns) and exit non-zero if any instance drops more \
+          than $(b,--max-regress) percent.")
+    Term.(
+      ret
+        (const run $ fresh $ against $ max_regress $ scale_baseline $ bench_exe $ keep))
+
 let cmd =
   let doc = "analytics over ABONN JSONL traces" in
   Cmd.group (Cmd.info "abonn_trace" ~doc)
-    [ summary_cmd; tree_cmd; phases_cmd; curve_cmd; diff_cmd ]
+    [ summary_cmd; tree_cmd; phases_cmd; curve_cmd; diff_cmd; watch_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval cmd)

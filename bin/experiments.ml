@@ -14,6 +14,11 @@ module Experiment = Abonn_harness.Experiment
 module Report = Abonn_harness.Report
 module Obs = Abonn_obs.Obs
 module Sink = Abonn_obs.Sink
+module Registry = Abonn_trace.Registry
+module Runner = Abonn_harness.Runner
+module Instances = Abonn_data.Instances
+module Verdict = Abonn_spec.Verdict
+module Result = Abonn_bab.Result
 
 (* Regenerate-able outputs (raw CSVs) land here, out of version control. *)
 let results_dir = "results"
@@ -92,6 +97,27 @@ let run quick_mode progress artifacts =
               ~screen_calls:(if quick_mode then 400 else 1500)
               ~pool_per_model:(if quick_mode then 6 else 16)
               ()))
+    end;
+    (* every (engine × instance) run of the sweep goes into the campaign
+       registry, one self-contained line per run (keyed by commit) *)
+    if Lazy.is_val rq1 then begin
+      ensure_results_dir ();
+      let records = (Lazy.force rq1).Experiment.records in
+      List.iter
+        (fun (r : Runner.record) ->
+          Registry.append
+            (Registry.make ~engine:r.Runner.engine
+               ~model:r.Runner.instance.Instances.model
+               ~instance:r.Runner.instance.Instances.id
+               ~seed:r.Runner.instance.Instances.index
+               ~verdict:(Verdict.to_string r.Runner.result.Result.verdict)
+               ~wall:r.Runner.result.Result.stats.Result.wall_time
+               ~calls:r.Runner.result.Result.stats.Result.appver_calls
+               ~nodes:r.Runner.result.Result.stats.Result.nodes
+               ~max_depth:r.Runner.result.Result.stats.Result.max_depth ()))
+        records;
+      Printf.printf "(%d run records appended to %s)\n%!" (List.length records)
+        Registry.default_path
     end;
     Printf.printf "total experiment time: %.1fs\n%!" (Unix.gettimeofday () -. t0);
     `Ok ()

@@ -2,6 +2,7 @@ module Budget = Abonn_util.Budget
 module Heap = Abonn_util.Heap
 module Obs = Abonn_obs.Obs
 module Ev = Abonn_obs.Event
+module Resource = Abonn_obs.Resource
 module Split = Abonn_spec.Split
 module Verdict = Abonn_spec.Verdict
 module Problem = Abonn_spec.Problem
@@ -24,8 +25,11 @@ let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget 
   let choose = heuristic.Branching.prepare problem in
   let heap : frontier_node Heap.t = Heap.create () in
   let nodes = ref 0 and max_depth = ref 0 in
+  let resource = Resource.create ~engine:"bestfirst" () in
   let finish verdict =
     let wall_time = Unix.gettimeofday () -. started in
+    Resource.final resource ~open_nodes:(Heap.length heap) ~nodes:!nodes
+      ~max_depth:!max_depth;
     if Obs.tracing () then
       Obs.emit
         (Ev.Verdict_reached
@@ -68,6 +72,8 @@ let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget 
                       { engine = "bestfirst"; depth = node.depth;
                         frontier = Heap.length heap; priority })
              end;
+             Resource.tick resource ~open_nodes:(Heap.length heap) ~nodes:!nodes
+               ~max_depth:!max_depth;
              begin match
                choose ~gamma:node.gamma ~pre_bounds:node.outcome.Outcome.pre_bounds
              with

@@ -1,6 +1,7 @@
 module Budget = Abonn_util.Budget
 module Obs = Abonn_obs.Obs
 module Ev = Abonn_obs.Event
+module Resource = Abonn_obs.Resource
 module Split = Abonn_spec.Split
 module Verdict = Abonn_spec.Verdict
 module Problem = Abonn_spec.Problem
@@ -17,8 +18,11 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
      warm-start; the root has none. *)
   Queue.add ([], 0, None) queue;
   let nodes = ref 1 and max_depth = ref 0 in
+  let resource = Resource.create ~engine:"bab-baseline" () in
   let finish verdict =
     let wall_time = Unix.gettimeofday () -. started in
+    Resource.final resource ~open_nodes:(Queue.length queue) ~nodes:!nodes
+      ~max_depth:!max_depth;
     if Obs.tracing () then
       Obs.emit
         (Ev.Verdict_reached
@@ -41,6 +45,8 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
                { engine = "bab-baseline"; depth; frontier = Queue.length queue;
                  priority = Float.nan })
       end;
+      Resource.tick resource ~open_nodes:(Queue.length queue) ~nodes:!nodes
+        ~max_depth:!max_depth;
       Budget.record_call budget;
       let outcome, node_state = Appver.run_warm appver ?state problem gamma in
       if Outcome.proved outcome then begin

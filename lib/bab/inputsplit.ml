@@ -1,4 +1,5 @@
 module Budget = Abonn_util.Budget
+module Resource = Abonn_obs.Resource
 module Region = Abonn_spec.Region
 module Verdict = Abonn_spec.Verdict
 module Problem = Abonn_spec.Problem
@@ -73,10 +74,13 @@ let verify ?(appver = Appver.deeppoly) ?(strategy = Gradient_weighted) ?budget
      (the [Tighten] reuse mode). *)
   Queue.add (problem.Problem.region, 0, None) queue;
   let nodes = ref 1 and max_depth = ref 0 in
+  let resource = Resource.create ~engine:"inputsplit" () in
   (* Point-sized boxes that resist proving (margin touching 0 on a null
      set) cannot be soundly pruned; they downgrade Verified to Timeout. *)
   let unresolved_points = ref 0 in
   let finish verdict =
+    Resource.final resource ~open_nodes:(Queue.length queue) ~nodes:!nodes
+      ~max_depth:!max_depth;
     let verdict =
       match verdict with
       | Verdict.Verified when !unresolved_points > 0 -> Verdict.Timeout
@@ -91,6 +95,8 @@ let verify ?(appver = Appver.deeppoly) ?(strategy = Gradient_weighted) ?budget
     else if Budget.exhausted budget then finish Verdict.Timeout
     else begin
       let region, depth, state = Queue.pop queue in
+      Resource.tick resource ~open_nodes:(Queue.length queue) ~nodes:!nodes
+        ~max_depth:!max_depth;
       Budget.record_call budget;
       let sub = sub_problem region in
       let outcome, node_state = Appver.run_warm appver ?state sub [] in

@@ -3,6 +3,7 @@ module Rng = Abonn_util.Rng
 module Obs = Abonn_obs.Obs
 module Ev = Abonn_obs.Event
 module Sink = Abonn_obs.Sink
+module Resource = Abonn_obs.Resource
 module Split = Abonn_spec.Split
 module Verdict = Abonn_spec.Verdict
 module Problem = Abonn_spec.Problem
@@ -31,6 +32,7 @@ type search = {
   num_relus : int;
   phat_min : float;  (* Def. 1 normaliser: the root's p̂ *)
   rng : Rng.t option;  (* only for the Uniform_random ablation *)
+  resource : Resource.t;
   mutable found_cex : float array option;
   mutable nodes_created : int;
   mutable max_depth : int;
@@ -66,6 +68,9 @@ let eval_node ?parent s gamma depth =
            { engine = "abonn"; depth; gamma = Split.to_string gamma;
              phat = outcome.Outcome.phat; reward })
   end;
+  (* MCTS has no explicit frontier; open_nodes is 0 by convention *)
+  Resource.tick s.resource ~open_nodes:0 ~nodes:s.nodes_created
+    ~max_depth:s.max_depth;
   { gamma; depth; outcome; state; reward; size = 1; children = None }
 
 (* UCB1 (Alg. 1 Line 13). *)
@@ -188,6 +193,7 @@ let verify ?(config = Config.default) ?budget ?trace problem =
       num_relus = Stdlib.max 1 (Problem.num_relus problem);
       phat_min = -1.0;
       rng;
+      resource = Resource.create ~engine:"abonn" ();
       found_cex = None;
       nodes_created = 0;
       max_depth = 0 }
@@ -204,6 +210,8 @@ let verify ?(config = Config.default) ?budget ?trace problem =
     in
     let finish verdict =
       let wall_time = Unix.gettimeofday () -. started in
+      Resource.final s.resource ~open_nodes:0 ~nodes:s.nodes_created
+        ~max_depth:s.max_depth;
       if Obs.tracing () then
         Obs.emit
           (Ev.Verdict_reached

@@ -191,10 +191,10 @@ let csv records =
 
 (* Render an [Abonn_obs.Metrics] snapshot as the paper-style ASCII
    tables the CLI prints for [--stats]: one table of counters, one of
-   span timers, one of histograms. *)
+   gauges, one of span timers, one of histograms. *)
 let stats (snap : Abonn_obs.Metrics.snapshot) =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "Observability summary (counters, timers, histograms)\n";
+  Buffer.add_string buf "Observability summary (counters, gauges, timers, histograms)\n";
   (match snap.Abonn_obs.Metrics.counters with
    | [] -> Buffer.add_string buf "  no counters recorded\n"
    | counters ->
@@ -202,6 +202,26 @@ let stats (snap : Abonn_obs.Metrics.snapshot) =
      Buffer.add_string buf
        (Table.render ~align:[ Table.Left; Table.Right ]
           ~header:[ "Counter"; "Count" ] body);
+     Buffer.add_char buf '\n');
+  (match snap.Abonn_obs.Metrics.gauges with
+   | [] -> ()
+   | gauges ->
+     let body =
+       List.map
+         (fun (name, (g : Abonn_obs.Metrics.gauge_stat)) ->
+           [ name;
+             f ~digits:3 g.Abonn_obs.Metrics.last;
+             f ~digits:3 g.Abonn_obs.Metrics.lo;
+             f ~digits:3 g.Abonn_obs.Metrics.hi;
+             string_of_int g.Abonn_obs.Metrics.updates ])
+         gauges
+     in
+     Buffer.add_char buf '\n';
+     Buffer.add_string buf
+       (Table.render
+          ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+          ~header:[ "Gauge"; "Last"; "Min"; "Max"; "Updates" ]
+          body);
      Buffer.add_char buf '\n');
   (match snap.Abonn_obs.Metrics.spans with
    | [] -> ()

@@ -41,6 +41,21 @@ type t =
   | Lp_solved of { vars : int; rows : int; status : string; elapsed : float }
   | Attack_tried of { attack : string; success : bool; elapsed : float }
   | Verdict_reached of { engine : string; verdict : string; elapsed : float }
+  | Resource_sample of {
+      engine : string;
+      rss_bytes : int;
+      heap_bytes : int;
+      minor_words : float;
+      major_words : float;
+      minor_gcs : int;
+      major_gcs : int;
+      cpu : float;
+      wall : float;
+      open_nodes : int;
+      nodes : int;
+      max_depth : int;
+      nps : float;
+    }
 
 type envelope = { seq : int; t : float; event : t }
 
@@ -57,6 +72,7 @@ let name = function
   | Lp_solved _ -> "lp_solved"
   | Attack_tried _ -> "attack_tried"
   | Verdict_reached _ -> "verdict_reached"
+  | Resource_sample _ -> "resource_sample"
 
 (* --- encoding --- *)
 
@@ -133,6 +149,15 @@ let to_json { seq; t; event } =
       [ ("attack", S attack); ("success", B success); ("elapsed", F elapsed) ]
     | Verdict_reached { engine; verdict; elapsed } ->
       [ ("engine", S engine); ("verdict", S verdict); ("elapsed", F elapsed) ]
+    | Resource_sample
+        { engine; rss_bytes; heap_bytes; minor_words; major_words; minor_gcs;
+          major_gcs; cpu; wall; open_nodes; nodes; max_depth; nps } ->
+      [ ("engine", S engine); ("rss_bytes", I rss_bytes);
+        ("heap_bytes", I heap_bytes); ("minor_words", F minor_words);
+        ("major_words", F major_words); ("minor_gcs", I minor_gcs);
+        ("major_gcs", I major_gcs); ("cpu", F cpu); ("wall", F wall);
+        ("open_nodes", I open_nodes); ("nodes", I nodes);
+        ("max_depth", I max_depth); ("nps", F nps) ]
   in
   List.iter field fields;
   Buffer.add_char buf '}';
@@ -319,6 +344,14 @@ let of_json line =
       | "verdict_reached" ->
         Verdict_reached
           { engine = s "engine"; verdict = s "verdict"; elapsed = f "elapsed" }
+      | "resource_sample" ->
+        Resource_sample
+          { engine = s "engine"; rss_bytes = i "rss_bytes";
+            heap_bytes = i "heap_bytes"; minor_words = f "minor_words";
+            major_words = f "major_words"; minor_gcs = i "minor_gcs";
+            major_gcs = i "major_gcs"; cpu = f "cpu"; wall = f "wall";
+            open_nodes = i "open_nodes"; nodes = i "nodes";
+            max_depth = i "max_depth"; nps = f "nps" }
       | other -> raise (Bad ("unknown event " ^ other))
     in
     Ok { seq = get_int fields "seq"; t = get_float fields "t"; event }
@@ -355,7 +388,35 @@ let event_equal a b =
     x.engine = y.engine && x.instance = y.instance && x.verdict = y.verdict
     && x.calls = y.calls && x.nodes = y.nodes && x.max_depth = y.max_depth
     && feq x.wall y.wall
+  | Resource_sample x, Resource_sample y ->
+    x.engine = y.engine && x.rss_bytes = y.rss_bytes
+    && x.heap_bytes = y.heap_bytes && feq x.minor_words y.minor_words
+    && feq x.major_words y.major_words && x.minor_gcs = y.minor_gcs
+    && x.major_gcs = y.major_gcs && feq x.cpu y.cpu && feq x.wall y.wall
+    && x.open_nodes = y.open_nodes && x.nodes = y.nodes
+    && x.max_depth = y.max_depth && feq x.nps y.nps
   | (Run_started _ | Exact_leaf _ | Bound_reuse _), _ -> a = b
   | _, _ -> false
 
 let equal a b = a.seq = b.seq && feq a.t b.t && event_equal a.event b.event
+
+(* --- flat-JSON helpers for other line-oriented consumers (registry, …) --- *)
+
+let parse_fields line =
+  try Ok (parse_flat line) with Bad msg -> Error msg
+
+let field_string = function S s -> Some s | I _ | F _ | B _ -> None
+let field_int = function I i -> Some i | S _ | F _ | B _ -> None
+
+let field_float = function
+  | F f -> Some f
+  | I i -> Some (float_of_int i)
+  | S "inf" -> Some Float.infinity
+  | S "-inf" -> Some Float.neg_infinity
+  | S "nan" -> Some Float.nan
+  | S _ | B _ -> None
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_string buf s;
+  Buffer.contents buf

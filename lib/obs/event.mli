@@ -69,6 +69,25 @@ type t =
       (** One adversarial-attack attempt. *)
   | Verdict_reached of { engine : string; verdict : string; elapsed : float }
       (** An engine terminated with [verdict] after [elapsed] seconds. *)
+  | Resource_sample of {
+      engine : string;
+      rss_bytes : int;  (** resident set size ([Resource.rss_bytes]) *)
+      heap_bytes : int;  (** OCaml major-heap size *)
+      minor_words : float;  (** [Gc.quick_stat] cumulative minor words *)
+      major_words : float;  (** cumulative major words *)
+      minor_gcs : int;  (** minor collections so far *)
+      major_gcs : int;  (** major collections so far *)
+      cpu : float;  (** process CPU seconds since the sampler started *)
+      wall : float;  (** wall seconds since the sampler started *)
+      open_nodes : int;
+          (** frontier size (queue/heap length); [0] for engines with no
+              explicit frontier (ABONN's implicit MCTS tree) *)
+      nodes : int;  (** BaB nodes materialised so far *)
+      max_depth : int;  (** deepest node so far *)
+      nps : float;  (** nodes/second over the last sampling window *)
+    }
+      (** Periodic runtime-resource snapshot from {!Resource}, ticked by
+          every engine's node-expansion loop while observability is on. *)
 
 type envelope = { seq : int; t : float; event : t }
 (** What sinks receive: the event plus a per-trace sequence number
@@ -88,3 +107,26 @@ val of_json : string -> (envelope, string) result
 val equal : envelope -> envelope -> bool
 (** Structural equality treating [nan] as equal to [nan] (so JSONL
     round-trips can be checked). *)
+
+(** {1 Flat-JSON helpers}
+
+    The trace wire format is flat JSON objects of scalars; other
+    line-oriented consumers in the repo (the run registry) reuse the
+    same parser and string escaping instead of growing their own. *)
+
+type field = S of string | I of int | F of float | B of bool
+
+val parse_fields : string -> ((string * field) list, string) result
+(** Parse one flat JSON object into its fields, in source order.
+    Accepts exactly the scalar conventions of the trace schema
+    (strings, ints, floats, bools; no nesting). *)
+
+val field_string : field -> string option
+val field_int : field -> int option
+
+val field_float : field -> float option
+(** Ints widen to floats; the strings ["inf"]/["-inf"]/["nan"] decode to
+    the corresponding non-finite floats (schema §1.2). *)
+
+val json_string : string -> string
+(** Quote and escape [s] exactly as the trace encoder does. *)

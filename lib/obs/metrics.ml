@@ -23,6 +23,38 @@ type hist_acc = {
 
 let hists : (string, hist_acc) Hashtbl.t = Hashtbl.create 16
 
+type gauge_acc = {
+  mutable last : float;
+  mutable g_lo : float;
+  mutable g_hi : float;
+  mutable updates : int;
+}
+
+let gauges : (string, gauge_acc) Hashtbl.t = Hashtbl.create 16
+
+let gauge_update name v =
+  match Hashtbl.find_opt gauges name with
+  | Some g ->
+    g.last <- v;
+    if v < g.g_lo then g.g_lo <- v;
+    if v > g.g_hi then g.g_hi <- v;
+    g.updates <- g.updates + 1;
+    g
+  | None ->
+    let g = { last = v; g_lo = v; g_hi = v; updates = 1 } in
+    Hashtbl.replace gauges name g;
+    g
+
+let gauge_set name v = if !on then ignore (gauge_update name v)
+
+let gauge_add name d =
+  if !on then begin
+    let base =
+      match Hashtbl.find_opt gauges name with Some g -> g.last | None -> 0.0
+    in
+    ignore (gauge_update name (base +. d))
+  end
+
 let incr ?(by = 1) name =
   if !on then begin
     match Hashtbl.find_opt counters name with
@@ -70,6 +102,8 @@ let observe name v =
 
 type span_stat = { calls : int; total : float; max : float }
 
+type gauge_stat = { last : float; lo : float; hi : float; updates : int }
+
 type hist_stat = {
   count : int;
   sum : float;
@@ -81,6 +115,7 @@ type hist_stat = {
 type snapshot = {
   counters : (string * int) list;
   spans : (string * span_stat) list;
+  gauges : (string * gauge_stat) list;
   hists : (string * hist_stat) list;
 }
 
@@ -93,6 +128,9 @@ let snapshot () =
     spans =
       sorted_bindings spans (fun a ->
           { calls = a.calls; total = a.total; max = a.max });
+    gauges =
+      sorted_bindings gauges (fun g ->
+          { last = g.last; lo = g.g_lo; hi = g.g_hi; updates = g.updates });
     hists =
       sorted_bindings hists (fun h ->
           { count = h.count; sum = h.sum; lo = h.lo; hi = h.hi;
@@ -127,4 +165,5 @@ let quantile (h : hist_stat) q =
 let reset () =
   Hashtbl.reset counters;
   Hashtbl.reset spans;
+  Hashtbl.reset gauges;
   Hashtbl.reset hists

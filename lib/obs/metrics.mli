@@ -25,7 +25,25 @@ val observe : string -> float -> unit
     buckets spanning [1e-7, 1e3); out-of-range and non-finite samples are
     clamped to the edge buckets.  No-op while disabled. *)
 
+val gauge_set : string -> float -> unit
+(** Set a gauge to a level (resident memory, frontier size, …): the
+    snapshot keeps its last, minimum and maximum values plus the update
+    count — unlike a histogram it is cheap (no buckets) and keeps the
+    final level, unlike a counter it can go down.  No-op while
+    disabled. *)
+
+val gauge_add : string -> float -> unit
+(** Adjust a gauge by a signed delta (created at 0 on first use).
+    No-op while disabled. *)
+
 type span_stat = { calls : int; total : float; max : float }
+
+type gauge_stat = {
+  last : float;  (** most recent level *)
+  lo : float;  (** lowest level seen *)
+  hi : float;  (** highest level seen (e.g. peak RSS) *)
+  updates : int;
+}
 
 type hist_stat = {
   count : int;
@@ -39,9 +57,10 @@ type hist_stat = {
 type snapshot = {
   counters : (string * int) list;
   spans : (string * span_stat) list;
+  gauges : (string * gauge_stat) list;
   hists : (string * hist_stat) list;
 }
-(** All three lists sorted by name. *)
+(** All four lists sorted by name. *)
 
 val snapshot : unit -> snapshot
 
@@ -55,5 +74,5 @@ val quantile : hist_stat -> float -> float
     [nan] for an empty histogram. *)
 
 val reset : unit -> unit
-(** Drop every counter, span and histogram (does not change
+(** Drop every counter, span, gauge and histogram (does not change
     {!enabled}). *)

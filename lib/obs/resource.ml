@@ -1,0 +1,119 @@
+(* Time-gated runtime-resource sampler, ticked from the node-expansion
+   loop of every BaB engine.  While observability is off a tick is one
+   branch; while on but between samples it is one branch plus one float
+   compare.  Each due sample reads GC statistics, RSS and CPU time,
+   updates the [resource.*] gauges and (when tracing) emits one
+   [resource_sample] event. *)
+
+let word_bytes = Sys.word_size / 8
+
+(* Linux exposes resident pages in /proc/self/statm; OCaml's Unix does
+   not expose sysconf(_SC_PAGESIZE), and 4 KiB pages are universal on
+   the platforms we target. *)
+let page_bytes = 4096
+
+let statm_rss () =
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    (match input_line ic with
+     | exception End_of_file -> None
+     | line ->
+       (* "size resident shared text lib data dt", in pages *)
+       (match String.split_on_char ' ' line with
+        | _ :: resident :: _ ->
+          Option.map (fun p -> p * page_bytes) (int_of_string_opt resident)
+        | _ -> None))
+
+let heap_bytes () = (Gc.quick_stat ()).Gc.heap_words * word_bytes
+
+let rss_bytes () =
+  match statm_rss () with
+  | Some rss -> rss
+  | None ->
+    (* portable fallback: the OCaml major heap is the dominant resident
+       term of this (unmapped-file-free) process *)
+    heap_bytes ()
+
+(* Process-wide high-water mark, updated by every sample and by direct
+   [peak_rss] probes (bench/registry call it after untraced runs). *)
+let peak = ref 0
+
+let note_rss () =
+  let rss = rss_bytes () in
+  if rss > !peak then peak := rss;
+  rss
+
+let peak_rss () =
+  ignore (note_rss ());
+  !peak
+
+let cpu_seconds () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime
+
+type t = {
+  engine : string;
+  interval : float;
+  mutable next_due : float;  (* absolute, on the [Obs.now] clock *)
+  started_wall : float;
+  started_cpu : float;
+  mutable last_t : float;  (* previous sample time, for the nps window *)
+  mutable last_nodes : int;
+  mutable samples : int;
+}
+
+let default_interval = 0.25
+
+let create ?(interval = default_interval) ~engine () =
+  let now = Unix.gettimeofday () in
+  { engine;
+    interval = Float.max 0.0 interval;
+    next_due = 0.0;  (* first due tick samples immediately *)
+    started_wall = now;
+    started_cpu = cpu_seconds ();
+    last_t = now;
+    last_nodes = 0;
+    samples = 0 }
+
+let sample t now ~open_nodes ~nodes ~max_depth =
+  t.next_due <- now +. t.interval;
+  let rss = note_rss () in
+  let gc = Gc.quick_stat () in
+  let heap = gc.Gc.heap_words * word_bytes in
+  let cpu = cpu_seconds () -. t.started_cpu in
+  let wall = now -. t.started_wall in
+  let dt = now -. t.last_t in
+  let nps =
+    if t.samples = 0 || dt <= 0.0 then 0.0
+    else float_of_int (nodes - t.last_nodes) /. dt
+  in
+  t.last_t <- now;
+  t.last_nodes <- nodes;
+  t.samples <- t.samples + 1;
+  Metrics.incr "resource.samples";
+  Metrics.gauge_set "resource.rss_bytes" (float_of_int rss);
+  Metrics.gauge_set "resource.heap_bytes" (float_of_int heap);
+  Metrics.gauge_set "resource.open_nodes" (float_of_int open_nodes);
+  if t.samples > 1 then Metrics.gauge_set "resource.nodes_per_sec" nps;
+  if Obs.tracing () then
+    Obs.emit
+      (Event.Resource_sample
+         { engine = t.engine; rss_bytes = rss; heap_bytes = heap;
+           minor_words = gc.Gc.minor_words; major_words = gc.Gc.major_words;
+           minor_gcs = gc.Gc.minor_collections;
+           major_gcs = gc.Gc.major_collections; cpu; wall; open_nodes; nodes;
+           max_depth; nps })
+
+let tick t ~open_nodes ~nodes ~max_depth =
+  if Obs.active () then begin
+    let now = Unix.gettimeofday () in
+    if now >= t.next_due then sample t now ~open_nodes ~nodes ~max_depth
+  end
+
+let final t ~open_nodes ~nodes ~max_depth =
+  if Obs.active () then
+    sample t (Unix.gettimeofday ()) ~open_nodes ~nodes ~max_depth
+
+let samples t = t.samples

@@ -1,0 +1,47 @@
+(** Runtime-resource telemetry: a time-gated sampler for the engines'
+    node-expansion loops, plus direct RSS probes.
+
+    Each engine creates one sampler per run and calls {!tick} once per
+    node expansion.  While {!Obs.active} is false a tick is a single
+    branch (the overhead guarantee of [docs/TRACE_SCHEMA.md] §4); while
+    active but between samples it adds one clock read and one float
+    compare.  A due sample reads [Gc.quick_stat], RSS and process CPU
+    time, updates the [resource.*] gauges ({!Metrics.gauge_set}) and —
+    when a sink is installed — emits one
+    {!Event.Resource_sample} (schema §2.13). *)
+
+type t
+
+val default_interval : float
+(** Seconds between samples when [?interval] is omitted (0.25). *)
+
+val create : ?interval:float -> engine:string -> unit -> t
+(** Fresh sampler clocked from now; [interval] is clamped to [>= 0]
+    ([0] samples on every due tick — used by tests).  The first due
+    {!tick} samples immediately. *)
+
+val tick : t -> open_nodes:int -> nodes:int -> max_depth:int -> unit
+(** Sample if observability is on and at least [interval] seconds have
+    passed since the previous sample; otherwise (almost) free.
+    [open_nodes] is the frontier size ([0] for engines with no explicit
+    frontier), [nodes]/[max_depth] the engine's running totals. *)
+
+val final : t -> open_nodes:int -> nodes:int -> max_depth:int -> unit
+(** Unconditional sample (observability permitting): engines call it
+    from their [finish] path so every traced run ends with a fresh
+    resource record, whatever the cadence. *)
+
+val samples : t -> int
+(** Samples taken so far. *)
+
+val rss_bytes : unit -> int
+(** Current resident set size in bytes, from [/proc/self/statm];
+    portable fallback is the OCaml major-heap size when procfs is
+    unavailable (macOS, BSD). *)
+
+val peak_rss : unit -> int
+(** Probe RSS now and return the process-wide high-water mark across
+    every probe and sample so far. *)
+
+val heap_bytes : unit -> int
+(** OCaml major-heap size in bytes ([Gc.quick_stat ()].heap_words). *)

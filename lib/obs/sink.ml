@@ -10,21 +10,41 @@ let memory () =
 
 let callback f = { emit = f; close = (fun () -> ()) }
 
-let jsonl_channel oc =
-  { emit =
-      (fun env ->
-        output_string oc (Event.to_json env);
-        output_char oc '\n');
-    close = (fun () -> flush oc) }
+(* Live tails (abonn_trace watch) read the file while it is still being
+   written, so the JSONL sinks flush eagerly: on every run/engine
+   terminator and resource heartbeat, plus at least once per second of
+   trace time between them — a live reader never waits more than a
+   second (or one event) behind the verifier, and never sees a
+   truncated final record. *)
+let jsonl_emit oc =
+  let last_flush = ref 0.0 in
+  fun env ->
+    output_string oc (Event.to_json env);
+    output_char oc '\n';
+    match env.Event.event with
+    | Event.Run_finished _ | Event.Verdict_reached _ | Event.Resource_sample _
+      ->
+      last_flush := env.Event.t;
+      flush oc
+    | _ ->
+      if env.Event.t -. !last_flush >= 1.0 then begin
+        last_flush := env.Event.t;
+        flush oc
+      end
+
+let jsonl_channel oc = { emit = jsonl_emit oc; close = (fun () -> flush oc) }
 
 let progress ?(out = stderr) ?(every = 2.0) () =
+  (* A non-positive cadence would reprint on every event; clamp to a
+     sane minimum instead of spinning the terminal. *)
+  let every = if every <= 0.0 then 0.1 else every in
   (* Heartbeat aggregates, updated on every event; a line is (re)printed
      at most once per [every] seconds of trace time, carriage-return
      overwritten in place.  [close] finishes with a newline so the next
      shell prompt starts clean. *)
   let calls = ref 0 and nodes = ref 0 and max_depth = ref 0 in
   let runs = ref 0 and best = ref Float.nan and last_print = ref neg_infinity in
-  let started = ref false in
+  let started = ref false and dirty = ref false and last_t = ref 0.0 in
   let better v = if Float.is_nan !best || v > !best then best := v in
   let line t =
     let reward =
@@ -39,6 +59,7 @@ let progress ?(out = stderr) ?(every = 2.0) () =
   in
   let print t =
     started := true;
+    dirty := false;
     last_print := t;
     output_char out '\r';
     output_string out (line t);
@@ -62,10 +83,15 @@ let progress ?(out = stderr) ?(every = 2.0) () =
            if not verified then better Float.infinity
          | Event.Run_finished _ -> incr runs
          | _ -> ());
+        dirty := true;
+        last_t := env.Event.t;
         if env.Event.t -. !last_print >= every then print env.Event.t);
     close =
       (fun () ->
         if !started then begin
+          (* events arrived since the last heartbeat: print the final
+             aggregate so the line the user is left with is complete *)
+          if !dirty then print !last_t;
           output_char out '\n';
           flush out
         end) }
@@ -73,10 +99,7 @@ let progress ?(out = stderr) ?(every = 2.0) () =
 let jsonl_file path =
   let oc = open_out path in
   let closed = ref false in
-  { emit =
-      (fun env ->
-        output_string oc (Event.to_json env);
-        output_char oc '\n');
+  { emit = jsonl_emit oc;
     close =
       (fun () ->
         if not !closed then begin

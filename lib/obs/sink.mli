@@ -20,19 +20,24 @@ val callback : (Event.envelope -> unit) -> t
     sinks).  [close] is a no-op. *)
 
 val jsonl_channel : out_channel -> t
-(** Write one JSON line per event to an existing channel.  [close]
-    flushes but leaves the channel open (the caller owns it). *)
+(** Write one JSON line per event to an existing channel.  Flushes on
+    every [run_finished], [verdict_reached] and [resource_sample], and
+    at least once per second of trace time otherwise, so live tail
+    readers ([abonn_trace watch]) never see a truncated final record.
+    [close] flushes but leaves the channel open (the caller owns it). *)
 
 val jsonl_file : string -> t
-(** Create/truncate [path] and write one JSON line per event; [close]
-    flushes and closes the file. *)
+(** Create/truncate [path] and write one JSON line per event, with the
+    same eager-flush policy as {!jsonl_channel}; [close] flushes and
+    closes the file. *)
 
 val progress : ?out:out_channel -> ?every:float -> unit -> t
 (** Single-line live heartbeat for long runs: aggregates the event
     stream into [elapsed, AppVer calls, nodes, max depth, best reward]
     (plus completed harness runs when present) and rewrites one
     [\r]-terminated line on [out] (default [stderr]) at most once per
-    [every] seconds (default 2) of trace time.  [close] terminates the
+    [every] seconds (default 2; non-positive values clamp to 0.1) of
+    trace time, flushing after each heartbeat.  [close] terminates the
     line with a newline.  Costs one pattern match per event; installs
     like any sink, so runs without it keep the single-branch overhead
     guarantee. *)

@@ -45,3 +45,79 @@ let fold_file path ~init ~f =
 let read_file path =
   let events, issues = fold_file path ~init:[] ~f:(fun acc env -> env :: acc) in
   (List.rev events, issues)
+
+(* --- follow (tail) mode ---
+
+   A live trace grows while we read it, and the writer's buffer can cut
+   a line anywhere.  The tail keeps a raw fd plus the unterminated
+   remainder of the last read: a line is only parsed once its '\n' has
+   arrived, so a partially-written record is silently deferred to the
+   next poll instead of reported as malformed.  Envelope invariants
+   (seq, t) are carried across polls. *)
+
+type tail = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  pending : Buffer.t;  (* bytes after the last '\n' seen so far *)
+  mutable line_no : int;
+  mutable prev_seq : int;
+  mutable prev_t : float;
+  mutable offset : int;  (* bytes consumed, including the pending tail *)
+}
+
+let tail_open ?(offset = 0) path =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDONLY ] 0
+    with Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+  in
+  if offset > 0 then ignore (Unix.lseek fd offset Unix.SEEK_SET);
+  { fd;
+    chunk = Bytes.create 65536;
+    pending = Buffer.create 256;
+    line_no = 1;
+    prev_seq = 0;
+    prev_t = neg_infinity;
+    offset }
+
+let tail_offset t = t.offset
+
+let tail_close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let tail_line t report f line =
+  (match line with
+   | "" -> ()
+   | line ->
+     (match Event.of_json line with
+      | Error msg -> report (Malformed { line = t.line_no; msg })
+      | Ok env ->
+        if env.Event.seq <> t.prev_seq + 1 then
+          report
+            (Seq_gap { line = t.line_no; expected = t.prev_seq + 1; got = env.Event.seq });
+        if env.Event.t < t.prev_t then
+          report (Time_regression { line = t.line_no; prev = t.prev_t; got = env.Event.t });
+        t.prev_seq <- env.Event.seq;
+        t.prev_t <- Float.max t.prev_t env.Event.t;
+        f env));
+  t.line_no <- t.line_no + 1
+
+let tail_poll t ~f =
+  let issues = ref [] in
+  let report i = issues := i :: !issues in
+  let rec drain () =
+    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> ()
+    | n ->
+      t.offset <- t.offset + n;
+      for i = 0 to n - 1 do
+        match Bytes.get t.chunk i with
+        | '\n' ->
+          let line = Buffer.contents t.pending in
+          Buffer.clear t.pending;
+          tail_line t report f line
+        | c -> Buffer.add_char t.pending c
+      done;
+      drain ()
+  in
+  drain ();
+  List.rev !issues

@@ -35,3 +35,30 @@ val fold_file :
 
 val read_file : string -> Abonn_obs.Event.envelope list * issue list
 (** Whole trace in memory, in file order. *)
+
+(** {1 Follow (tail) mode}
+
+    Incremental reading of a trace that is still being written
+    (powers [abonn_trace watch]).  A partially-written line — the
+    writer's buffer can cut a record anywhere — is never reported as
+    malformed: its bytes are buffered and the line is parsed on a later
+    poll, once its terminating newline has arrived.  The seq/t
+    integrity checks of {!fold_channel} run across polls. *)
+
+type tail
+
+val tail_open : ?offset:int -> string -> tail
+(** Open [path] for tailing, optionally resuming [offset] bytes in
+    (e.g. a {!tail_offset} saved from an earlier tail).  Raises
+    [Sys_error] if the file cannot be opened. *)
+
+val tail_poll : tail -> f:(Abonn_obs.Event.envelope -> unit) -> issue list
+(** Consume every complete line appended since the last poll, calling
+    [f] on each well-formed envelope; returns the new issues (line
+    order).  Non-blocking in the sense that it stops at end-of-file
+    rather than waiting for more data. *)
+
+val tail_offset : tail -> int
+(** Bytes consumed so far (including any buffered partial line). *)
+
+val tail_close : tail -> unit

@@ -1,0 +1,104 @@
+(* Campaign run registry: one flat JSON line per completed run,
+   appended to results/registry.jsonl by the harness, the CLI and the
+   bench binaries.  The record is deliberately denormalised — every
+   line answers "what ran, on what code, with what outcome and at what
+   cost" on its own — so the file can be grepped, diffed across
+   branches and joined by commit without any tooling. *)
+
+module Event = Abonn_obs.Event
+module Provenance = Abonn_util.Provenance
+
+let schema_version = 1
+
+type record = {
+  schema : int;
+  ts : string;  (* UTC ISO-8601 append time *)
+  commit : string;
+  engine : string;
+  model : string;
+  instance : string;
+  seed : int;
+  verdict : string;
+  wall : float;
+  calls : int;
+  nodes : int;
+  max_depth : int;
+  peak_rss_bytes : int;
+}
+
+let make ?ts ?commit ?(peak_rss_bytes = -1) ~engine ~model ~instance ~seed
+    ~verdict ~wall ~calls ~nodes ~max_depth () =
+  let ts = match ts with Some t -> t | None -> Provenance.iso_now () in
+  let commit = match commit with Some c -> c | None -> Provenance.git_commit () in
+  let peak_rss_bytes =
+    if peak_rss_bytes >= 0 then peak_rss_bytes
+    else Abonn_obs.Resource.peak_rss ()
+  in
+  { schema = schema_version; ts; commit; engine; model; instance; seed;
+    verdict; wall; calls; nodes; max_depth; peak_rss_bytes }
+
+let to_json r =
+  Printf.sprintf
+    "{\"schema\":%d,\"ts\":%s,\"commit\":%s,\"engine\":%s,\"model\":%s,\
+     \"instance\":%s,\"seed\":%d,\"verdict\":%s,\"wall\":%.6f,\"calls\":%d,\
+     \"nodes\":%d,\"max_depth\":%d,\"peak_rss_bytes\":%d}"
+    r.schema (Event.json_string r.ts) (Event.json_string r.commit)
+    (Event.json_string r.engine) (Event.json_string r.model)
+    (Event.json_string r.instance) r.seed (Event.json_string r.verdict)
+    r.wall r.calls r.nodes r.max_depth r.peak_rss_bytes
+
+let of_json line =
+  match Event.parse_fields line with
+  | Error msg -> Error msg
+  | Ok fields ->
+    let find name = List.assoc_opt name fields in
+    let str name = Option.bind (find name) Event.field_string in
+    let int name = Option.bind (find name) Event.field_int in
+    let flt name = Option.bind (find name) Event.field_float in
+    (match
+       (int "schema", str "ts", str "commit", str "engine", str "model",
+        str "instance", int "seed", str "verdict", flt "wall", int "calls",
+        int "nodes", int "max_depth", int "peak_rss_bytes")
+     with
+     | ( Some schema, Some ts, Some commit, Some engine, Some model,
+         Some instance, Some seed, Some verdict, Some wall, Some calls,
+         Some nodes, Some max_depth, Some peak_rss_bytes ) ->
+       Ok { schema; ts; commit; engine; model; instance; seed; verdict;
+            wall; calls; nodes; max_depth; peak_rss_bytes }
+     | _ -> Error "registry record: missing or mistyped field")
+
+let default_path = Filename.concat "results" "registry.jsonl"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let append ?(path = default_path) r =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  output_string oc (to_json r);
+  output_char oc '\n'
+
+let load ?(path = default_path) () =
+  if not (Sys.file_exists path) then ([], [])
+  else begin
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let records = ref [] and errors = ref [] in
+    let rec go line_no =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | "" -> go (line_no + 1)
+      | line ->
+        (match of_json line with
+         | Ok r -> records := r :: !records
+         | Error msg -> errors := (line_no, msg) :: !errors);
+        go (line_no + 1)
+    in
+    go 1;
+    (List.rev !records, List.rev !errors)
+  end

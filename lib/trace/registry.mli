@@ -1,0 +1,62 @@
+(** Campaign run registry: an append-only JSONL log of completed runs.
+
+    Every run of the harness, the CLI (with [--registry]) and the bench
+    binaries appends one flat, self-contained JSON record to
+    {!default_path} — what ran (engine, model, instance, seed), on what
+    code ([commit]), with what outcome (verdict) and at what cost (wall
+    time, AppVer calls, nodes, peak RSS).  The file is the input to
+    cross-commit performance comparisons and the CI artifact uploaded
+    by the differential-suite job. *)
+
+type record = {
+  schema : int;  (** record layout version; currently {!schema_version} *)
+  ts : string;  (** UTC ISO-8601 append time *)
+  commit : string;  (** short git hash, or ["unknown"] *)
+  engine : string;
+  model : string;
+  instance : string;
+  seed : int;
+  verdict : string;
+  wall : float;  (** seconds *)
+  calls : int;  (** AppVer bound computations *)
+  nodes : int;  (** BaB nodes created *)
+  max_depth : int;
+  peak_rss_bytes : int;  (** process peak RSS at append time *)
+}
+
+val schema_version : int
+
+val make :
+  ?ts:string ->
+  ?commit:string ->
+  ?peak_rss_bytes:int ->
+  engine:string ->
+  model:string ->
+  instance:string ->
+  seed:int ->
+  verdict:string ->
+  wall:float ->
+  calls:int ->
+  nodes:int ->
+  max_depth:int ->
+  unit ->
+  record
+(** Build a record; [ts], [commit] and [peak_rss_bytes] default to the
+    current time, {!Abonn_util.Provenance.git_commit} and
+    {!Abonn_obs.Resource.peak_rss} respectively. *)
+
+val to_json : record -> string
+(** One flat JSON object, no trailing newline. *)
+
+val of_json : string -> (record, string) result
+
+val default_path : string
+(** ["results/registry.jsonl"], relative to the working directory. *)
+
+val append : ?path:string -> record -> unit
+(** Append one record (creating the directory and file as needed). *)
+
+val load : ?path:string -> unit -> record list * (int * string) list
+(** All parseable records in file order, plus [(line, message)] pairs
+    for lines that failed to parse.  A missing file is empty, not an
+    error. *)

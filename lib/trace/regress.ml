@@ -1,0 +1,301 @@
+(* Bench baseline comparison behind [abonn_trace bench]: load two
+   BENCH_bab_nodes.json files (committed baseline vs fresh run) and
+   flag per-instance and geomean throughput regressions beyond a
+   threshold.  Bench files are nested one level ({"rows": {name:
+   {...}}}), which the flat trace parser cannot express, so this module
+   carries its own small JSON reader; it also accepts the pre-stamp
+   flat layout (rows at top level, no schema/commit/date) so the gate
+   works against historical baselines. *)
+
+(* --- minimal JSON reader (objects, strings, numbers, bools, null) --- *)
+
+type json =
+  | Obj of (string * json) list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "offset %d: %s" !pos msg)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+         | Some 't' -> Buffer.add_char buf '\t'; advance ()
+         | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+         | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+         | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+         | Some (('"' | '\\' | '/') as c) -> Buffer.add_char buf c; advance ()
+         | Some 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           pos := !pos + 4;
+           (* bench files are ASCII; keep non-ASCII escapes lossy-simple *)
+           if code < 128 then Buffer.add_char buf (Char.chr code)
+           else Buffer.add_char buf '?'
+         | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* --- bench file model --- *)
+
+type row = {
+  nps_cached : float;
+  nps_uncached : float option;
+  speedup : float option;
+  peak_rss_bytes : int option;
+}
+
+type bench = {
+  commit : string option;
+  date : string option;
+  geomean_speedup : float option;
+  rows : (string * row) list;  (* file order *)
+}
+
+let obj_num fields name =
+  match List.assoc_opt name fields with Some (Num f) -> Some f | _ -> None
+
+let obj_str fields name =
+  match List.assoc_opt name fields with Some (Str s) -> Some s | _ -> None
+
+let row_of_json = function
+  | Obj fields ->
+    (match obj_num fields "nodes_per_sec_cached" with
+     | None -> None
+     | Some nps_cached ->
+       Some
+         { nps_cached;
+           nps_uncached = obj_num fields "nodes_per_sec_uncached";
+           speedup = obj_num fields "speedup";
+           peak_rss_bytes = Option.map int_of_float (obj_num fields "peak_rss_bytes") })
+  | _ -> None
+
+let load_string text =
+  match parse_json text with
+  | exception Bad msg -> Error msg
+  | Obj fields ->
+    (* stamped layout nests the instances under "rows"; the pre-stamp
+       layout has them at top level next to "geomean_speedup" *)
+    let row_fields =
+      match List.assoc_opt "rows" fields with Some (Obj rf) -> rf | _ -> fields
+    in
+    let rows =
+      List.filter_map
+        (fun (name, v) ->
+          match row_of_json v with Some r -> Some (name, r) | None -> None)
+        row_fields
+    in
+    if rows = [] then Error "no bench rows (no nodes_per_sec_cached fields)"
+    else
+      Ok
+        { commit = obj_str fields "commit";
+          date = obj_str fields "date";
+          geomean_speedup = obj_num fields "geomean_speedup";
+          rows }
+  | _ -> Error "top-level value is not an object"
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let text =
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      really_input_string ic (in_channel_length ic)
+    in
+    (match load_string text with
+     | Ok b -> Ok b
+     | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+(* --- comparison --- *)
+
+type verdict = {
+  name : string;
+  baseline_nps : float;
+  fresh_nps : float;
+  delta_pct : float;  (* negative = fresh slower than baseline *)
+  regressed : bool;
+  baseline_rss : int option;
+  fresh_rss : int option;
+}
+
+type report = {
+  verdicts : verdict list;
+  missing : string list;  (* baseline rows absent from the fresh run *)
+  geomean_baseline : float option;
+  geomean_fresh : float option;
+  geomean_regressed : bool;
+  ok : bool;
+}
+
+let compare_benches ?(scale_baseline = 1.0) ~max_regress ~baseline ~fresh () =
+  let threshold = -.max_regress in
+  let verdicts =
+    List.filter_map
+      (fun (name, (b : row)) ->
+        match List.assoc_opt name fresh.rows with
+        | None -> None
+        | Some (f : row) ->
+          let baseline_nps = b.nps_cached *. scale_baseline in
+          let delta_pct =
+            if baseline_nps <= 0.0 then 0.0
+            else 100.0 *. (f.nps_cached -. baseline_nps) /. baseline_nps
+          in
+          Some
+            { name;
+              baseline_nps;
+              fresh_nps = f.nps_cached;
+              delta_pct;
+              regressed = delta_pct < threshold;
+              baseline_rss = b.peak_rss_bytes;
+              fresh_rss = f.peak_rss_bytes })
+      baseline.rows
+  in
+  let missing =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name fresh.rows then None else Some name)
+      baseline.rows
+  in
+  let geomean_baseline =
+    Option.map (fun g -> g *. scale_baseline) baseline.geomean_speedup
+  in
+  let geomean_regressed =
+    match (geomean_baseline, fresh.geomean_speedup) with
+    | Some b, Some f when b > 0.0 -> 100.0 *. (f -. b) /. b < threshold
+    | _ -> false
+  in
+  { verdicts;
+    missing;
+    geomean_baseline;
+    geomean_fresh = fresh.geomean_speedup;
+    geomean_regressed;
+    ok =
+      missing = []
+      && (not geomean_regressed)
+      && List.for_all (fun v -> not v.regressed) verdicts }
+
+let mib bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+
+let rss_cell = function Some b -> Printf.sprintf "%.1f" (mib b) | None -> "-"
+
+let report_to_string ~max_regress r =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%-16s %12s %12s %8s %10s %10s  %s" "instance" "base n/s" "fresh n/s"
+    "delta" "base MiB" "fresh MiB" "status";
+  line "%s" (String.make 84 '-');
+  List.iter
+    (fun v ->
+      line "%-16s %12.1f %12.1f %+7.1f%% %10s %10s  %s" v.name v.baseline_nps
+        v.fresh_nps v.delta_pct (rss_cell v.baseline_rss) (rss_cell v.fresh_rss)
+        (if v.regressed then "REGRESSED" else "ok"))
+    r.verdicts;
+  List.iter (fun name -> line "%-16s missing from fresh run" name) r.missing;
+  (match (r.geomean_baseline, r.geomean_fresh) with
+   | Some b, Some f ->
+     line "geomean speedup  %12.3f %12.3f %+7.1f%% %23s %s" b f
+       (if b > 0.0 then 100.0 *. (f -. b) /. b else 0.0)
+       ""
+       (if r.geomean_regressed then "REGRESSED" else "ok")
+   | _ -> ());
+  line "";
+  line "gate: %s (threshold: fresh no more than %.1f%% below baseline)"
+    (if r.ok then "PASS" else "FAIL")
+    max_regress;
+  Buffer.contents buf

@@ -1,0 +1,63 @@
+(** Bench-baseline comparison behind [abonn_trace bench]: the CI
+    performance regression gate.
+
+    Loads two [BENCH_bab_nodes.json] files — the committed baseline and
+    a fresh run — and compares per-instance cached node throughput plus
+    the geomean speedup.  Accepts both the stamped layout
+    ([{"schema":1, "commit":…, "rows":{…}}]) and the pre-stamp flat
+    layout, so the gate works against historical baselines. *)
+
+type row = {
+  nps_cached : float;  (** [nodes_per_sec_cached] — the gated metric *)
+  nps_uncached : float option;
+  speedup : float option;
+  peak_rss_bytes : int option;  (** present in stamped files only *)
+}
+
+type bench = {
+  commit : string option;
+  date : string option;
+  geomean_speedup : float option;
+  rows : (string * row) list;  (** file order *)
+}
+
+val load_string : string -> (bench, string) result
+
+val load_file : string -> (bench, string) result
+(** Errors carry the path; a missing file is an error. *)
+
+type verdict = {
+  name : string;
+  baseline_nps : float;  (** after [scale_baseline] *)
+  fresh_nps : float;
+  delta_pct : float;  (** negative = fresh slower than baseline *)
+  regressed : bool;
+  baseline_rss : int option;
+  fresh_rss : int option;
+}
+
+type report = {
+  verdicts : verdict list;
+  missing : string list;  (** baseline rows absent from the fresh run *)
+  geomean_baseline : float option;
+  geomean_fresh : float option;
+  geomean_regressed : bool;
+  ok : bool;  (** no row regressed, no row missing, geomean held *)
+}
+
+val compare_benches :
+  ?scale_baseline:float ->
+  max_regress:float ->
+  baseline:bench ->
+  fresh:bench ->
+  unit ->
+  report
+(** A row regresses when fresh throughput falls more than [max_regress]
+    percent below the baseline (so [~max_regress:20.] tolerates a 20%
+    slowdown).  [scale_baseline] multiplies the baseline numbers first —
+    CI uses [~scale_baseline:10.] as a synthetic must-fail check that
+    the gate actually trips. *)
+
+val report_to_string : max_regress:float -> report -> string
+(** Table with throughput deltas and the peak-RSS columns, ending in a
+    PASS/FAIL line. *)

@@ -1,0 +1,34 @@
+(* Build/run provenance stamps shared by the bench binaries and the run
+   registry.  Everything degrades gracefully: outside a git checkout the
+   commit is "unknown", and ABONN_GIT_COMMIT overrides the lookup so CI
+   can stamp results without a .git directory (e.g. shallow exports). *)
+
+let chomp s =
+  let n = String.length s in
+  let n = if n > 0 && s.[n - 1] = '\n' then n - 1 else n in
+  String.sub s 0 n
+
+let run_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (chomp (input_line ic)) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some l when l <> "" -> Some l
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let git_commit () =
+  match Sys.getenv_opt "ABONN_GIT_COMMIT" with
+  | Some c when c <> "" -> c
+  | Some _ | None -> (
+    match run_line "git rev-parse --short HEAD 2>/dev/null" with
+    | Some c -> c
+    | None -> "unknown")
+
+let iso_of ts =
+  let tm = Unix.gmtime ts in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let iso_now () = iso_of (Unix.gettimeofday ())

@@ -1,0 +1,18 @@
+(** Build/run provenance stamps for bench results and the run registry.
+
+    Keeps every persisted measurement traceable to the code that
+    produced it without making the library depend on git being
+    available. *)
+
+val git_commit : unit -> string
+(** Short commit hash of the working tree.  The [ABONN_GIT_COMMIT]
+    environment variable, when set and non-empty, takes precedence
+    (lets CI stamp results without a [.git] directory); otherwise
+    [git rev-parse --short HEAD] is consulted, and ["unknown"] is
+    returned when neither source works. *)
+
+val iso_of : float -> string
+(** UTC ISO-8601 timestamp ([YYYY-MM-DDThh:mm:ssZ]) of a Unix time. *)
+
+val iso_now : unit -> string
+(** {!iso_of} of the current time. *)

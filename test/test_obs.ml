@@ -34,6 +34,11 @@ let sample_events =
     Event.Lp_solved { vars = 12; rows = 30; status = "optimal"; elapsed = 0.002 };
     Event.Attack_tried { attack = "pgd"; success = false; elapsed = 0.0125 };
     Event.Verdict_reached { engine = "abonn"; verdict = "verified"; elapsed = 0.5 };
+    Event.Resource_sample
+      { engine = "abonn"; rss_bytes = 104857600; heap_bytes = 8388608;
+        minor_words = 1.5e7; major_words = 2.5e6; minor_gcs = 42; major_gcs = 3;
+        cpu = 0.75; wall = 1.25; open_nodes = 17; nodes = 33; max_depth = 6;
+        nps = 26.4 };
     Event.Run_finished
       { engine = "abonn"; instance = "mnist_l2:0"; verdict = "verified"; calls = 17;
         nodes = 17; max_depth = 4; wall = 0.5 };
@@ -264,15 +269,50 @@ let test_stats_report_shows_quantiles () =
   Alcotest.(check bool) "p50 column" true (contains "p50=");
   Alcotest.(check bool) "p99 column" true (contains "p99=")
 
+let test_gauges () =
+  Metrics.set_enabled true;
+  Metrics.gauge_set "g" 5.0;
+  Metrics.gauge_set "g" 2.0;
+  Metrics.gauge_set "g" 8.0;
+  Metrics.gauge_add "g" (-3.0);
+  match (Metrics.snapshot ()).Metrics.gauges with
+  | [ ("g", g) ] ->
+    Alcotest.(check (float 1e-12)) "last" 5.0 g.Metrics.last;
+    Alcotest.(check (float 1e-12)) "min" 2.0 g.Metrics.lo;
+    Alcotest.(check (float 1e-12)) "max" 8.0 g.Metrics.hi;
+    Alcotest.(check int) "updates" 4 g.Metrics.updates
+  | _ -> Alcotest.fail "expected exactly g"
+
+let test_gauge_add_creates_at_zero () =
+  Metrics.set_enabled true;
+  Metrics.gauge_add "fresh" 3.0;
+  match (Metrics.snapshot ()).Metrics.gauges with
+  | [ ("fresh", g) ] -> Alcotest.(check (float 1e-12)) "0 + 3" 3.0 g.Metrics.last
+  | _ -> Alcotest.fail "expected exactly fresh"
+
+let test_gauges_in_stats_report () =
+  Metrics.set_enabled true;
+  Metrics.gauge_set "resource.rss_bytes" 1234.0;
+  let rendered = Abonn_harness.Report.stats (Metrics.snapshot ()) in
+  let contains affix =
+    let n = String.length affix and m = String.length rendered in
+    let rec go i = i + n <= m && (String.sub rendered i n = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "gauge table header" true (contains "Gauge");
+  Alcotest.(check bool) "gauge row" true (contains "resource.rss_bytes")
+
 let test_reset_clears_everything () =
   Metrics.set_enabled true;
   Obs.incr "c";
   Obs.span "s" 1.0;
   Obs.observe "h" 1.0;
+  Metrics.gauge_set "g" 1.0;
   Metrics.reset ();
   let snap = Metrics.snapshot () in
   Alcotest.(check int) "no counters" 0 (List.length snap.Metrics.counters);
   Alcotest.(check int) "no spans" 0 (List.length snap.Metrics.spans);
+  Alcotest.(check int) "no gauges" 0 (List.length snap.Metrics.gauges);
   Alcotest.(check int) "no hists" 0 (List.length snap.Metrics.hists)
 
 let test_disabled_records_nothing () =
@@ -282,11 +322,14 @@ let test_disabled_records_nothing () =
   Obs.incr "c";
   Obs.span "s" 1.0;
   Obs.observe "h" 1.0;
+  Metrics.gauge_set "g" 1.0;
+  Metrics.gauge_add "g" 1.0;
   let r = Obs.time "t" (fun () -> 7) in
   Alcotest.(check int) "time passthrough" 7 r;
   let snap = Metrics.snapshot () in
   Alcotest.(check int) "no counters" 0 (List.length snap.Metrics.counters);
   Alcotest.(check int) "no spans" 0 (List.length snap.Metrics.spans);
+  Alcotest.(check int) "no gauges" 0 (List.length snap.Metrics.gauges);
   Alcotest.(check int) "no hists" 0 (List.length snap.Metrics.hists)
 
 let test_tracing_flips_active () =
@@ -296,6 +339,80 @@ let test_tracing_flips_active () =
       Alcotest.(check bool) "on with sink" true (Obs.active ());
       Alcotest.(check bool) "tracing" true (Obs.tracing ()));
   Alcotest.(check bool) "off again" false (Obs.active ())
+
+(* --- resource sampler --- *)
+
+module Resource = Abonn_obs.Resource
+
+let test_resource_probes_positive () =
+  Alcotest.(check bool) "rss > 0" true (Resource.rss_bytes () > 0);
+  Alcotest.(check bool) "heap > 0" true (Resource.heap_bytes () > 0);
+  Alcotest.(check bool) "peak >= current" true
+    (Resource.peak_rss () >= Resource.rss_bytes () || Resource.peak_rss () > 0)
+
+let test_resource_inactive_tick_is_inert () =
+  (* no sink, metrics off: ticks must not sample *)
+  let s = Resource.create ~interval:0.0 ~engine:"test" () in
+  for i = 1 to 5 do
+    Resource.tick s ~open_nodes:i ~nodes:i ~max_depth:1
+  done;
+  Alcotest.(check int) "no samples while inactive" 0 (Resource.samples s)
+
+let test_resource_cadence_interval_zero () =
+  Metrics.set_enabled true;
+  (* interval 0: every tick is due *)
+  let s = Resource.create ~interval:0.0 ~engine:"test" () in
+  for i = 1 to 4 do
+    Resource.tick s ~open_nodes:i ~nodes:i ~max_depth:1
+  done;
+  Alcotest.(check int) "one sample per tick" 4 (Resource.samples s)
+
+let test_resource_cadence_time_gated () =
+  Metrics.set_enabled true;
+  (* huge interval: only the first tick (due immediately) samples; the
+     rest cost one float compare *)
+  let s = Resource.create ~interval:1e9 ~engine:"test" () in
+  for i = 1 to 100 do
+    Resource.tick s ~open_nodes:i ~nodes:i ~max_depth:1
+  done;
+  Alcotest.(check int) "first tick only" 1 (Resource.samples s);
+  (* [final] samples unconditionally so traced runs end fresh *)
+  Resource.final s ~open_nodes:0 ~nodes:100 ~max_depth:2;
+  Alcotest.(check int) "final forces a sample" 2 (Resource.samples s)
+
+let test_resource_sample_event_payload () =
+  let sink, events = Sink.memory () in
+  Obs.with_sink sink (fun () ->
+      let s = Resource.create ~interval:0.0 ~engine:"unit" () in
+      Resource.tick s ~open_nodes:7 ~nodes:12 ~max_depth:3);
+  match events () with
+  | [ { Event.event =
+          Event.Resource_sample
+            { engine; rss_bytes; wall; open_nodes; nodes; max_depth; _ };
+        _ } ] ->
+    Alcotest.(check string) "engine" "unit" engine;
+    Alcotest.(check int) "open_nodes" 7 open_nodes;
+    Alcotest.(check int) "nodes" 12 nodes;
+    Alcotest.(check int) "max_depth" 3 max_depth;
+    Alcotest.(check bool) "rss positive" true (rss_bytes > 0);
+    Alcotest.(check bool) "wall non-negative" true (wall >= 0.0)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 resource_sample, got %d events" (List.length l))
+
+let test_resource_updates_gauges () =
+  Metrics.set_enabled true;
+  let s = Resource.create ~interval:0.0 ~engine:"test" () in
+  Resource.tick s ~open_nodes:9 ~nodes:1 ~max_depth:1;
+  let snap = Metrics.snapshot () in
+  let g name = List.assoc_opt name snap.Metrics.gauges in
+  (match g "resource.rss_bytes" with
+   | Some g -> Alcotest.(check bool) "rss gauge positive" true (g.Metrics.last > 0.0)
+   | None -> Alcotest.fail "resource.rss_bytes gauge missing");
+  (match g "resource.open_nodes" with
+   | Some g -> Alcotest.(check (float 1e-12)) "open_nodes gauge" 9.0 g.Metrics.last
+   | None -> Alcotest.fail "resource.open_nodes gauge missing");
+  match List.assoc_opt "resource.samples" snap.Metrics.counters with
+  | Some n -> Alcotest.(check int) "sample counter" 1 n
+  | None -> Alcotest.fail "resource.samples counter missing"
 
 let suite =
   [ ( "obs.sink",
@@ -322,8 +439,25 @@ let suite =
         Alcotest.test_case "quantile empty" `Quick (isolated test_quantile_empty_is_nan);
         Alcotest.test_case "stats report quantiles" `Quick
           (isolated test_stats_report_shows_quantiles);
+        Alcotest.test_case "gauges" `Quick (isolated test_gauges);
+        Alcotest.test_case "gauge_add from zero" `Quick
+          (isolated test_gauge_add_creates_at_zero);
+        Alcotest.test_case "gauges in stats report" `Quick
+          (isolated test_gauges_in_stats_report);
         Alcotest.test_case "reset" `Quick (isolated test_reset_clears_everything);
         Alcotest.test_case "disabled is inert" `Quick (isolated test_disabled_records_nothing);
         Alcotest.test_case "tracing flips active" `Quick (isolated test_tracing_flips_active)
+      ] );
+    ( "obs.resource",
+      [ Alcotest.test_case "probes positive" `Quick (isolated test_resource_probes_positive);
+        Alcotest.test_case "inactive tick inert" `Quick
+          (isolated test_resource_inactive_tick_is_inert);
+        Alcotest.test_case "interval zero cadence" `Quick
+          (isolated test_resource_cadence_interval_zero);
+        Alcotest.test_case "time-gated cadence" `Quick
+          (isolated test_resource_cadence_time_gated);
+        Alcotest.test_case "sample event payload" `Quick
+          (isolated test_resource_sample_event_payload);
+        Alcotest.test_case "gauges updated" `Quick (isolated test_resource_updates_gauges)
       ] )
   ]

@@ -483,12 +483,15 @@ let test_progress_sink_heartbeat () =
   let ic = open_in path in
   let content = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  (* heartbeats are \r-separated in-place updates of one line *)
+  (* heartbeats are \r-separated in-place updates of one line; a
+     non-positive cadence is clamped (not per-event), so the three
+     events land as the immediate first print plus the final aggregate
+     that [close] flushes *)
   let updates =
     String.split_on_char '\r' content |> List.filter (fun s -> String.trim s <> "")
   in
-  Alcotest.(check int) "one update per event" 3 (List.length updates);
-  let last = List.nth updates 2 in
+  Alcotest.(check int) "first print plus final aggregate" 2 (List.length updates);
+  let last = List.nth updates 1 in
   check_contains "final calls" "calls=3" last;
   check_contains "final nodes" "nodes=2" last;
   check_contains "final depth" "depth=2" last;
@@ -511,6 +514,258 @@ let test_progress_sink_silent_when_uninstalled () =
   let len = in_channel_length ic in
   close_in ic;
   Alcotest.(check int) "no output" 0 len
+
+(* --- follow (tail) mode --- *)
+
+module Monitor = Abonn_trace.Monitor
+module Registry = Abonn_trace.Registry
+module Regress = Abonn_trace.Regress
+
+let mk_env seq t event = { Event.seq; t; event }
+
+let node_env seq t depth =
+  mk_env seq t
+    (Event.Node_evaluated
+       { engine = "abonn"; depth; gamma = Tree.root_gamma; phat = -0.2; reward = 0.4 })
+
+let append_raw path s =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let test_tail_partial_line_recovery () =
+  let path = Filename.temp_file "abonn_tail" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let l1 = Event.to_json (node_env 1 0.0 0) in
+  let l2 = Event.to_json (node_env 2 0.1 1) in
+  let l3 = Event.to_json (node_env 3 0.2 2) in
+  let cut = String.length l2 / 2 in
+  (* first line complete, second cut mid-record — as a writer's buffer
+     flush can leave it *)
+  append_raw path (l1 ^ "\n" ^ String.sub l2 0 cut);
+  let tail = Reader.tail_open path in
+  Fun.protect ~finally:(fun () -> Reader.tail_close tail) @@ fun () ->
+  let got = ref [] in
+  let issues1 = Reader.tail_poll tail ~f:(fun env -> got := env :: !got) in
+  Alcotest.(check int) "only the complete line parsed" 1 (List.length !got);
+  Alcotest.(check int) "partial line is not an issue" 0 (List.length issues1);
+  (* the rest of line 2 arrives, plus line 3 *)
+  append_raw path (String.sub l2 cut (String.length l2 - cut) ^ "\n" ^ l3 ^ "\n");
+  let issues2 = Reader.tail_poll tail ~f:(fun env -> got := env :: !got) in
+  Alcotest.(check int) "no issues after completion" 0 (List.length issues2);
+  let seqs = List.rev_map (fun e -> e.Event.seq) !got in
+  Alcotest.(check (list int)) "all three events, in order" [ 1; 2; 3 ] seqs
+
+let test_tail_integrity_across_polls () =
+  let path = Filename.temp_file "abonn_tail" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  append_raw path (Event.to_json (node_env 1 0.0 0) ^ "\n");
+  let tail = Reader.tail_open path in
+  Fun.protect ~finally:(fun () -> Reader.tail_close tail) @@ fun () ->
+  Alcotest.(check int) "clean first poll" 0
+    (List.length (Reader.tail_poll tail ~f:ignore));
+  (* seq 3 after seq 1: the gap must be flagged even though the two
+     lines arrived in different polls *)
+  append_raw path (Event.to_json (node_env 3 0.2 1) ^ "\n");
+  (match Reader.tail_poll tail ~f:ignore with
+   | [ Reader.Seq_gap { expected = 2; got = 3; _ } ] -> ()
+   | issues ->
+     Alcotest.fail
+       (Printf.sprintf "expected one seq gap, got %d issue(s)" (List.length issues)));
+  Alcotest.(check bool) "offset advanced" true (Reader.tail_offset tail > 0)
+
+let test_tail_resume_at_offset () =
+  let path = Filename.temp_file "abonn_tail" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  append_raw path (Event.to_json (node_env 1 0.0 0) ^ "\n");
+  let t1 = Reader.tail_open path in
+  ignore (Reader.tail_poll t1 ~f:ignore);
+  let offset = Reader.tail_offset t1 in
+  Reader.tail_close t1;
+  append_raw path (Event.to_json (node_env 2 0.1 1) ^ "\n");
+  (* a new tail resumed at the saved offset sees only the new line *)
+  let t2 = Reader.tail_open ~offset path in
+  Fun.protect ~finally:(fun () -> Reader.tail_close t2) @@ fun () ->
+  let got = ref [] in
+  ignore (Reader.tail_poll t2 ~f:(fun env -> got := env :: !got));
+  match !got with
+  | [ env ] -> Alcotest.(check int) "only the appended event" 2 env.Event.seq
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length l))
+
+(* --- monitor --- *)
+
+let test_monitor_aggregates () =
+  let m = Monitor.create () in
+  Monitor.feed m
+    (mk_env 1 0.0 (Event.Run_started { engine = "abonn"; instance = "mnist_l2:0" }));
+  Monitor.feed m (node_env 2 0.5 0);
+  Monitor.feed m (node_env 3 1.0 1);
+  Monitor.feed m (node_env 4 1.5 2);
+  Monitor.feed m
+    (mk_env 5 1.6
+       (Event.Resource_sample
+          { engine = "abonn"; rss_bytes = 50_000_000; heap_bytes = 10_000_000;
+            minor_words = 1e6; major_words = 1e5; minor_gcs = 5; major_gcs = 1;
+            cpu = 1.0; wall = 1.6; open_nodes = 2; nodes = 3; max_depth = 2;
+            nps = 2.0 }));
+  Alcotest.(check bool) "not finished mid-run" false (Monitor.finished m);
+  Alcotest.(check bool) "node rate positive" true (Monitor.nodes_per_sec m > 0.0);
+  (* verdict_reached inside the harness bracket does not end the watch *)
+  Monitor.feed m
+    (mk_env 6 1.8
+       (Event.Verdict_reached { engine = "abonn"; verdict = "verified"; elapsed = 1.8 }));
+  Alcotest.(check bool) "engine verdict is interior" false (Monitor.finished m);
+  Monitor.feed m
+    (mk_env 7 2.0
+       (Event.Run_finished
+          { engine = "abonn"; instance = "mnist_l2:0"; verdict = "verified"; calls = 3;
+            nodes = 3; max_depth = 2; wall = 2.0 }));
+  Alcotest.(check bool) "run_finished ends the watch" true (Monitor.finished m);
+  let rendered = Monitor.render ~calls_budget:100 m in
+  List.iter
+    (fun affix ->
+      let n = String.length affix and s = rendered in
+      let rec go i = i + n <= String.length s && (String.sub s i n = affix || go (i + 1)) in
+      Alcotest.(check bool) (Printf.sprintf "render mentions %S" affix) true (go 0))
+    [ "abonn"; "verified"; "rss curve"; "depth histogram"; "phase split" ]
+
+(* --- registry --- *)
+
+let test_registry_round_trip () =
+  let r =
+    Registry.make ~ts:"2026-08-07T00:00:00Z" ~commit:"abc1234" ~peak_rss_bytes:123456
+      ~engine:"abonn" ~model:"mnist_l2" ~instance:"index0_eps0.02" ~seed:7
+      ~verdict:"verified" ~wall:1.25 ~calls:400 ~nodes:401 ~max_depth:9 ()
+  in
+  (match Registry.of_json (Registry.to_json r) with
+   | Ok back -> Alcotest.(check bool) "round trip" true (back = r)
+   | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "schema version stamped" Registry.schema_version r.Registry.schema
+
+let test_registry_append_load () =
+  let dir = Filename.temp_file "abonn_registry" "" in
+  Sys.remove dir;
+  (* append creates the directory chain *)
+  let path = Filename.concat (Filename.concat dir "results") "registry.jsonl" in
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (Filename.dirname path) then Unix.rmdir (Filename.dirname path);
+      if Sys.file_exists dir then Unix.rmdir dir)
+  @@ fun () ->
+  let mk i =
+    Registry.make ~ts:"2026-08-07T00:00:00Z" ~commit:"abc1234" ~peak_rss_bytes:(1000 * i)
+      ~engine:"abonn" ~model:"mnist_l2" ~instance:(Printf.sprintf "i%d" i) ~seed:i
+      ~verdict:"timeout" ~wall:0.5 ~calls:100 ~nodes:99 ~max_depth:4 ()
+  in
+  Registry.append ~path (mk 1);
+  Registry.append ~path (mk 2);
+  (* a corrupt line must not take the rest of the file down *)
+  append_raw path "not json\n";
+  Registry.append ~path (mk 3);
+  let records, errors = Registry.load ~path () in
+  Alcotest.(check int) "three good records" 3 (List.length records);
+  Alcotest.(check int) "one bad line" 1 (List.length errors);
+  Alcotest.(check (list string))
+    "order preserved" [ "i1"; "i2"; "i3" ]
+    (List.map (fun r -> r.Registry.instance) records);
+  (* missing file loads as empty *)
+  let none, errs = Registry.load ~path:(Filename.concat dir "absent.jsonl") () in
+  Alcotest.(check int) "missing file is empty" 0 (List.length none);
+  Alcotest.(check int) "missing file no errors" 0 (List.length errs)
+
+(* --- regression gate --- *)
+
+let stamped_bench nps =
+  Printf.sprintf
+    {|{
+  "schema": 1,
+  "commit": "abc1234",
+  "date": "2026-08-07T00:00:00Z",
+  "rows": {
+    "mlp_a": {"nodes": 401, "max_depth": 9, "verdict": "timeout",
+              "nodes_per_sec_cached": %.1f, "nodes_per_sec_uncached": 1000.0,
+              "speedup": 3.0, "peak_rss_bytes": 104857600}
+  },
+  "geomean_speedup": 3.0
+}|}
+    nps
+
+let flat_bench nps =
+  Printf.sprintf
+    {|{
+  "mlp_a": {"nodes": 401, "max_depth": 9, "verdict": "timeout",
+            "nodes_per_sec_cached": %.1f, "nodes_per_sec_uncached": 1000.0,
+            "speedup": 3.0},
+  "geomean_speedup": 3.0
+}|}
+    nps
+
+let load_ok text =
+  match Regress.load_string text with
+  | Ok b -> b
+  | Error msg -> Alcotest.fail msg
+
+let test_regress_both_layouts () =
+  let stamped = load_ok (stamped_bench 3000.0) in
+  let flat = load_ok (flat_bench 3000.0) in
+  Alcotest.(check int) "stamped rows" 1 (List.length stamped.Regress.rows);
+  Alcotest.(check int) "flat rows" 1 (List.length flat.Regress.rows);
+  Alcotest.(check (option string)) "stamped commit" (Some "abc1234") stamped.Regress.commit;
+  Alcotest.(check (option string)) "flat has no commit" None flat.Regress.commit;
+  (match stamped.Regress.rows with
+   | [ (_, row) ] ->
+     Alcotest.(check (option int)) "peak rss parsed" (Some 104857600)
+       row.Regress.peak_rss_bytes
+   | _ -> Alcotest.fail "expected one stamped row")
+
+let test_regress_gate_pass_and_fail () =
+  let baseline = load_ok (stamped_bench 3000.0) in
+  (* 10% below baseline: inside a 20% tolerance *)
+  let fresh_ok = load_ok (stamped_bench 2700.0) in
+  let r = Regress.compare_benches ~max_regress:20.0 ~baseline ~fresh:fresh_ok () in
+  Alcotest.(check bool) "10% drop passes at 20%" true r.Regress.ok;
+  (* 40% below baseline: must trip *)
+  let fresh_slow = load_ok (stamped_bench 1800.0) in
+  let r = Regress.compare_benches ~max_regress:20.0 ~baseline ~fresh:fresh_slow () in
+  Alcotest.(check bool) "40% drop fails at 20%" false r.Regress.ok;
+  (match r.Regress.verdicts with
+   | [ v ] -> Alcotest.(check bool) "row flagged" true v.Regress.regressed
+   | _ -> Alcotest.fail "expected one verdict");
+  (* the CI negative test: scaling the baseline 10x must always fail *)
+  let r =
+    Regress.compare_benches ~scale_baseline:10.0 ~max_regress:20.0 ~baseline
+      ~fresh:fresh_ok ()
+  in
+  Alcotest.(check bool) "synthetic 10x baseline fails" false r.Regress.ok;
+  (* speeding up never trips the gate *)
+  let fresh_fast = load_ok (stamped_bench 9000.0) in
+  let r = Regress.compare_benches ~max_regress:20.0 ~baseline ~fresh:fresh_fast () in
+  Alcotest.(check bool) "speedup passes" true r.Regress.ok
+
+let test_regress_missing_row_fails () =
+  let baseline = load_ok (stamped_bench 3000.0) in
+  let fresh =
+    load_ok
+      {|{"other": {"nodes_per_sec_cached": 3000.0}, "geomean_speedup": 3.0}|}
+  in
+  let r = Regress.compare_benches ~max_regress:20.0 ~baseline ~fresh () in
+  Alcotest.(check bool) "missing instance fails the gate" false r.Regress.ok;
+  Alcotest.(check (list string)) "named" [ "mlp_a" ] r.Regress.missing
+
+let test_regress_report_renders () =
+  let baseline = load_ok (stamped_bench 3000.0) in
+  let fresh = load_ok (stamped_bench 1800.0) in
+  let r = Regress.compare_benches ~max_regress:20.0 ~baseline ~fresh () in
+  let rendered = Regress.report_to_string ~max_regress:20.0 r in
+  List.iter
+    (fun affix ->
+      let n = String.length affix in
+      let rec go i =
+        i + n <= String.length rendered
+        && (String.sub rendered i n = affix || go (i + 1))
+      in
+      Alcotest.(check bool) (Printf.sprintf "report mentions %S" affix) true (go 0))
+    [ "mlp_a"; "REGRESSED"; "FAIL"; "MiB" ]
 
 let suite =
   [ ( "trace.reader",
@@ -551,5 +806,22 @@ let suite =
       [ Alcotest.test_case "heartbeat aggregates" `Quick test_progress_sink_heartbeat;
         Alcotest.test_case "uninstalled is silent" `Quick
           test_progress_sink_silent_when_uninstalled
+      ] );
+    ( "trace.tail",
+      [ Alcotest.test_case "partial-line recovery" `Quick test_tail_partial_line_recovery;
+        Alcotest.test_case "integrity across polls" `Quick test_tail_integrity_across_polls;
+        Alcotest.test_case "resume at offset" `Quick test_tail_resume_at_offset
+      ] );
+    ( "trace.monitor",
+      [ Alcotest.test_case "aggregates and renders" `Quick test_monitor_aggregates ] );
+    ( "trace.registry",
+      [ Alcotest.test_case "round trip" `Quick test_registry_round_trip;
+        Alcotest.test_case "append and load" `Quick test_registry_append_load
+      ] );
+    ( "trace.regress",
+      [ Alcotest.test_case "both layouts parse" `Quick test_regress_both_layouts;
+        Alcotest.test_case "gate pass and fail" `Quick test_regress_gate_pass_and_fail;
+        Alcotest.test_case "missing row fails" `Quick test_regress_missing_row_fails;
+        Alcotest.test_case "report renders" `Quick test_regress_report_renders
       ] )
   ]
