@@ -1,7 +1,9 @@
-(* Node-throughput benchmark for the incremental bound cache.
+(* Node-throughput benchmark for the incremental bound cache and the
+   work-stealing domain pool.
 
      dune exec bench/bab_nodes.exe
      dune exec bench/bab_nodes.exe -- --json BENCH_bab_nodes.json
+     dune exec bench/bab_nodes.exe -- --domains 4 --json BENCH_bab_nodes.json
 
    Runs the same best-first BaB searches twice — warm-started bound
    propagation on (default) and off (--no-bound-cache path) — and
@@ -9,7 +11,17 @@
    The instances are deep MLPs whose searches reach depth >= 4, where
    prefix reuse pays: a child split at hidden layer l skips the
    backsubstitution of every layer below l.  The verdicts of the two
-   runs are asserted identical, so the ratio compares equal work. *)
+   runs are asserted identical, so the ratio compares equal work.
+
+   [--domains N[,M,...]] adds one row per instance per requested domain
+   count ("name@dN"): the same search on an N-domain work-stealing pool
+   (cache on), whose "speedup" column is parallel-over-sequential
+   throughput.  The rows flow through the regression gate
+   (abonn_trace bench) like any other.  Honest-measurement note: the
+   parallel speedup is bounded by the physical core count — on a
+   single-core container @d4 rows sit at or below 1.0x and only the
+   regression gate's relative comparison is meaningful there (see
+   docs/PARALLELISM.md). *)
 
 module Rng = Abonn_util.Rng
 module Budget = Abonn_util.Budget
@@ -50,19 +62,23 @@ let heuristic =
 let calls = 400
 let repeats = 3
 
-let timed_run ~cache problem =
+(* domains is pinned explicitly everywhere (1 for the cache rows) so an
+   ambient ABONN_DOMAINS cannot silently flip the sequential baseline *)
+let timed_run ~cache ~domains problem =
   Incremental.with_enabled cache @@ fun () ->
   let t0 = Unix.gettimeofday () in
-  let r = Bestfirst.verify ~heuristic ~budget:(Budget.of_calls calls) problem in
+  let r =
+    Bestfirst.verify ~heuristic ~budget:(Budget.of_calls calls) ~domains problem
+  in
   let dt = Unix.gettimeofday () -. t0 in
   (r, dt)
 
 (* nodes/sec over [repeats] runs; the repeat loop amortises timer noise
    on these sub-second searches. *)
-let throughput ~cache problem =
+let throughput ~cache ~domains problem =
   let nodes = ref 0 and time = ref 0.0 and last = ref None in
   for _ = 1 to repeats do
-    let r, dt = timed_run ~cache problem in
+    let r, dt = timed_run ~cache ~domains problem in
     nodes := !nodes + r.Result.stats.Result.nodes;
     time := !time +. dt;
     last := Some r
@@ -84,34 +100,63 @@ type row = {
   seed : int;
 }
 
-let bench_instance (name, dims, eps, seed) =
+(* A decided-vs-decided disagreement would be a soundness bug; a
+   decided-vs-timeout difference is just a trajectory shift (tighter
+   cached bounds, or parallel scheduling) inside a finite budget. *)
+let check_verdicts name what a b =
+  if (Verdict.is_verified a && Verdict.is_falsified b)
+     || (Verdict.is_falsified a && Verdict.is_verified b)
+  then
+    failwith
+      (Printf.sprintf "%s: verdict conflict %s (%s vs %s)" name what
+         (Verdict.to_string a) (Verdict.to_string b))
+
+let bench_instance ~domain_sweep (name, dims, eps, seed) =
   let problem = mlp_problem ~dims ~eps seed in
   (* one throwaway pass per mode so both measurements run warm *)
-  ignore (timed_run ~cache:false problem);
-  ignore (timed_run ~cache:true problem);
-  let nps_uncached, r_off = throughput ~cache:false problem in
-  let nps_cached, r_on = throughput ~cache:true problem in
-  let v_on = Verdict.to_string r_on.Result.verdict in
-  let v_off = Verdict.to_string r_off.Result.verdict in
-  (* A decided-vs-decided disagreement would be a soundness bug; a
-     decided-vs-timeout difference is just the tighter bounds changing
-     which child the heuristic pops inside a finite budget. *)
-  if Verdict.is_verified r_on.Result.verdict && Verdict.is_falsified r_off.Result.verdict
-     || Verdict.is_falsified r_on.Result.verdict
-        && Verdict.is_verified r_off.Result.verdict
-  then
-    failwith (Printf.sprintf "%s: verdict conflict cache on/off (%s vs %s)" name v_on v_off);
-  { name;
-    nodes = r_on.Result.stats.Result.nodes;
-    max_depth = r_on.Result.stats.Result.max_depth;
-    verdict = v_on;
-    nps_cached;
-    nps_uncached;
-    speedup = nps_cached /. nps_uncached;
-    peak_rss_bytes = Resource.peak_rss ();
-    calls_used = r_on.Result.stats.Result.appver_calls;
-    wall = r_on.Result.stats.Result.wall_time;
-    seed }
+  ignore (timed_run ~cache:false ~domains:1 problem);
+  ignore (timed_run ~cache:true ~domains:1 problem);
+  let nps_uncached, r_off = throughput ~cache:false ~domains:1 problem in
+  let nps_cached, r_on = throughput ~cache:true ~domains:1 problem in
+  check_verdicts name "cache on/off" r_on.Result.verdict r_off.Result.verdict;
+  let base =
+    { name;
+      nodes = r_on.Result.stats.Result.nodes;
+      max_depth = r_on.Result.stats.Result.max_depth;
+      verdict = Verdict.to_string r_on.Result.verdict;
+      nps_cached;
+      nps_uncached;
+      speedup = nps_cached /. nps_uncached;
+      peak_rss_bytes = Resource.peak_rss ();
+      calls_used = r_on.Result.stats.Result.appver_calls;
+      wall = r_on.Result.stats.Result.wall_time;
+      seed }
+  in
+  (* parallel rows: same search, cache on, N-domain pool.  nps_uncached
+     holds the sequential cache-on throughput, so speedup reads as
+     parallel-over-sequential. *)
+  let par_rows =
+    List.map
+      (fun domains ->
+        ignore (timed_run ~cache:true ~domains problem);
+        let nps_par, r_par = throughput ~cache:true ~domains problem in
+        check_verdicts name
+          (Printf.sprintf "sequential vs %d domains" domains)
+          r_on.Result.verdict r_par.Result.verdict;
+        { name = Printf.sprintf "%s@d%d" name domains;
+          nodes = r_par.Result.stats.Result.nodes;
+          max_depth = r_par.Result.stats.Result.max_depth;
+          verdict = Verdict.to_string r_par.Result.verdict;
+          nps_cached = nps_par;
+          nps_uncached = nps_cached;
+          speedup = nps_par /. nps_cached;
+          peak_rss_bytes = Resource.peak_rss ();
+          calls_used = r_par.Result.stats.Result.appver_calls;
+          wall = r_par.Result.stats.Result.wall_time;
+          seed })
+      (List.filter (fun d -> d > 1) domain_sweep)
+  in
+  base :: par_rows
 
 let instances =
   [ ("mlp_d6_seed1", [ 4; 24; 24; 24; 24; 24; 24; 2 ], 0.22, 1);
@@ -152,20 +197,36 @@ let json_path =
   in
   scan (Array.to_list Sys.argv)
 
+(* --domains N[,M,...]: add an @dN row per instance per requested count *)
+let domain_sweep =
+  let rec scan = function
+    | "--domains" :: spec :: _ ->
+      List.filter_map int_of_string_opt (String.split_on_char ',' spec)
+    | _ :: rest -> scan rest
+    | [] -> []
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
-  Printf.printf "%-16s %6s %6s %10s %12s %14s %8s %9s\n" "instance" "nodes" "depth"
+  Printf.printf "%-20s %6s %6s %10s %12s %14s %8s %9s\n" "instance" "nodes" "depth"
     "verdict" "cached n/s" "uncached n/s" "speedup" "peak MiB";
-  Printf.printf "%s\n" (String.make 88 '-');
-  let rows = List.map bench_instance instances in
+  Printf.printf "%s\n" (String.make 92 '-');
+  let rows = List.concat_map (bench_instance ~domain_sweep) instances in
   List.iter
     (fun r ->
-      Printf.printf "%-16s %6d %6d %10s %12.1f %14.1f %7.2fx %9.1f\n" r.name r.nodes
+      Printf.printf "%-20s %6d %6d %10s %12.1f %14.1f %7.2fx %9.1f\n" r.name r.nodes
         r.max_depth r.verdict r.nps_cached r.nps_uncached r.speedup
         (float_of_int r.peak_rss_bytes /. (1024.0 *. 1024.0)))
     rows;
+  (* the headline geomean stays over the cache rows only: @dN speedups
+     measure parallelism (and are core-count-bound), not the cache, and
+     must not shift the gate's comparison against historical baselines *)
+  let cache_rows =
+    List.filter (fun r -> not (String.contains r.name '@')) rows
+  in
   let geomean =
-    exp (List.fold_left (fun acc r -> acc +. log r.speedup) 0.0 rows
-         /. float_of_int (List.length rows))
+    exp (List.fold_left (fun acc r -> acc +. log r.speedup) 0.0 cache_rows
+         /. float_of_int (List.length cache_rows))
   in
   Printf.printf "\ngeomean speedup: %.2fx\n" geomean;
   Option.iter (fun path -> write_json path rows geomean) json_path;

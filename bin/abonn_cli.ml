@@ -72,7 +72,7 @@ let with_observability ~trace_file ~progress ~stats f =
   Fun.protect ~finally f
 
 let verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-    progress stats no_cache registry ~model ~instance ~context =
+    progress stats no_cache registry domains ~model ~instance ~context =
   let heuristic =
     match Abonn_bab.Branching.find heuristic with
     | Some h -> h
@@ -94,14 +94,16 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
         match engine with
         | "abonn" ->
           let config = Abonn_core.Config.make ~lambda ~c ~appver ~heuristic () in
-          Abonn_core.Abonn.verify ~config ~budget problem
-        | "bab-baseline" -> Abonn_bab.Bfs.verify ~appver ~heuristic ~budget problem
-        | "bestfirst" -> Abonn_bab.Bestfirst.verify ~appver ~heuristic ~budget problem
-        | "inputsplit" -> Abonn_bab.Inputsplit.verify ~appver ~budget problem
-        | "ab-crown" -> Abonn_crown.Alphabeta.verify ~budget problem
+          Abonn_core.Abonn.verify ~config ~budget ~domains problem
+        | "bab-baseline" ->
+          Abonn_bab.Bfs.verify ~appver ~heuristic ~budget ~domains problem
+        | "bestfirst" ->
+          Abonn_bab.Bestfirst.verify ~appver ~heuristic ~budget ~domains problem
+        | "inputsplit" -> Abonn_bab.Inputsplit.verify ~appver ~budget ~domains problem
+        | "ab-crown" -> Abonn_crown.Alphabeta.verify ~budget ~domains problem
         | other ->
           Printf.eprintf "unknown engine %s; using abonn\n%!" other;
-          Abonn_core.Abonn.verify ~budget problem)
+          Abonn_core.Abonn.verify ~budget ~domains problem)
   with
   | exception Sys_error msg -> `Error (false, msg)
   | result ->
@@ -136,12 +138,12 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
   `Ok ()
 
 let run problem_file model_name index eps factor engine lambda c heuristic appver calls
-    seconds models_dir trace_file progress stats no_cache registry =
+    seconds models_dir trace_file progress stats no_cache registry domains =
   match problem_file with
   | Some path ->
     let problem = Abonn_spec.Problem_file.load path in
     verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-      progress stats no_cache registry ~model:"problem-file"
+      progress stats no_cache registry domains ~model:"problem-file"
       ~instance:(Filename.basename path)
       ~context:(Printf.sprintf "problem=%s" path)
   | None ->
@@ -157,7 +159,7 @@ let run problem_file model_name index eps factor engine lambda c heuristic appve
      | `Error _ as e -> e
      | `Ok (problem, eps) ->
        verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-         progress stats no_cache registry ~model:model_name
+         progress stats no_cache registry domains ~model:model_name
          ~instance:(Printf.sprintf "index%d_eps%.5g" index eps)
          ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps))
 
@@ -231,6 +233,16 @@ let no_cache_arg =
                  recomputes its bounds from scratch, restoring the pre-cache search \
                  path bit-for-bit.")
 
+let domains_arg =
+  Arg.(value & opt int (Abonn_par.Pool.default_domains ())
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains for the BaB search (default 1).  With 1 the engine is \
+                 the sequential one, bit-for-bit; with more, the frontier is sharded \
+                 across a work-stealing pool of OCaml 5 domains — verdicts of complete \
+                 runs are unchanged, exploration order is not (docs/PARALLELISM.md).  \
+                 The ABONN_DOMAINS environment variable sets the library-level default \
+                 but this flag wins.")
+
 let registry_arg =
   Arg.(value & opt ~vopt:(Some Registry.default_path) (some string) None
        & info [ "registry" ] ~docv:"FILE"
@@ -247,6 +259,6 @@ let cmd =
         (const run $ problem_arg $ model_arg $ index_arg $ eps_arg $ factor_arg $ engine_arg
          $ lambda_arg $ c_arg $ heuristic_arg $ appver_arg $ calls_arg $ seconds_arg
          $ models_dir_arg $ trace_arg $ progress_arg $ stats_arg $ no_cache_arg
-         $ registry_arg))
+         $ registry_arg $ domains_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -19,8 +19,7 @@ type frontier_node = {
 
 exception Found of float array
 
-let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget problem =
-  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+let verify_seq ~appver ~heuristic ~budget problem =
   let started = Unix.gettimeofday () in
   let choose = heuristic.Branching.prepare problem in
   let heap : frontier_node Heap.t = Heap.create () in
@@ -107,3 +106,21 @@ let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget 
      with Found x -> `Done (Verdict.Falsified x))
   with
   | `Done verdict -> finish verdict
+
+let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget
+    ?domains problem =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> 1
+    | None -> Abonn_par.Pool.default_domains ()
+  in
+  (* [domains = 1] is the untouched sequential engine above; [> 1]
+     shards the frontier across the work-stealing pool, which trades
+     the global p̂ priority order for per-domain LIFO + steal order
+     (docs/PARALLELISM.md) — the verdict of complete runs is unchanged. *)
+  if domains <= 1 then verify_seq ~appver ~heuristic ~budget problem
+  else
+    Parfrontier.run_relu_split ~engine:"bestfirst" ~domains ~appver ~heuristic
+      ~budget ~record:(fun _ -> ()) problem

@@ -11,6 +11,15 @@ val verify :
   ?appver:Abonn_prop.Appver.t ->
   ?heuristic:Branching.t ->
   ?budget:Abonn_util.Budget.t ->
+  ?domains:int ->
   Abonn_spec.Problem.t ->
   Result.t
-(** Defaults: DeepPoly AppVer, DeepSplit heuristic, unlimited budget. *)
+(** Defaults: DeepPoly AppVer, DeepSplit heuristic, unlimited budget,
+    [domains = Abonn_par.Pool.default_domains ()].
+
+    [domains = 1] is the sequential engine, bit-for-bit the historical
+    one.  [domains > 1] shards the frontier across a work-stealing
+    domain pool; the global best-first priority order does {e not}
+    survive sharding (each domain works LIFO on its own deque), so the
+    engine degrades toward plain parallel BaB — same verdict on
+    complete runs, different path.  See docs/PARALLELISM.md. *)

@@ -98,16 +98,34 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
   in
   loop ()
 
-let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget problem =
+(* [domains = 1] (the default) takes [run_bfs] — the untouched
+   sequential loop, bit-for-bit the pre-parallelism engine; [> 1]
+   shards the frontier across a work-stealing domain pool
+   (docs/PARALLELISM.md). *)
+let resolve_domains = function
+  | Some d when d >= 1 -> d
+  | Some _ -> 1
+  | None -> Abonn_par.Pool.default_domains ()
+
+let run ~appver ~heuristic ~budget ~domains ~record problem =
+  if domains <= 1 then run_bfs ~appver ~heuristic ~budget ~record problem
+  else
+    Parfrontier.run_relu_split ~engine:"bab-baseline" ~domains ~appver
+      ~heuristic ~budget ~record problem
+
+let verify ?(appver = Appver.deeppoly) ?(heuristic = Branching.default) ?budget
+    ?domains problem =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
-  run_bfs ~appver ~heuristic ~budget ~record:(fun _ -> ()) problem
+  let domains = resolve_domains domains in
+  run ~appver ~heuristic ~budget ~domains ~record:(fun _ -> ()) problem
 
 let verify_with_certificate ?(appver = Appver.deeppoly) ?(heuristic = Branching.default)
-    ?budget problem =
+    ?budget ?domains problem =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let domains = resolve_domains domains in
   let leaves = ref [] in
   let record leaf = leaves := leaf :: !leaves in
-  let result = run_bfs ~appver ~heuristic ~budget ~record problem in
+  let result = run ~appver ~heuristic ~budget ~domains ~record problem in
   let certificate =
     match result.Result.verdict with
     | Verdict.Verified ->

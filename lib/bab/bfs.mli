@@ -11,16 +11,29 @@ val verify :
   ?appver:Abonn_prop.Appver.t ->
   ?heuristic:Branching.t ->
   ?budget:Abonn_util.Budget.t ->
+  ?domains:int ->
   Abonn_spec.Problem.t ->
   Result.t
-(** Defaults: DeepPoly AppVer, DeepSplit heuristic, unlimited budget.
-    Returns [Timeout] when the budget trips before the queue empties. *)
+(** Defaults: DeepPoly AppVer, DeepSplit heuristic, unlimited budget,
+    [domains = Abonn_par.Pool.default_domains ()] (the [ABONN_DOMAINS]
+    environment variable, else 1).  Returns [Timeout] when the budget
+    trips before the queue empties.
+
+    [domains = 1] is the sequential engine, bit-for-bit the historical
+    one.  [domains > 1] shards the frontier across a work-stealing
+    domain pool ([Parfrontier]): the verdict is unchanged on complete
+    runs, but the FIFO visit order is not preserved — see
+    docs/PARALLELISM.md for the full determinism contract. *)
 
 val verify_with_certificate :
   ?appver:Abonn_prop.Appver.t ->
   ?heuristic:Branching.t ->
   ?budget:Abonn_util.Budget.t ->
+  ?domains:int ->
   Abonn_spec.Problem.t ->
   Result.t * Certificate.t option
 (** Like [verify], additionally returning the discharged-leaf
-    certificate when the verdict is [Verified] (see [Certificate]). *)
+    certificate when the verdict is [Verified] (see [Certificate]).
+    With [domains > 1] the leaf {e order} is scheduling-dependent; the
+    leaf {e set} still partitions the split space, which is all
+    [Certificate.check] requires. *)

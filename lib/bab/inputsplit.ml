@@ -60,9 +60,7 @@ let bisect (region : Region.t) dim =
   ( Region.create ~lower:region.Region.lower ~upper:upper_left,
     Region.create ~lower:lower_right ~upper:region.Region.upper )
 
-let verify ?(appver = Appver.deeppoly) ?(strategy = Gradient_weighted) ?budget
-    ?(min_width = 1e-6) problem =
-  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+let verify_seq ~appver ~strategy ~budget ~min_width problem =
   let started = Unix.gettimeofday () in
   let affine = problem.Problem.affine in
   let property = problem.Problem.property in
@@ -141,3 +139,82 @@ let verify ?(appver = Appver.deeppoly) ?(strategy = Gradient_weighted) ?budget
     end
   in
   loop ()
+
+(* Parallel region loop: same body as [verify_seq], restated as a pool
+   work function over self-contained (region, depth, state) items. *)
+let verify_par ~appver ~strategy ~budget ~min_width ~domains problem =
+  let module Pool = Abonn_par.Pool in
+  let started = Unix.gettimeofday () in
+  let affine = problem.Problem.affine in
+  let property = problem.Problem.property in
+  let sub_problem region = Problem.of_affine ~affine ~region ~property () in
+  let st = Parfrontier.create ~engine:"inputsplit" ~budget in
+  Parfrontier.add_nodes st 1;
+  let unresolved_points = Atomic.make 0 in
+  let resource = Resource.create ~engine:"inputsplit" () in
+  let work ctx item =
+    Parfrontier.guard st ctx
+      (fun (region, depth, state) ->
+        if Pool.id ctx = 0 then
+          Resource.tick resource ~open_nodes:(Pool.queue_length ctx)
+            ~nodes:(Parfrontier.nodes st) ~max_depth:(Parfrontier.max_depth st);
+        Budget.record_call budget;
+        let sub = sub_problem region in
+        let outcome, node_state = Appver.run_warm appver ?state sub [] in
+        if Outcome.proved outcome then ()
+        else begin
+          let valid_cex =
+            match outcome.Outcome.candidate with
+            | Some x when Problem.is_counterexample problem x -> Some x
+            | Some _ | None -> None
+          in
+          match valid_cex with
+          | Some x -> Parfrontier.note_cex st ctx x
+          | None ->
+            let dim, _ =
+              match strategy with
+              | Widest -> widest_dim region
+              | Gradient_weighted -> gradient_dim sub region
+            in
+            let _, widest = widest_dim region in
+            if widest < min_width then begin
+              let centre = Region.center region in
+              if Problem.is_counterexample problem centre then
+                Parfrontier.note_cex st ctx centre
+              else Atomic.incr unresolved_points
+            end
+            else begin
+              let left, right = bisect region dim in
+              Pool.push ctx (left, depth + 1, node_state);
+              Pool.push ctx (right, depth + 1, node_state);
+              Parfrontier.add_nodes st 2;
+              Parfrontier.note_depth st (depth + 1)
+            end
+        end)
+      item
+  in
+  ignore
+    (Pool.run ~domains ~engine:"inputsplit"
+       ~roots:[ (problem.Problem.region, 0, None) ] ~work ());
+  let verdict =
+    match Parfrontier.verdict st with
+    | Verdict.Verified when Atomic.get unresolved_points > 0 -> Verdict.Timeout
+    | v -> v
+  in
+  Resource.final resource ~open_nodes:0 ~nodes:(Parfrontier.nodes st)
+    ~max_depth:(Parfrontier.max_depth st);
+  Result.make ~verdict ~appver_calls:(Budget.calls_used budget)
+    ~nodes:(Parfrontier.nodes st) ~max_depth:(Parfrontier.max_depth st)
+    ~wall_time:(Unix.gettimeofday () -. started)
+
+let verify ?(appver = Appver.deeppoly) ?(strategy = Gradient_weighted) ?budget
+    ?(min_width = 1e-6) ?domains problem =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> 1
+    | None -> Abonn_par.Pool.default_domains ()
+  in
+  if domains <= 1 then verify_seq ~appver ~strategy ~budget ~min_width problem
+  else verify_par ~appver ~strategy ~budget ~min_width ~domains problem

@@ -23,10 +23,15 @@ val verify :
   ?strategy:strategy ->
   ?budget:Abonn_util.Budget.t ->
   ?min_width:float ->
+  ?domains:int ->
   Abonn_spec.Problem.t ->
   Result.t
 (** Defaults: DeepPoly, [Gradient_weighted], unlimited budget,
-    [min_width = 1e-6].  A region narrower than [min_width] in every
+    [min_width = 1e-6], [domains = Abonn_par.Pool.default_domains ()]
+    ([domains = 1] is the sequential engine bit-for-bit; [> 1] shards
+    the region queue across a work-stealing domain pool — same verdict
+    on complete runs, scheduling-dependent visit order, see
+    docs/PARALLELISM.md).  A region narrower than [min_width] in every
     dimension that still resists proving is checked concretely at its
     centre: a violation there concludes [Falsified]; otherwise the box
     is left unresolved and a final all-other-boxes-proved result is

@@ -343,16 +343,42 @@ let run_exact cfg rng problem =
 
 (* --- cross-engine agreement oracle --- *)
 
+(* Sequential engines are pinned to [domains:1] so the oracle stays
+   deterministic in (seed, problem) whatever ABONN_DOMAINS says; the
+   @d4 rows rerun the frontier engines on a 4-domain work-stealing
+   pool, cross-checking parallel against sequential verdicts (the
+   up-to-Timeout agreement rule below already absorbs budget-boundary
+   scheduling differences). *)
+let par_domains = 4
+
 let run_engines cfg _rng problem =
   let budget () = Budget.of_calls cfg.engine_budget in
   let engines =
-    [ ("bfs", fun () -> (Bfs.verify ~budget:(budget ()) problem).Result.verdict);
-      ("bestfirst", fun () -> (Bestfirst.verify ~budget:(budget ()) problem).Result.verdict);
-      ("abonn", fun () -> (Abonn_core.Abonn.verify ~budget:(budget ()) problem).Result.verdict);
+    [ ("bfs", fun () -> (Bfs.verify ~domains:1 ~budget:(budget ()) problem).Result.verdict);
+      ("bestfirst",
+       fun () -> (Bestfirst.verify ~domains:1 ~budget:(budget ()) problem).Result.verdict);
+      ("abonn",
+       fun () ->
+         (Abonn_core.Abonn.verify ~domains:1 ~budget:(budget ()) problem).Result.verdict);
       ("ab-crown",
-       fun () -> (Abonn_crown.Alphabeta.verify ~budget:(budget ()) problem).Result.verdict);
+       fun () ->
+         (Abonn_crown.Alphabeta.verify ~domains:1 ~budget:(budget ()) problem).Result.verdict);
       ("inputsplit",
-       fun () -> (Inputsplit.verify ~budget:(budget ()) problem).Result.verdict)
+       fun () -> (Inputsplit.verify ~domains:1 ~budget:(budget ()) problem).Result.verdict);
+      ("bfs@d4",
+       fun () ->
+         (Bfs.verify ~domains:par_domains ~budget:(budget ()) problem).Result.verdict);
+      ("bestfirst@d4",
+       fun () ->
+         (Bestfirst.verify ~domains:par_domains ~budget:(budget ()) problem).Result.verdict);
+      ("abonn@d4",
+       fun () ->
+         (Abonn_core.Abonn.verify ~domains:par_domains ~budget:(budget ()) problem)
+           .Result.verdict);
+      ("inputsplit@d4",
+       fun () ->
+         (Inputsplit.verify ~domains:par_domains ~budget:(budget ()) problem)
+           .Result.verdict)
     ]
   in
   let verdicts = List.map (fun (name, f) -> (name, f ())) engines in

@@ -19,7 +19,11 @@
       search engines and the sampled margins must both agree with.
     - {b Engines}: all five search engines (BFS, best-first, ABONN,
       αβ-CROWN-style, input splitting) must agree up to [Timeout], and
-      every [Falsified] must carry a genuine counterexample.
+      every [Falsified] must carry a genuine counterexample.  Each
+      frontier engine is additionally rerun on a 4-domain work-stealing
+      pool (the [@d4] rows), differentially checking parallel against
+      sequential verdicts — the executable form of the
+      docs/PARALLELISM.md verdict-determinism contract.
     - {b Cert}: a [Verified] BFS run must produce a certificate that
       passes {!Abonn_bab.Certificate.check}; non-verified runs must not
       produce one.

@@ -175,8 +175,7 @@ let trace_sink trace =
         trace ~depth ~gamma:(Split.of_string gamma) ~reward
       | _ -> ())
 
-let verify ?(config = Config.default) ?budget ?trace problem =
-  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+let verify_seq ~config ~budget ?trace problem =
   let started = Unix.gettimeofday () in
   let rng = match config.Config.selection with
     | Config.Ucb1 -> None
@@ -238,3 +237,165 @@ let verify ?(config = Config.default) ?budget ?trace problem =
   match trace with
   | None -> search ()
   | Some t -> Obs.with_sink (trace_sink t) search
+
+(* --- parallel ABONN: seed expansion + per-subtree search portfolio ---
+
+   A UCB1 descent is inherently sequential (each selection depends on
+   the rewards the previous iteration back-propagated), so ABONN is
+   parallelised at the sub-tree level instead: a short sequential BFS
+   seed phase grows the tree until the frontier holds at least
+   2 × domains undecided nodes, then each frontier node becomes one
+   work-stealing pool item and gets a full, independent MCTS search of
+   its sub-tree.  Sub-trees are disjoint and every frontier node
+   carries its own incremental bound state, so workers share nothing
+   but the (atomic) budget and the stop flag.  See docs/PARALLELISM.md. *)
+
+module Pool = Abonn_par.Pool
+
+let verify_par ~domains ~config ~budget ?trace problem =
+  let started = Unix.gettimeofday () in
+  let seed_rng_seed =
+    match config.Config.selection with
+    | Config.Ucb1 -> 0
+    | Config.Uniform_random seed -> seed
+  in
+  let s =
+    { problem;
+      config;
+      budget;
+      choose = config.Config.heuristic.Branching.prepare problem;
+      num_relus = Stdlib.max 1 (Problem.num_relus problem);
+      phat_min = -1.0;
+      rng =
+        (match config.Config.selection with
+         | Config.Ucb1 -> None
+         | Config.Uniform_random seed -> Some (Rng.create seed));
+      resource = Resource.create ~engine:"abonn" ();
+      found_cex = None;
+      nodes_created = 0;
+      max_depth = 0 }
+  in
+  let search () =
+    let root0 = eval_node s [] 0 in
+    let s = { s with phat_min = Float.min root0.outcome.Outcome.phat (-1e-12) } in
+    let root =
+      { root0 with
+        reward =
+          potentiality s ~depth:0 ~phat:root0.outcome.Outcome.phat
+            ~valid_cex:(s.found_cex <> None) }
+    in
+    (* merged across the seed phase and every worker sub-search *)
+    let nodes_total = Atomic.make 0 and depth_total = Atomic.make 0 in
+    let note_depth d =
+      let rec go () =
+        let cur = Atomic.get depth_total in
+        if d > cur && not (Atomic.compare_and_set depth_total cur d) then go ()
+      in
+      go ()
+    in
+    let finish verdict =
+      Atomic.fetch_and_add nodes_total s.nodes_created |> ignore;
+      note_depth s.max_depth;
+      let wall_time = Unix.gettimeofday () -. started in
+      Resource.final s.resource ~open_nodes:0 ~nodes:(Atomic.get nodes_total)
+        ~max_depth:(Atomic.get depth_total);
+      if Obs.tracing () then
+        Obs.emit
+          (Ev.Verdict_reached
+             { engine = "abonn"; verdict = Verdict.to_string verdict;
+               elapsed = wall_time });
+      Result.make ~verdict ~appver_calls:(Budget.calls_used budget)
+        ~nodes:(Atomic.get nodes_total) ~max_depth:(Atomic.get depth_total)
+        ~wall_time
+    in
+    (* Seed phase: breadth-first expansion on the calling domain until
+       the frontier can feed every worker (≥ 2 sub-trees per domain). *)
+    let frontier = Queue.create () in
+    let undecided n = n.reward > neg_infinity && n.reward < infinity in
+    if undecided root then Queue.add root frontier;
+    let target = 2 * domains in
+    let rec seed () =
+      if s.found_cex <> None then `Cex
+      else if Queue.is_empty frontier then `All_proved
+      else if Budget.exhausted budget then `Timeout
+      else if Queue.length frontier >= target then `Frontier
+      else begin
+        let node = Queue.pop frontier in
+        expand s node;
+        (match node.children with
+         | Some (plus, minus) ->
+           if undecided plus then Queue.add plus frontier;
+           if undecided minus then Queue.add minus frontier
+         | None -> () (* exact leaf: reward pinned to ±∞ by [expand] *));
+        seed ()
+      end
+    in
+    match seed () with
+    | `Cex -> finish (Verdict.Falsified (Option.get s.found_cex))
+    | `All_proved -> finish Verdict.Verified
+    | `Timeout -> finish Verdict.Timeout
+    | `Frontier ->
+      let found = Atomic.make None and timeout = Atomic.make false in
+      let resources =
+        Array.init domains (fun _ -> Resource.create ~engine:"abonn" ())
+      in
+      let work ctx (node : node) =
+        if not (Pool.stop_requested ctx) then begin
+          let s_w =
+            { s with
+              choose = config.Config.heuristic.Branching.prepare problem;
+              rng =
+                (match config.Config.selection with
+                 | Config.Ucb1 -> None
+                 | Config.Uniform_random _ -> Some (Pool.rng ctx));
+              resource = resources.(Pool.id ctx);
+              found_cex = None;
+              nodes_created = 0;
+              max_depth = node.depth }
+          in
+          let rec sub_loop () =
+            if node.reward = infinity then begin
+              (match s_w.found_cex with
+               | Some x -> ignore (Atomic.compare_and_set found None (Some x))
+               | None -> Atomic.set timeout true);
+              Pool.request_stop ctx
+            end
+            else if node.reward = neg_infinity then () (* sub-tree proved *)
+            else if Pool.stop_requested ctx then ()
+            else if Budget.exhausted budget then begin
+              Atomic.set timeout true;
+              Pool.request_stop ctx
+            end
+            else begin
+              mcts_bab s_w node;
+              sub_loop ()
+            end
+          in
+          sub_loop ();
+          Atomic.fetch_and_add nodes_total s_w.nodes_created |> ignore;
+          note_depth s_w.max_depth
+        end
+      in
+      let roots = List.of_seq (Queue.to_seq frontier) in
+      ignore
+        (Pool.run ~domains ~seed:seed_rng_seed ~engine:"abonn" ~roots ~work ());
+      (match Atomic.get found with
+       | Some x -> finish (Verdict.Falsified x)
+       | None ->
+         if Atomic.get timeout then finish Verdict.Timeout
+         else finish Verdict.Verified)
+  in
+  match trace with
+  | None -> search ()
+  | Some t -> Obs.with_sink (trace_sink t) search
+
+let verify ?(config = Config.default) ?budget ?trace ?domains problem =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> 1
+    | None -> Pool.default_domains ()
+  in
+  if domains <= 1 then verify_seq ~config ~budget ?trace problem
+  else verify_par ~domains ~config ~budget ?trace problem

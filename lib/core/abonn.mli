@@ -27,6 +27,7 @@ val verify :
   ?config:Config.t ->
   ?budget:Abonn_util.Budget.t ->
   ?trace:(depth:int -> gamma:Abonn_spec.Split.gamma -> reward:float -> unit) ->
+  ?domains:int ->
   Abonn_spec.Problem.t ->
   Abonn_bab.Result.t
 (** [trace] is invoked at every node expansion with the new child's
@@ -35,4 +36,16 @@ val verify :
     [node_evaluated] events; richer telemetry (selection, backprop,
     exact-leaf and verdict events, counters, timers) is available by
     installing a sink via [Abonn_obs.Obs.install] — see
-    [docs/TRACE_SCHEMA.md]. *)
+    [docs/TRACE_SCHEMA.md].
+
+    [domains] defaults to [Abonn_par.Pool.default_domains ()] (the
+    [ABONN_DOMAINS] environment variable, else 1).  [domains = 1] is
+    the sequential engine, bit-for-bit the historical one.  Because a
+    UCB1 descent is inherently sequential, [domains > 1] parallelises
+    at the sub-tree level: a breadth-first seed phase grows the tree
+    until the frontier holds [2 × domains] undecided nodes, then each
+    sub-tree gets an independent MCTS search as a work-stealing pool
+    item.  Verdicts of complete runs are unchanged; the exploration
+    order (and under the [Uniform_random] ablation the per-sub-tree
+    random streams, split per domain) is scheduling-dependent — see
+    docs/PARALLELISM.md. *)

@@ -24,6 +24,10 @@ val verify :
   ?attack_seed:int ->
   ?heuristic:Abonn_bab.Branching.t ->
   ?budget:Abonn_util.Budget.t ->
+  ?domains:int ->
   Abonn_spec.Problem.t ->
   Abonn_bab.Result.t
-(** Defaults: best-effort attack portfolio, seed 0, FSB branching. *)
+(** Defaults: best-effort attack portfolio, seed 0, FSB branching.
+    [domains] is forwarded to the best-first BaB phase (the attack
+    portfolio stays sequential); it defaults to
+    [Abonn_par.Pool.default_domains ()] — see docs/PARALLELISM.md. *)

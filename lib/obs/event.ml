@@ -56,8 +56,16 @@ type t =
       max_depth : int;
       nps : float;
     }
+  | Domain_summary of {
+      engine : string;
+      domain : int;
+      processed : int;
+      pushed : int;
+      stolen : int;
+      idle : int;
+    }
 
-type envelope = { seq : int; t : float; event : t }
+type envelope = { seq : int; t : float; domain : int option; event : t }
 
 let name = function
   | Run_started _ -> "run_started"
@@ -73,6 +81,7 @@ let name = function
   | Attack_tried _ -> "attack_tried"
   | Verdict_reached _ -> "verdict_reached"
   | Resource_sample _ -> "resource_sample"
+  | Domain_summary _ -> "domain_summary"
 
 (* --- encoding --- *)
 
@@ -101,10 +110,18 @@ let add_string buf s =
 
 type field = S of string | I of int | F of float | B of bool
 
-let to_json { seq; t; event } =
+let to_json { seq; t; domain; event } =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (Printf.sprintf "{\"seq\":%d,\"t\":%.6f,\"ev\":" seq t);
   add_string buf (name event);
+  (* The envelope domain tag rides right after the discriminator.  A
+     [domain_summary] event describes a domain in its own field of the
+     same name, so the envelope tag is suppressed there to keep the
+     object's keys unique; sequential traces (tag [None]) are
+     byte-for-byte what the pre-parallelism encoder produced. *)
+  (match (domain, event) with
+   | Some _, Domain_summary _ | None, _ -> ()
+   | Some d, _ -> Buffer.add_string buf (Printf.sprintf ",\"domain\":%d" d));
   let field (k, v) =
     Buffer.add_char buf ',';
     add_string buf k;
@@ -158,6 +175,9 @@ let to_json { seq; t; event } =
         ("major_gcs", I major_gcs); ("cpu", F cpu); ("wall", F wall);
         ("open_nodes", I open_nodes); ("nodes", I nodes);
         ("max_depth", I max_depth); ("nps", F nps) ]
+    | Domain_summary { engine; domain; processed; pushed; stolen; idle } ->
+      [ ("engine", S engine); ("domain", I domain); ("processed", I processed);
+        ("pushed", I pushed); ("stolen", I stolen); ("idle", I idle) ]
   in
   List.iter field fields;
   Buffer.add_char buf '}';
@@ -352,9 +372,22 @@ let of_json line =
             major_gcs = i "major_gcs"; cpu = f "cpu"; wall = f "wall";
             open_nodes = i "open_nodes"; nodes = i "nodes";
             max_depth = i "max_depth"; nps = f "nps" }
+      | "domain_summary" ->
+        Domain_summary
+          { engine = s "engine"; domain = i "domain"; processed = i "processed";
+            pushed = i "pushed"; stolen = i "stolen"; idle = i "idle" }
       | other -> raise (Bad ("unknown event " ^ other))
     in
-    Ok { seq = get_int fields "seq"; t = get_float fields "t"; event }
+    let domain =
+      (* "domain" on a domain_summary line is the event's own field *)
+      match event with
+      | Domain_summary _ -> None
+      | _ ->
+        (match List.assoc_opt "domain" fields with
+         | Some (I d) -> Some d
+         | Some _ | None -> None)
+    in
+    Ok { seq = get_int fields "seq"; t = get_float fields "t"; domain; event }
   with Bad msg -> Error msg
 
 (* --- equality (nan = nan, for round-trip checks) --- *)
@@ -395,10 +428,12 @@ let event_equal a b =
     && x.major_gcs = y.major_gcs && feq x.cpu y.cpu && feq x.wall y.wall
     && x.open_nodes = y.open_nodes && x.nodes = y.nodes
     && x.max_depth = y.max_depth && feq x.nps y.nps
-  | (Run_started _ | Exact_leaf _ | Bound_reuse _), _ -> a = b
+  | (Run_started _ | Exact_leaf _ | Bound_reuse _ | Domain_summary _), _ -> a = b
   | _, _ -> false
 
-let equal a b = a.seq = b.seq && feq a.t b.t && event_equal a.event b.event
+let equal a b =
+  a.seq = b.seq && feq a.t b.t && a.domain = b.domain
+  && event_equal a.event b.event
 
 (* --- flat-JSON helpers for other line-oriented consumers (registry, …) --- *)
 

@@ -88,10 +88,27 @@ type t =
     }
       (** Periodic runtime-resource snapshot from {!Resource}, ticked by
           every engine's node-expansion loop while observability is on. *)
+  | Domain_summary of {
+      engine : string;
+      domain : int;  (** the worker this record describes *)
+      processed : int;  (** work items this domain expanded *)
+      pushed : int;  (** children this domain scheduled *)
+      stolen : int;  (** items this domain stole from siblings *)
+      idle : int;  (** steal sweeps that found no work anywhere *)
+    }
+      (** Per-domain work attribution of a parallel ([--domains N > 1])
+          BaB run, emitted once per worker when the pool drains (see
+          docs/PARALLELISM.md and schema §2.14). *)
 
-type envelope = { seq : int; t : float; event : t }
+type envelope = { seq : int; t : float; domain : int option; event : t }
 (** What sinks receive: the event plus a per-trace sequence number
-    (1-based, gap-free) and seconds since the first sink was installed. *)
+    (1-based, gap-free), seconds since the first sink was installed,
+    and — for events emitted from a worker of a parallel run — the
+    emitting domain's index.  [domain] is [None] in sequential runs
+    (including [--domains 1]), keeping their JSON byte-identical to the
+    pre-parallelism encoder; it is serialized as a ["domain"] field
+    right after ["ev"] when present, except on [domain_summary] lines
+    where the event's own ["domain"] field already names a domain. *)
 
 val name : t -> string
 (** Wire name of the constructor, e.g. ["node_evaluated"] — the value of

@@ -3,6 +3,14 @@ let on = ref false
 let set_enabled v = on := v
 let enabled () = !on
 
+(* Serialises all table mutation: parallel BaB workers record metrics
+   concurrently.  The disabled fast path never takes the lock. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
 
 type span_acc = { mutable calls : int; mutable total : float; mutable max : float }
@@ -45,32 +53,33 @@ let gauge_update name v =
     Hashtbl.replace gauges name g;
     g
 
-let gauge_set name v = if !on then ignore (gauge_update name v)
+let gauge_set name v =
+  if !on then locked (fun () -> ignore (gauge_update name v))
 
 let gauge_add name d =
-  if !on then begin
-    let base =
-      match Hashtbl.find_opt gauges name with Some g -> g.last | None -> 0.0
-    in
-    ignore (gauge_update name (base +. d))
-  end
+  if !on then
+    locked (fun () ->
+        let base =
+          match Hashtbl.find_opt gauges name with Some g -> g.last | None -> 0.0
+        in
+        ignore (gauge_update name (base +. d)))
 
 let incr ?(by = 1) name =
-  if !on then begin
-    match Hashtbl.find_opt counters name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.replace counters name (ref by)
-  end
+  if !on then
+    locked (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.replace counters name (ref by))
 
 let span name d =
-  if !on then begin
-    match Hashtbl.find_opt spans name with
-    | Some a ->
-      a.calls <- a.calls + 1;
-      a.total <- a.total +. d;
-      if d > a.max then a.max <- d
-    | None -> Hashtbl.replace spans name { calls = 1; total = d; max = d }
-  end
+  if !on then
+    locked (fun () ->
+        match Hashtbl.find_opt spans name with
+        | Some a ->
+          a.calls <- a.calls + 1;
+          a.total <- a.total +. d;
+          if d > a.max then a.max <- d
+        | None -> Hashtbl.replace spans name { calls = 1; total = d; max = d })
 
 let bucket_of v =
   if Float.is_nan v || v <= 0.0 then 0
@@ -80,7 +89,8 @@ let bucket_of v =
   end
 
 let observe name v =
-  if !on then begin
+  if !on then
+    locked @@ fun () ->
     let h =
       match Hashtbl.find_opt hists name with
       | Some h -> h
@@ -98,7 +108,6 @@ let observe name v =
     if v > h.hi then h.hi <- v;
     let b = bucket_of v in
     h.buckets.(b) <- h.buckets.(b) + 1
-  end
 
 type span_stat = { calls : int; total : float; max : float }
 
@@ -124,6 +133,7 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot () =
+  locked @@ fun () ->
   { counters = sorted_bindings counters (fun r -> !r);
     spans =
       sorted_bindings spans (fun a ->
@@ -163,7 +173,8 @@ let quantile (h : hist_stat) q =
   end
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset spans;
-  Hashtbl.reset gauges;
-  Hashtbl.reset hists
+  locked (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset spans;
+      Hashtbl.reset gauges;
+      Hashtbl.reset hists)

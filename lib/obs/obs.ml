@@ -4,6 +4,15 @@ let epoch = ref 0.0
 
 let last = ref neg_infinity
 
+(* Serialises registry mutation and emission: with [--domains N > 1]
+   several worker domains emit into the same sinks.  The uncontended
+   fast path (sequential runs) is one futex-free lock/unlock. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let now () =
   let t = Unix.gettimeofday () in
   if t > !last then last := t;
@@ -14,25 +23,44 @@ let tracing () = !sinks <> []
 let active () = tracing () || Metrics.enabled ()
 
 let install s =
-  if !sinks = [] then begin
-    seq := 0;
-    epoch := now ()
-  end;
-  sinks := !sinks @ [ s ]
+  locked (fun () ->
+      if !sinks = [] then begin
+        seq := 0;
+        epoch := now ()
+      end;
+      sinks := !sinks @ [ s ])
 
-let remove s = sinks := List.filter (fun x -> x != s) !sinks
+let remove s = locked (fun () -> sinks := List.filter (fun x -> x != s) !sinks)
 
 let with_sink s f =
   install s;
   Fun.protect ~finally:(fun () -> remove s) f
 
+(* Which parallel worker this domain is, for envelope tagging.  Stored
+   in domain-local state so engines never thread it through: the pool
+   sets it once per worker and every event emitted underneath is
+   attributed automatically.  [None] (the sequential case, and worker
+   domains outside a pool region) leaves envelopes untagged and the
+   wire format byte-identical to the pre-parallelism encoder. *)
+let domain_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let set_domain d = Domain.DLS.set domain_key d
+let current_domain () = Domain.DLS.get domain_key
+
 let emit event =
   match !sinks with
   | [] -> ()
-  | installed ->
-    incr seq;
-    let env = { Event.seq = !seq; t = now () -. !epoch; event } in
-    List.iter (fun s -> s.Sink.emit env) installed
+  | _ ->
+    let domain = current_domain () in
+    locked (fun () ->
+        match !sinks with
+        | [] -> ()
+        | installed ->
+          incr seq;
+          let env =
+            { Event.seq = !seq; t = now () -. !epoch; domain; event }
+          in
+          List.iter (fun s -> s.Sink.emit env) installed)
 
 let incr = Metrics.incr
 let span = Metrics.span

@@ -16,8 +16,13 @@
       end
     ]}
 
-    The registry is process-global and not thread-safe (the verifier is
-    single-threaded); [with_sink] scopes an installation to one call. *)
+    The registry is process-global; [with_sink] scopes an installation
+    to one call.  Emission and registry mutation are serialised by an
+    internal mutex, so parallel BaB workers ([--domains N > 1]) can
+    emit concurrently: sinks observe a gap-free interleaving of
+    sequence numbers and never run their callbacks concurrently.  The
+    inactive fast path stays lock-free ([active] / [tracing] / [emit]
+    with no sinks take a single branch). *)
 
 val tracing : unit -> bool
 (** At least one sink is installed. *)
@@ -39,9 +44,20 @@ val with_sink : Sink.t -> (unit -> 'a) -> 'a
     raises.  [close] is left to the caller. *)
 
 val emit : Event.t -> unit
-(** Stamp the event with the next sequence number and the trace-relative
-    time, and deliver it to every installed sink in installation order.
-    No-op without sinks. *)
+(** Stamp the event with the next sequence number, the trace-relative
+    time and the emitting domain's tag ({!set_domain}), and deliver it
+    to every installed sink in installation order.  No-op without
+    sinks. *)
+
+val set_domain : int option -> unit
+(** Tag (or untag, with [None]) the {e current domain}: every event it
+    emits from now on carries this index in the envelope [domain]
+    field.  Domain-local — set by the [Abonn_par.Pool] workers around
+    each worker's run; sequential code never calls it, so sequential
+    traces stay untagged and byte-identical to pre-parallelism output. *)
+
+val current_domain : unit -> int option
+(** The current domain's tag, for save/restore around nested scopes. *)
 
 val now : unit -> float
 (** Monotonised wall clock in seconds: never goes backwards within the

@@ -37,17 +37,22 @@ let rss_bytes () =
     heap_bytes ()
 
 (* Process-wide high-water mark, updated by every sample and by direct
-   [peak_rss] probes (bench/registry call it after untraced runs). *)
-let peak = ref 0
+   [peak_rss] probes (bench/registry call it after untraced runs).
+   Atomic: parallel workers sample concurrently. *)
+let peak = Atomic.make 0
 
 let note_rss () =
   let rss = rss_bytes () in
-  if rss > !peak then peak := rss;
+  let rec raise_to () =
+    let cur = Atomic.get peak in
+    if rss > cur && not (Atomic.compare_and_set peak cur rss) then raise_to ()
+  in
+  raise_to ();
   rss
 
 let peak_rss () =
   ignore (note_rss ());
-  !peak
+  Atomic.get peak
 
 let cpu_seconds () =
   let t = Unix.times () in

@@ -1,0 +1,96 @@
+(* Chase–Lev deque on OCaml 5 atomics.
+
+   Indices [top] and [bottom] grow without bound; the live window is
+   [top, bottom) mapped into a circular buffer of atomic slots.  Making
+   every slot an [Atomic.t] (rather than a plain array with fences)
+   keeps the implementation inside the OCaml memory model's data-race
+   free fragment: the published correctness argument then carries over
+   directly, because OCaml [Atomic] operations are sequentially
+   consistent.  A slot read costs a few nanoseconds, which is noise
+   next to the millisecond-scale bound propagation each dequeued BaB
+   node triggers.
+
+   Invariants:
+   - only the owner writes [bottom] and slot contents;
+   - [top] only ever increases, via CAS (thief steal, owner last-element
+     race) or a plain set by the owner when it empties the deque;
+   - a slot is only overwritten once its index is outside [top, bottom),
+     and the grow path copies the live window before publishing the new
+     buffer, so a thief that read a stale buffer still reads the value
+     that was current when it read [top] — its CAS on [top] then either
+     fails (value discarded) or succeeds (value was still live). *)
+
+type 'a buffer = {
+  size : int;  (* power of two *)
+  mask : int;
+  slots : 'a option Atomic.t array;
+}
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;  (* written by the owner only *)
+  buf : 'a buffer Atomic.t;
+}
+
+let make_buffer size =
+  { size; mask = size - 1; slots = Array.init size (fun _ -> Atomic.make None) }
+
+let create () =
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (make_buffer 16) }
+
+let slot_get buf i = Atomic.get buf.slots.(i land buf.mask)
+let slot_set buf i v = Atomic.set buf.slots.(i land buf.mask) v
+
+(* Owner only: double the buffer, copying the live window [t, b). *)
+let grow q t b =
+  let old = Atomic.get q.buf in
+  let buf = make_buffer (old.size * 2) in
+  for i = t to b - 1 do
+    slot_set buf i (slot_get old i)
+  done;
+  Atomic.set q.buf buf;
+  buf
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  let buf = if b - t >= buf.size - 1 then grow q t b else buf in
+  slot_set buf b (Some x);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if t > b then begin
+    (* empty: restore the canonical empty state *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = slot_get buf b in
+    if t < b then x (* more than one element: no thief can reach [b] *)
+    else begin
+      (* exactly one element left: race thieves for it via [top] *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then x else None
+    end
+  end
+
+let rec steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = slot_get buf t in
+    if Atomic.compare_and_set q.top t (t + 1) then x
+    else steal q (* lost to another thief or to the owner's last-element pop *)
+  end
+
+let length q =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  if b > t then b - t else 0

@@ -1,0 +1,38 @@
+(** Chase–Lev work-stealing deque.
+
+    The classic single-owner double-ended queue of Chase & Lev ("Dynamic
+    circular work-stealing deque", SPAA 2005) with the Lê et al. (PPoPP
+    2013) memory-ordering fixes, specialised to OCaml 5 [Atomic]s: the
+    owner domain pushes and pops at the {e bottom} in LIFO order while
+    any number of thief domains [steal] from the {e top} in FIFO order.
+    All cross-domain hand-off goes through [Atomic] cells (the top and
+    bottom indices and every element slot), so the structure is data-race
+    free under the OCaml memory model without any lock.
+
+    Owner operations are wait-free except for the one-CAS race on the
+    last element; [steal] is lock-free (a thief retries only when it
+    loses a race to another thief or to the owner taking the final
+    element).  The element buffer grows geometrically and never shrinks
+    — BaB frontiers are short-lived, so the transient memory is bounded
+    by the deepest frontier of the run.
+
+    Used by {!Pool} as the per-domain open set of the parallel BaB
+    frontier; see docs/PARALLELISM.md. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty deque. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: push at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: pop at the bottom (LIFO).  [None] when empty. *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take from the top (FIFO).  [None] when the deque is
+    empty or the caller lost the race for the last element. *)
+
+val length : 'a t -> int
+(** Snapshot of the current size — racy, for telemetry only. *)

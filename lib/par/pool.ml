@@ -1,0 +1,162 @@
+module Rng = Abonn_util.Rng
+module Obs = Abonn_obs.Obs
+module Metrics = Abonn_obs.Metrics
+module Ev = Abonn_obs.Event
+
+type 'a shared = {
+  deques : 'a Deque.t array;
+  pending : int Atomic.t;  (* queued + in-flight items *)
+  stop : bool Atomic.t;
+  failure : exn option Atomic.t;
+}
+
+type 'a ctx = {
+  ctx_id : int;
+  ctx_rng : Rng.t;
+  shared : 'a shared;
+  mutable processed : int;
+  mutable pushed : int;
+  mutable stolen : int;
+  mutable steal_attempts : int;
+  mutable idle : int;
+}
+
+let id c = c.ctx_id
+let rng c = c.ctx_rng
+
+let push c x =
+  (* increment [pending] before publishing the item, so the counter can
+     never be observed at zero while work remains reachable *)
+  Atomic.incr c.shared.pending;
+  c.pushed <- c.pushed + 1;
+  Deque.push c.shared.deques.(c.ctx_id) x
+
+let queue_length c = Deque.length c.shared.deques.(c.ctx_id)
+
+let request_stop c = Atomic.set c.shared.stop true
+let stop_requested c = Atomic.get c.shared.stop
+
+type stats = {
+  domain : int;
+  processed : int;
+  pushed : int;
+  stolen : int;
+  steal_attempts : int;
+  idle : int;
+}
+
+let stats_of_ctx c =
+  { domain = c.ctx_id;
+    processed = c.processed;
+    pushed = c.pushed;
+    stolen = c.stolen;
+    steal_attempts = c.steal_attempts;
+    idle = c.idle }
+
+(* One steal sweep: try every sibling once, round-robin from our right
+   neighbour so victims are spread instead of dog-piling domain 0. *)
+let steal_sweep c =
+  let n = Array.length c.shared.deques in
+  let rec go k =
+    if k >= n - 1 then None
+    else begin
+      let victim = (c.ctx_id + 1 + k) mod n in
+      match Deque.steal c.shared.deques.(victim) with
+      | Some _ as got ->
+        c.stolen <- c.stolen + 1;
+        got
+      | None -> go (k + 1)
+    end
+  in
+  if n > 1 then c.steal_attempts <- c.steal_attempts + 1;
+  go 0
+
+let worker c work =
+  let s = c.shared in
+  let process item =
+    (match work c item with
+     | () -> ()
+     | exception e ->
+       (* first failure wins; stop the pool and let [run] re-raise *)
+       ignore (Atomic.compare_and_set s.failure None (Some e));
+       Atomic.set s.stop true);
+    c.processed <- c.processed + 1;
+    Atomic.decr s.pending
+  in
+  let rec loop () =
+    if Atomic.get s.stop || Atomic.get s.pending = 0 then ()
+    else begin
+      (match Deque.pop s.deques.(c.ctx_id) with
+       | Some item -> process item
+       | None ->
+         (match steal_sweep c with
+          | Some item -> process item
+          | None ->
+            c.idle <- c.idle + 1;
+            (* a busy sibling may still push: back off without burning
+               the core (essential on single-CPU containers, where a
+               spinning domain starves the one that holds the work) *)
+            if c.idle land 31 = 0 then Unix.sleepf 0.0002
+            else Domain.cpu_relax ()));
+      loop ()
+    end
+  in
+  loop ()
+
+let emit_summaries engine stats =
+  Array.iter
+    (fun st ->
+      Metrics.incr ~by:st.stolen "par.steal";
+      Metrics.incr ~by:st.idle "par.idle";
+      if Obs.tracing () then
+        Obs.emit
+          (Ev.Domain_summary
+             { engine; domain = st.domain; processed = st.processed;
+               pushed = st.pushed; stolen = st.stolen; idle = st.idle }))
+    stats;
+  Metrics.gauge_set "par.domains" (float_of_int (Array.length stats))
+
+let run ~domains ?(seed = 0) ?engine ~roots ~work () =
+  if domains < 1 then invalid_arg "Pool.run: domains must be >= 1";
+  let shared =
+    { deques = Array.init domains (fun _ -> Deque.create ());
+      pending = Atomic.make (List.length roots);
+      stop = Atomic.make false;
+      failure = Atomic.make None }
+  in
+  (* deterministic per-domain RNG streams, split in domain order *)
+  let master = Rng.create seed in
+  let ctxs =
+    Array.init domains (fun i ->
+        { ctx_id = i; ctx_rng = Rng.split master; shared; processed = 0;
+          pushed = 0; stolen = 0; steal_attempts = 0; idle = 0 })
+  in
+  (* distribute roots round-robin before any domain runs (the deques
+     are owner-only once workers start) *)
+  List.iteri (fun i item -> Deque.push shared.deques.(i mod domains) item) roots;
+  let run_worker i () =
+    let saved = Obs.current_domain () in
+    Obs.set_domain (Some i);
+    Fun.protect
+      ~finally:(fun () -> Obs.set_domain saved)
+      (fun () -> worker ctxs.(i) work)
+  in
+  let spawned =
+    Array.init (domains - 1) (fun k -> Domain.spawn (run_worker (k + 1)))
+  in
+  run_worker 0 ();
+  Array.iter Domain.join spawned;
+  let stats = Array.map stats_of_ctx ctxs in
+  (match engine with Some e -> emit_summaries e stats | None -> ());
+  (match Atomic.get shared.failure with Some e -> raise e | None -> ());
+  stats
+
+let max_domains = 64
+
+let default_domains () =
+  match Sys.getenv_opt "ABONN_DOMAINS" with
+  | None -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Stdlib.min n max_domains
+     | Some _ | None -> 1)

@@ -1,0 +1,90 @@
+(** Work-stealing domain pool: the parallel BaB frontier scheduler.
+
+    [run] shards a set of root work items across [domains] OCaml 5
+    domains.  Each domain owns one Chase–Lev deque ({!Deque}): it pushes
+    and pops its own work LIFO (depth-first, which keeps the incremental
+    bound cache hot — a node's children are expanded right after their
+    parent), and steals FIFO from a sibling when its own deque runs dry
+    (stealing the {e shallowest} node of the victim, i.e. the largest
+    stolen sub-tree, the classic work-stealing heuristic).
+
+    Termination is detected with a global atomic in-flight counter:
+    every push increments it, every completed item decrements it, so
+    the pool is done exactly when the counter reaches zero — a domain
+    observing an empty deque cannot conclude anything, because a busy
+    sibling may still push.  Early exit (a found counterexample, an
+    exhausted budget) is requested through {!request_stop}; in-flight
+    items finish, queued items are abandoned.
+
+    Determinism contract (docs/PARALLELISM.md): [run ~domains:1]
+    degenerates to a plain LIFO loop on the calling domain — no domain
+    is spawned, no steal can occur, and the visit order is a pure
+    function of the work function.  The BaB engines additionally bypass
+    the pool entirely at one domain, so the sequential code path is
+    byte-for-byte the pre-parallelism one.  With [domains > 1] the
+    visit order is scheduling-dependent; only the *set* of reachable
+    items (and therefore any order-insensitive result, like a BaB
+    verdict under an unlimited budget) is deterministic.
+
+    Per-domain RNG streams are split deterministically from [seed]
+    ([Rng.split] on a master generator, in domain order), so randomised
+    work functions stay reproducible per (seed, domain) even though the
+    item-to-domain assignment is not. *)
+
+type 'a ctx
+(** Per-worker handle passed to the work function. *)
+
+val id : 'a ctx -> int
+(** This worker's domain index, [0 .. domains-1].  Index 0 runs on the
+    calling domain. *)
+
+val rng : 'a ctx -> Abonn_util.Rng.t
+(** This worker's private RNG stream (deterministic in [(seed, id)]). *)
+
+val push : 'a ctx -> 'a -> unit
+(** Schedule a new work item on this worker's own deque. *)
+
+val queue_length : 'a ctx -> int
+(** Length of this worker's own deque (racy snapshot, telemetry only). *)
+
+val request_stop : 'a ctx -> unit
+(** Ask every worker to exit after its current item. *)
+
+val stop_requested : 'a ctx -> bool
+
+type stats = {
+  domain : int;
+  processed : int;  (** items this domain ran the work function on *)
+  pushed : int;     (** items this domain scheduled *)
+  stolen : int;     (** items this domain took from a sibling's deque *)
+  steal_attempts : int;  (** steal sweeps that found at least one victim candidate *)
+  idle : int;       (** sweeps that found no work anywhere *)
+}
+
+val run :
+  domains:int ->
+  ?seed:int ->
+  ?engine:string ->
+  roots:'a list ->
+  work:('a ctx -> 'a -> unit) ->
+  unit ->
+  stats array
+(** Process [roots] and everything the work function pushes, on
+    [domains] domains ([domains - 1] spawned, the caller is worker 0).
+    Returns per-domain statistics, in domain order.
+
+    While a worker runs, every [Abonn_obs] event it emits is tagged
+    with its domain index (the envelope [domain] field); when [engine]
+    is given and tracing is active, one [domain_summary] event per
+    domain is emitted at the end, and the [par.steal] / [par.idle]
+    counters and [par.domains] gauge are updated.
+
+    An exception escaping the work function stops the pool and is
+    re-raised on the calling domain after all workers have joined. *)
+
+val default_domains : unit -> int
+(** The default BaB engine parallelism: [ABONN_DOMAINS] from the
+    environment (clamped to [1, 64]) when set and parseable, else 1 —
+    the sequential path.  Engines resolve their [?domains] argument
+    through this, so one environment variable flips a whole test or
+    bench run parallel without touching call sites. *)

@@ -28,6 +28,7 @@ type t = {
   window : (float * int) Queue.t;  (* (t, nodes) for the recent node rate *)
   mutable rss_curve : (float * int) list;  (* (t, rss_bytes), newest first *)
   mutable last_sample : Event.t option;  (* latest Resource_sample payload *)
+  mutable domains : int;  (* distinct worker domains seen (0 = sequential) *)
 }
 
 let create () =
@@ -49,7 +50,8 @@ let create () =
     depth_hist = Array.make 16 0;
     window = Queue.create ();
     rss_curve = [];
-    last_sample = None }
+    last_sample = None;
+    domains = 0 }
 
 let window_seconds = 5.0
 let rss_curve_cap = 512
@@ -77,6 +79,9 @@ let note_node m t =
 let feed m env =
   m.events <- m.events + 1;
   m.t_last <- env.Event.t;
+  (match env.Event.domain with
+   | Some d when d + 1 > m.domains -> m.domains <- d + 1
+   | Some _ | None -> ());
   match env.Event.event with
   | Event.Run_started { engine; instance } ->
     m.harness <- true;
@@ -124,6 +129,8 @@ let feed m env =
     (* inside a harness bracket the engine verdict is interior
        bookkeeping; the bracketing run_finished ends the run *)
     if not m.harness then m.finished <- true
+  | Event.Domain_summary { domain; _ } ->
+    if domain + 1 > m.domains then m.domains <- domain + 1
 
 let finished m = m.finished
 
@@ -195,6 +202,7 @@ let render ?(width = 72) ?calls_budget m =
   let nps = nodes_per_sec m in
   line "nodes %8d   calls %8d   depth %4d   frontier %6d   %8.1f nodes/s"
     m.nodes m.calls m.max_depth m.frontier nps;
+  if m.domains > 0 then line "domains %6d" m.domains;
   line "best reward %s" (fbest m);
   (match calls_budget with
    | Some budget when nps > 0.0 && not m.finished ->

@@ -8,6 +8,15 @@ type reported = {
   wall : float;
 }
 
+type domain_stat = {
+  domain : int;
+  processed : int;
+  pushed : int;
+  stolen : int;
+  idle : int;
+  events : int;  (** envelopes tagged with this domain *)
+}
+
 type run = {
   engine : string;
   instance : string option;
@@ -18,6 +27,8 @@ type run = {
   wall : float;
   events : int;
   composite : bool;
+  domains : int;
+  domain_stats : domain_stat list;
   reported : reported option;
 }
 
@@ -66,6 +77,9 @@ let of_events events =
   let max_depth = ref 0 and last_frontier = ref 0 in
   let engine_elapsed = ref None in
   let t_first = ref None and t_last = ref 0.0 in
+  (* parallel-run attribution: envelope domain tags + domain_summary *)
+  let tagged_events : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let summaries = ref [] in
   let saw_engine e =
     if !engine = None then engine := Some e;
     (match !bracket with Some b when b <> e -> foreign := true | _ -> ())
@@ -75,6 +89,12 @@ let of_events events =
     (fun env ->
       if !t_first = None then t_first := Some env.Event.t;
       t_last := env.Event.t;
+      (match env.Event.domain with
+       | Some d ->
+         (match Hashtbl.find_opt tagged_events d with
+          | Some r -> incr r
+          | None -> Hashtbl.replace tagged_events d (ref 1))
+       | None -> ());
       match env.Event.event with
       | Event.Run_started { engine = e; instance = i } ->
         if !bracket = None then bracket := Some e;
@@ -111,7 +131,11 @@ let of_events events =
       | Event.Verdict_reached { engine = e; verdict = v; elapsed } ->
         saw_engine e;
         verdict := Some v;
-        engine_elapsed := Some elapsed)
+        engine_elapsed := Some elapsed
+      | Event.Domain_summary { engine = e; domain; processed; pushed; stolen; idle }
+        ->
+        saw_engine e;
+        summaries := (domain, processed, pushed, stolen, idle) :: !summaries)
     events;
   let engine = Option.value ~default:"?" !engine in
   let calls, nodes =
@@ -134,11 +158,40 @@ let of_events events =
        | None -> !t_last -. Option.value ~default:!t_last !t_first)
   in
   let composite = !foreign && !bracket <> None in
+  (* Per-domain attribution: one row per domain that either emitted a
+     domain_summary or tagged at least one envelope. *)
+  let domain_ids =
+    Hashtbl.fold (fun d _ acc -> d :: acc) tagged_events []
+    |> List.append (List.map (fun (d, _, _, _, _) -> d) !summaries)
+    |> List.sort_uniq Stdlib.compare
+  in
+  let domain_stats =
+    List.map
+      (fun d ->
+        let processed, pushed, stolen, idle =
+          match List.find_opt (fun (d', _, _, _, _) -> d' = d) !summaries with
+          | Some (_, p, pu, st, i) -> (p, pu, st, i)
+          | None -> (0, 0, 0, 0)
+        in
+        let events =
+          match Hashtbl.find_opt tagged_events d with Some r -> !r | None -> 0
+        in
+        { domain = d; processed; pushed; stolen; idle; events })
+      domain_ids
+  in
+  let domains =
+    match domain_ids with [] -> 0 | ids -> 1 + List.fold_left Stdlib.max 0 ids
+  in
   (* A composite bracket wraps whole engine runs: per-engine event
      reconstruction does not apply, so the wrapper's own accounting is
-     the ground truth for the row. *)
+     the ground truth for the row.  A parallel run ([domains > 1]) is
+     handled the same way: its event interleaving is scheduling-
+     dependent, so sequential reconstruction formulas (e.g. "frontier
+     after the last pop") do not apply and the engine's own report is
+     taken as truth. *)
+  let reported_is_truth = composite || domains > 1 in
   let verdict, calls, nodes, max_depth, wall =
-    match (composite, !reported) with
+    match (reported_is_truth, !reported) with
     | true, Some r -> (Some r.verdict, r.calls, r.nodes, r.max_depth, r.wall)
     | _ -> (!verdict, calls, nodes, !max_depth, wall)
   in
@@ -151,6 +204,8 @@ let of_events events =
     wall;
     events = List.length events;
     composite;
+    domains;
+    domain_stats;
     reported = !reported }
 
 let runs events = List.map of_events (segments events)
@@ -191,6 +246,14 @@ let to_string rs =
          | None -> ());
         Buffer.add_char buf ']'
       end;
-      Buffer.add_char buf '\n')
+      Buffer.add_char buf '\n';
+      if r.domains > 1 then
+        List.iter
+          (fun d ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "     domain %-2d   processed %8d   pushed %8d   stolen %6d   idle %8d   events %7d\n"
+                 d.domain d.processed d.pushed d.stolen d.idle d.events))
+          r.domain_stats)
     rs;
   Buffer.contents buf

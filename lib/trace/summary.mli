@@ -30,6 +30,18 @@ type reported = {
   wall : float;
 }
 
+type domain_stat = {
+  domain : int;
+  processed : int;  (** work items, from [domain_summary] *)
+  pushed : int;
+  stolen : int;
+  idle : int;
+  events : int;  (** envelopes tagged with this domain in the segment *)
+}
+(** Per-worker attribution of a parallel ([--domains N > 1]) run,
+    merged from the run's [domain_summary] events and the envelope
+    [domain] tags (schema §2.14). *)
+
 type run = {
   engine : string;  (** ["?"] when the segment has no engine-bearing event *)
   instance : string option;  (** from [run_started] (harness traces only) *)
@@ -45,6 +57,13 @@ type run = {
           whose oracles run several engines inside).  Per-engine
           reconstruction does not apply, so verdict/calls/nodes/depth
           come from the wrapper's [run_finished] report. *)
+  domains : int;
+      (** worker domains that left a mark on this segment (envelope tags
+          or [domain_summary] events); [0] for sequential traces.  When
+          [> 1] the segment's interleaving is scheduling-dependent, so —
+          like [composite] — verdict/calls/nodes/depth are taken from
+          the engine's own report when one is present. *)
+  domain_stats : domain_stat list;  (** per-domain rows, in domain order *)
   reported : reported option;  (** the [run_finished] payload, if any *)
 }
 

@@ -1,8 +1,11 @@
+(* [calls] is atomic: a parallel run ([--domains N > 1]) shares one
+   budget across all worker domains, so the call counter — and with it
+   [exhausted] — must stay exact under concurrent [record_call]s. *)
 type t = {
   max_calls : int option;
   max_seconds : float option;
   started : float;
-  mutable calls : int;
+  calls : int Atomic.t;
 }
 
 let now () = Unix.gettimeofday ()
@@ -16,7 +19,7 @@ let make ?calls ?seconds () =
   { max_calls = clamp_int calls;
     max_seconds = clamp_float seconds;
     started = now ();
-    calls = 0 }
+    calls = Atomic.make 0 }
 
 let unlimited () = make ()
 
@@ -26,13 +29,15 @@ let of_seconds s = make ~seconds:s ()
 
 let combine ?calls ?seconds () = make ?calls ?seconds ()
 
-let record_call t = t.calls <- t.calls + 1
+let record_call t = Atomic.incr t.calls
 
-let calls_used t = t.calls
+let calls_used t = Atomic.get t.calls
 
 let elapsed t = now () -. t.started
 
 let exhausted t =
-  let calls_out = match t.max_calls with Some n -> t.calls >= n | None -> false in
+  let calls_out =
+    match t.max_calls with Some n -> Atomic.get t.calls >= n | None -> false
+  in
   let time_out = match t.max_seconds with Some s -> elapsed t >= s | None -> false in
   calls_out || time_out

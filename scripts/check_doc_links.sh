@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Fail on dead relative links in the project documentation.
+#
+#   scripts/check_doc_links.sh [FILE...]
+#
+# Scans README.md and docs/*.md (or the given files) for markdown links
+# [text](target) whose target is a relative path, and checks the target
+# exists relative to the file containing the link.  External links
+# (http/https/mailto) and pure fragments (#section) are skipped; a
+# trailing #fragment on a relative link is stripped before the check.
+# Exits non-zero listing every dead link.
+
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+if [ "$#" -gt 0 ]; then
+  files="$*"
+else
+  files="README.md docs/*.md"
+fi
+
+for f in $files; do
+  [ -f "$f" ] || { echo "missing doc file: $f"; continue; }
+  dir=$(dirname "$f")
+  # one link target per line; tolerate several links on one source line
+  grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null \
+    | sed 's/^\[[^]]*\](\([^)]*\))$/\1/' \
+    | while IFS= read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+          echo "$f: dead link: $target"
+        fi
+      done
+done > /tmp/dead_links.$$ 2>&1
+
+if [ -s /tmp/dead_links.$$ ]; then
+  cat /tmp/dead_links.$$
+  rm -f /tmp/dead_links.$$
+  echo "doc link check: FAIL"
+  exit 1
+fi
+rm -f /tmp/dead_links.$$
+echo "doc link check: OK"

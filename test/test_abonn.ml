@@ -259,8 +259,10 @@ let test_abonn_faster_on_violated_ensemble () =
   let total_abonn = ref 0 and total_bfs = ref 0 and falsified = ref 0 in
   for seed = 100 to 159 do
     let problem = random_problem ~seed ~dims:[ 3; 8; 8; 2 ] ~eps:0.6 () in
-    let bfs = Bfs.verify ~budget:(Budget.of_calls 3000) problem in
-    let abonn = Abonn.verify ~budget:(Budget.of_calls 3000) problem in
+    (* pinned sequential: the guided-vs-FIFO visit-order statistic is a
+       property of the sequential engines (ABONN_DOMAINS must not flip it) *)
+    let bfs = Bfs.verify ~budget:(Budget.of_calls 3000) ~domains:1 problem in
+    let abonn = Abonn.verify ~budget:(Budget.of_calls 3000) ~domains:1 problem in
     match bfs.Result.verdict, abonn.Result.verdict with
     | Verdict.Falsified _, Verdict.Falsified _ ->
       incr falsified;
@@ -359,7 +361,11 @@ let run_scripted script ~lambda ~c =
   in
   let order = ref [] in
   let trace ~depth:_ ~gamma ~reward:_ = order := Split.to_string gamma :: !order in
-  let result = Abonn_core.Abonn.verify ~config ~budget:(Budget.of_calls 50) ~trace problem in
+  (* pinned sequential: scripted tests assert the exact expansion order *)
+  let result =
+    Abonn_core.Abonn.verify ~config ~budget:(Budget.of_calls 50) ~trace ~domains:1
+      problem
+  in
   (result, List.rev !order)
 
 let test_mock_greedy_descends_into_best_child () =

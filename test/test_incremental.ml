@@ -327,7 +327,7 @@ let test_bound_reuse_json_roundtrip () =
     Event.Bound_reuse
       { appver = "deeppoly"; depth = 5; from_layer = 2; layers_skipped = 2; clamps = 7 }
   in
-  let env = { Event.seq = 1; t = 0.25; event = ev } in
+  let env = { Event.seq = 1; t = 0.25; domain = None; event = ev } in
   match Event.of_json (Event.to_json env) with
   | Ok env' ->
     Alcotest.(check bool) "round-trips structurally" true (Event.equal env env')

@@ -109,7 +109,9 @@ let test_two_sinks_both_receive () =
 let test_jsonl_round_trip () =
   List.iteri
     (fun i event ->
-      let env = { Event.seq = i + 1; t = float_of_int i /. 64.0; event } in
+      let env =
+        { Event.seq = i + 1; t = float_of_int i /. 64.0; domain = None; event }
+      in
       let line = Event.to_json env in
       match Event.of_json line with
       | Ok back ->

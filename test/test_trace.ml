@@ -158,7 +158,7 @@ let test_tree_baseline_profile_only () =
   let events =
     List.mapi
       (fun i depth ->
-        { Event.seq = i + 1; t = float_of_int i /. 100.0;
+        { Event.seq = i + 1; t = float_of_int i /. 100.0; domain = None;
           event =
             Event.Frontier_pop
               { engine = "bab-baseline"; depth; frontier = 1; priority = Float.nan } })
@@ -189,7 +189,7 @@ let test_phases_golden () =
 let test_phases_lp_inside_appver () =
   (* An lp_solved whose window falls inside a bound_computed window is
      charged to AppVer, not double-charged to the LP phase. *)
-  let env i t event = { Event.seq = i; t; event } in
+  let env i t event = { Event.seq = i; t; domain = None; event } in
   let events =
     [ env 1 0.008
         (Event.Lp_solved { vars = 2; rows = 2; status = "optimal"; elapsed = 0.004 });
@@ -270,7 +270,7 @@ let test_phases_golden_cached () =
 let test_summary_segments_harness_trace () =
   (* Two harness runs in one file; verdict_reached inside a
      run_started/run_finished bracket must not cut the segment. *)
-  let env i t event = { Event.seq = i; t; event } in
+  let env i t event = { Event.seq = i; t; domain = None; event } in
   let run_pair i t0 engine verdict =
     [ env i t0 (Event.Run_started { engine; instance = "inst" });
       env (i + 1) (t0 +. 0.001)
@@ -301,7 +301,7 @@ let test_summary_composite_bracket () =
      whole engine runs: reconstruction must flag it composite and take
      the row's statistics from the wrapper's report, not from the
      interior engines' events. *)
-  let env i t event = { Event.seq = i; t; event } in
+  let env i t event = { Event.seq = i; t; domain = None; event } in
   let events =
     [ env 1 0.0 (Event.Run_started { engine = "fuzz"; instance = "case-0" });
       env 2 0.001
@@ -521,7 +521,7 @@ module Monitor = Abonn_trace.Monitor
 module Registry = Abonn_trace.Registry
 module Regress = Abonn_trace.Regress
 
-let mk_env seq t event = { Event.seq; t; event }
+let mk_env seq t event = { Event.seq; t; domain = None; event }
 
 let node_env seq t depth =
   mk_env seq t
