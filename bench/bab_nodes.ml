@@ -21,9 +21,20 @@
    parallel speedup is bounded by the physical core count — on a
    single-core container @d4 rows sit at or below 1.0x and only the
    regression gate's relative comparison is meaningful there (see
-   docs/PARALLELISM.md). *)
+   docs/PARALLELISM.md).
+
+   [--flight] adds "name@flight" rows (the sequential search with the
+   flight-recorder ring sink installed) and [--introspect N] adds
+   "name@iN" rows (ring sink plus decision sampling at 1/N).  Their
+   "speedup" columns are variant-over-base throughput, i.e. 1 minus the
+   instrumentation overhead; [abonn_trace bench --overhead flight:2
+   --overhead i16:5] turns them into a CI gate on the overhead contract
+   (docs/DESIGN.md §12). *)
 
 module Rng = Abonn_util.Rng
+module Obs = Abonn_obs.Obs
+module Sink = Abonn_obs.Sink
+module Introspect = Abonn_obs.Introspect
 module Budget = Abonn_util.Budget
 module Provenance = Abonn_util.Provenance
 module Resource = Abonn_obs.Resource
@@ -98,6 +109,7 @@ type row = {
   calls_used : int;
   wall : float;
   seed : int;
+  domains : int;
 }
 
 (* A decided-vs-decided disagreement would be a soundness bug; a
@@ -111,7 +123,22 @@ let check_verdicts name what a b =
       (Printf.sprintf "%s: verdict conflict %s (%s vs %s)" name what
          (Verdict.to_string a) (Verdict.to_string b))
 
-let bench_instance ~domain_sweep (name, dims, eps, seed) =
+(* Same sequential cache-on search with a flight ring sink installed
+   (and, for @iN rows, decision sampling at 1/N); the sink is removed
+   and closed even if the search dies. *)
+let throughput_instrumented ?introspect problem =
+  let sink, _ = Sink.flight () in
+  Obs.install sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.remove sink;
+      sink.Sink.close ())
+    (fun () ->
+      Introspect.with_rate introspect @@ fun () ->
+      ignore (timed_run ~cache:true ~domains:1 problem);
+      throughput ~cache:true ~domains:1 problem)
+
+let bench_instance ~domain_sweep ~flight ~introspect (name, dims, eps, seed) =
   let problem = mlp_problem ~dims ~eps seed in
   (* one throwaway pass per mode so both measurements run warm *)
   ignore (timed_run ~cache:false ~domains:1 problem);
@@ -130,7 +157,29 @@ let bench_instance ~domain_sweep (name, dims, eps, seed) =
       peak_rss_bytes = Resource.peak_rss ();
       calls_used = r_on.Result.stats.Result.appver_calls;
       wall = r_on.Result.stats.Result.wall_time;
-      seed }
+      seed;
+      domains = 1 }
+  in
+  (* instrumentation-overhead rows: variant-over-base throughput *)
+  let instrumented_row suffix introspect =
+    let nps_var, r_var = throughput_instrumented ?introspect problem in
+    check_verdicts name
+      (Printf.sprintf "plain vs %s" suffix)
+      r_on.Result.verdict r_var.Result.verdict;
+    { base with
+      name = Printf.sprintf "%s@%s" name suffix;
+      nps_cached = nps_var;
+      nps_uncached = nps_cached;
+      speedup = nps_var /. nps_cached;
+      peak_rss_bytes = Resource.peak_rss ();
+      calls_used = r_var.Result.stats.Result.appver_calls;
+      wall = r_var.Result.stats.Result.wall_time }
+  in
+  let flight_rows = if flight then [ instrumented_row "flight" None ] else [] in
+  let introspect_rows =
+    List.map
+      (fun n -> instrumented_row (Printf.sprintf "i%d" n) (Some n))
+      introspect
   in
   (* parallel rows: same search, cache on, N-domain pool.  nps_uncached
      holds the sequential cache-on throughput, so speedup reads as
@@ -153,10 +202,11 @@ let bench_instance ~domain_sweep (name, dims, eps, seed) =
           peak_rss_bytes = Resource.peak_rss ();
           calls_used = r_par.Result.stats.Result.appver_calls;
           wall = r_par.Result.stats.Result.wall_time;
-          seed })
+          seed;
+          domains })
       (List.filter (fun d -> d > 1) domain_sweep)
   in
-  base :: par_rows
+  (base :: flight_rows) @ introspect_rows @ par_rows
 
 let instances =
   [ ("mlp_d6_seed1", [ 4; 24; 24; 24; 24; 24; 24; 2 ], 0.22, 1);
@@ -207,11 +257,26 @@ let domain_sweep =
   in
   scan (Array.to_list Sys.argv)
 
+(* --flight: add an @flight row per instance (ring sink installed) *)
+let flight = Array.exists (String.equal "--flight") Sys.argv
+
+(* --introspect N[,M,...]: add an @iN row per instance per rate *)
+let introspect =
+  let rec scan = function
+    | "--introspect" :: spec :: _ ->
+      List.filter_map int_of_string_opt (String.split_on_char ',' spec)
+    | _ :: rest -> scan rest
+    | [] -> []
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
   Printf.printf "%-20s %6s %6s %10s %12s %14s %8s %9s\n" "instance" "nodes" "depth"
     "verdict" "cached n/s" "uncached n/s" "speedup" "peak MiB";
   Printf.printf "%s\n" (String.make 92 '-');
-  let rows = List.concat_map (bench_instance ~domain_sweep) instances in
+  let rows =
+    List.concat_map (bench_instance ~domain_sweep ~flight ~introspect) instances
+  in
   List.iter
     (fun r ->
       Printf.printf "%-20s %6d %6d %10s %12.1f %14.1f %7.2fx %9.1f\n" r.name r.nodes
@@ -236,8 +301,9 @@ let () =
     (fun r ->
       Registry.append
         (Registry.make ~engine:"bestfirst-bench" ~model:"bench_mlp" ~instance:r.name
-           ~seed:r.seed ~verdict:r.verdict ~wall:r.wall ~calls:r.calls_used
-           ~nodes:r.nodes ~max_depth:r.max_depth ~peak_rss_bytes:r.peak_rss_bytes ()))
+           ~seed:r.seed ~domains:r.domains ~verdict:r.verdict ~wall:r.wall
+           ~calls:r.calls_used ~nodes:r.nodes ~max_depth:r.max_depth
+           ~peak_rss_bytes:r.peak_rss_bytes ()))
     rows;
   Printf.printf "(%d run records appended to %s)\n%!" (List.length rows)
     Registry.default_path

@@ -17,6 +17,7 @@ module Verdict = Abonn_spec.Verdict
 module Obs = Abonn_obs.Obs
 module Sink = Abonn_obs.Sink
 module Metrics = Abonn_obs.Metrics
+module Introspect = Abonn_obs.Introspect
 module Registry = Abonn_trace.Registry
 
 let build_problem trained index eps factor =
@@ -47,15 +48,16 @@ let build_problem trained index eps factor =
   end
 
 (* Install the requested observability around [f]: a JSONL sink for
-   [--trace FILE], a live heartbeat for [--progress] and the metrics
-   registry for [--stats].  Sinks are removed and closed even if [f]
-   raises; printing the [--stats] summary is left to the caller (after
-   the verdict lines). *)
-let with_observability ~trace_file ~progress ~stats f =
+   [--trace FILE], a live heartbeat for [--progress], the metrics
+   registry for [--stats] and the always-on flight recorder.  Sinks are
+   removed and closed even if [f] raises; printing the [--stats]
+   summary is left to the caller (after the verdict lines). *)
+let with_observability ~trace_file ~progress ~stats ~flight f =
   let sinks =
     List.filter_map Fun.id
       [ Option.map Sink.jsonl_file trace_file;
-        Option.map (fun every -> Sink.progress ~every ()) progress ]
+        Option.map (fun every -> Sink.progress ~every ()) progress;
+        Option.map fst flight ]
   in
   if stats then begin
     Metrics.reset ();
@@ -71,8 +73,31 @@ let with_observability ~trace_file ~progress ~stats f =
   in
   Fun.protect ~finally f
 
+(* The flight recorder keeps the last few thousand events in memory at
+   all times; on SIGINT/SIGTERM or a timeout verdict the ring is dumped
+   to JSONL so there is something to debug post-mortem even when the
+   run had no [--trace].  Dumping from the signal handler is safe: the
+   ring holds immutable, already-stamped envelopes. *)
+let install_flight_handlers (_, fl) path =
+  let dump_and_exit signal_name code _ =
+    (try Sink.flight_dump fl path with _ -> ());
+    Printf.eprintf "\n%s: flight recorder dumped to %s\n%!" signal_name path;
+    exit code
+  in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle (dump_and_exit "SIGINT" 130))
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm (Sys.Signal_handle (dump_and_exit "SIGTERM" 143))
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let restore_default_handlers () =
+  (try Sys.set_signal Sys.sigint Sys.Signal_default
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm Sys.Signal_default
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-    progress stats no_cache registry domains ~model ~instance ~context =
+    progress stats no_cache registry domains introspect flight_path ~model ~instance
+    ~context =
   let heuristic =
     match Abonn_bab.Branching.find heuristic with
     | Some h -> h
@@ -86,11 +111,16 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
       | None -> Abonn_prop.Appver.deeppoly
   in
   let budget = Budget.combine ~calls ?seconds () in
+  Introspect.set introspect;
+  let flight = Option.map (fun _ -> Sink.flight ()) flight_path in
+  (match (flight, flight_path) with
+   | Some fl, Some path -> install_flight_handlers fl path
+   | _ -> ());
   match
     (* --no-bound-cache: drop warm-started incremental propagation and
        restore the from-scratch bound path bit-for-bit *)
     Abonn_prop.Incremental.with_enabled (not no_cache) @@ fun () ->
-    with_observability ~trace_file ~progress ~stats (fun () ->
+    with_observability ~trace_file ~progress ~stats ~flight (fun () ->
         match engine with
         | "abonn" ->
           let config = Abonn_core.Config.make ~lambda ~c ~appver ~heuristic () in
@@ -105,8 +135,18 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
           Printf.eprintf "unknown engine %s; using abonn\n%!" other;
           Abonn_core.Abonn.verify ~budget ~domains problem)
   with
-  | exception Sys_error msg -> `Error (false, msg)
+  | exception Sys_error msg ->
+    restore_default_handlers ();
+    `Error (false, msg)
   | result ->
+  restore_default_handlers ();
+  (* post-mortem dump on budget exhaustion: a timed-out run is exactly
+     the one whose tail of events is worth inspecting *)
+  (match (result.Result.verdict, flight, flight_path) with
+   | Verdict.Timeout, Some (_, fl), Some path ->
+     Sink.flight_dump fl path;
+     Printf.printf "flight recorder dumped to: %s (budget exhausted)\n" path
+   | _ -> ());
   Printf.printf "%s engine=%s\n" context engine;
   Printf.printf "verdict: %s\n" (Verdict.to_string result.Result.verdict);
   Printf.printf "appver calls: %d\n" result.Result.stats.Result.appver_calls;
@@ -122,7 +162,7 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
   Option.iter
     (fun path ->
       Registry.append ~path
-        (Registry.make ~engine ~model ~instance ~seed:0
+        (Registry.make ~domains ~engine ~model ~instance ~seed:0
            ~verdict:(Verdict.to_string result.Result.verdict)
            ~wall:result.Result.stats.Result.wall_time
            ~calls:result.Result.stats.Result.appver_calls
@@ -138,12 +178,15 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
   `Ok ()
 
 let run problem_file model_name index eps factor engine lambda c heuristic appver calls
-    seconds models_dir trace_file progress stats no_cache registry domains =
+    seconds models_dir trace_file progress stats no_cache registry domains introspect
+    flight no_flight =
+  let flight_path = if no_flight then None else Some flight in
   match problem_file with
   | Some path ->
     let problem = Abonn_spec.Problem_file.load path in
     verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-      progress stats no_cache registry domains ~model:"problem-file"
+      progress stats no_cache registry domains introspect flight_path
+      ~model:"problem-file"
       ~instance:(Filename.basename path)
       ~context:(Printf.sprintf "problem=%s" path)
   | None ->
@@ -159,7 +202,8 @@ let run problem_file model_name index eps factor engine lambda c heuristic appve
      | `Error _ as e -> e
      | `Ok (problem, eps) ->
        verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-         progress stats no_cache registry domains ~model:model_name
+         progress stats no_cache registry domains introspect flight_path
+         ~model:model_name
          ~instance:(Printf.sprintf "index%d_eps%.5g" index eps)
          ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps))
 
@@ -243,6 +287,52 @@ let domains_arg =
                  The ABONN_DOMAINS environment variable sets the library-level default \
                  but this flag wins.")
 
+(* "1/16" or "16" -> every 16th decision; "1" -> every decision *)
+let introspect_conv =
+  let parse s =
+    let rate =
+      match String.index_opt s '/' with
+      | Some i ->
+        (match
+           ( int_of_string_opt (String.sub s 0 i),
+             int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+         with
+         | Some 1, Some d when d >= 1 -> Some d
+         | _ -> None)
+      | None -> (match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+    in
+    match rate with
+    | Some n -> Ok n
+    | None -> Error (`Msg (Printf.sprintf "expected 1/N or N (got %S)" s))
+  in
+  let print ppf n = Format.fprintf ppf "1/%d" n in
+  Arg.conv (parse, print)
+
+let introspect_arg =
+  Arg.(value & opt ~vopt:(Some 1) (some introspect_conv) None
+       & info [ "introspect" ] ~docv:"RATE"
+           ~doc:"Record search-policy decision events in the trace: UCB \
+                 exploitation/exploration terms of both children at every ABONN \
+                 selection, branching-heuristic winner vs runner-up scores, and \
+                 frontier priorities.  $(docv) is a sampling rate — $(b,1/16) (or \
+                 $(b,16)) records every 16th decision, bare $(b,--introspect) \
+                 records every one.  Off by default; never changes the search \
+                 (DESIGN.md \xC2\xA712).")
+
+let flight_arg =
+  Arg.(value & opt string (Filename.concat "results" "flight.jsonl")
+       & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Where the always-on flight recorder dumps its ring of recent \
+                 events when the run is interrupted (SIGINT/SIGTERM) or times \
+                 out (default results/flight.jsonl, readable by every \
+                 abonn_trace command).")
+
+let no_flight_arg =
+  Arg.(value & flag
+       & info [ "no-flight" ]
+           ~doc:"Disable the flight recorder entirely (no ring buffer, no \
+                 signal handlers).")
+
 let registry_arg =
   Arg.(value & opt ~vopt:(Some Registry.default_path) (some string) None
        & info [ "registry" ] ~docv:"FILE"
@@ -259,6 +349,6 @@ let cmd =
         (const run $ problem_arg $ model_arg $ index_arg $ eps_arg $ factor_arg $ engine_arg
          $ lambda_arg $ c_arg $ heuristic_arg $ appver_arg $ calls_arg $ seconds_arg
          $ models_dir_arg $ trace_arg $ progress_arg $ stats_arg $ no_cache_arg
-         $ registry_arg $ domains_arg))
+         $ registry_arg $ domains_arg $ introspect_arg $ flight_arg $ no_flight_arg))
 
 let () = exit (Cmd.eval cmd)

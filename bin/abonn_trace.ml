@@ -20,6 +20,8 @@ module Curve = Abonn_trace.Curve
 module Diff = Abonn_trace.Diff
 module Monitor = Abonn_trace.Monitor
 module Regress = Abonn_trace.Regress
+module Explain = Abonn_trace.Explain
+module Hotspots = Abonn_trace.Hotspots
 
 let load path =
   match Reader.read_file path with
@@ -176,6 +178,73 @@ let diff_cmd =
           nodes-to-verdict, visit-sequence divergence and per-phase deltas.")
     Term.(ret (const run $ file_a $ file_b))
 
+let explain_cmd =
+  let run file run_n vs vs_run =
+    with_segment file run_n (fun seg ->
+        match vs with
+        | None ->
+          print_string (Explain.to_string (Explain.of_events seg));
+          `Ok ()
+        | Some vs_file ->
+          with_events vs_file (fun vs_events ->
+              match nth_segment vs_events vs_run with
+              | Error msg -> `Error (false, msg)
+              | Ok vs_seg ->
+                print_string (Explain.to_string (Explain.of_events ~vs:vs_seg seg));
+                `Ok ()))
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let vs =
+    Arg.(value & opt (some file) None
+         & info [ "vs" ] ~docv:"TRACE_B"
+             ~doc:
+               "Second trace of the same instance; adds a policy-divergence \
+                section (common visit prefix, first divergence, visit-set \
+                overlap).")
+  in
+  let vs_run =
+    Arg.(value & opt int 1
+         & info [ "vs-run" ] ~docv:"N"
+             ~doc:"Run to take from the $(b,--vs) trace (default 1).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Search-quality report: wasted-work fraction (nodes off the verdict \
+          path), open-subtree share, per-depth exploration/exploitation balance \
+          (from ucb_decision introspection events), reward-prediction error per \
+          depth, and branching-decision margins.  With $(b,--vs), also where two \
+          runs' visit orders diverge.")
+    Term.(ret (const run $ file $ run_arg $ vs $ vs_run))
+
+let hotspots_cmd =
+  let run file run_n flame limit out =
+    with_segment file run_n (fun seg ->
+        let h = Hotspots.of_events seg in
+        output_result out
+          (if flame then Hotspots.to_flame h else Hotspots.to_string ~limit h))
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let flame =
+    Arg.(value & flag
+         & info [ "flame" ]
+             ~doc:
+               "Emit folded stacks (one $(i,engine;phase;depth;layer weight) \
+                line per row, weights in microseconds) for flamegraph.pl, \
+                inferno or speedscope instead of the ranked table.")
+  in
+  let limit =
+    Arg.(value & opt int 30
+         & info [ "limit" ] ~docv:"N" ~doc:"Show at most N table rows.")
+  in
+  Cmd.v
+    (Cmd.info "hotspots"
+       ~doc:
+         "Wall-time hotspots ranked by phase x tree-depth x warm-start layer: \
+          which bound computations, exact LP checks and attacks the time went \
+          to, and at which depths the propagator ran cold.")
+    Term.(ret (const run $ file $ run_arg $ flame $ limit $ out_arg))
+
 (* --- watch: live monitor over a growing trace --- *)
 
 let watch_cmd =
@@ -261,8 +330,23 @@ let watch_cmd =
 
 (* --- bench: performance regression gate --- *)
 
+(* "SUFFIX:PCT" -> (suffix, max_pct), e.g. "flight:2" or "i16:5" *)
+let overhead_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i when i > 0 && i < String.length s - 1 ->
+      let suffix = String.sub s 0 i in
+      let pct = String.sub s (i + 1) (String.length s - i - 1) in
+      (match float_of_string_opt pct with
+       | Some p when p >= 0.0 -> Ok (suffix, p)
+       | _ -> Error (`Msg (Printf.sprintf "bad overhead bound %S" pct)))
+    | _ -> Error (`Msg (Printf.sprintf "expected SUFFIX:PCT, got %S" s))
+  in
+  let print ppf (suffix, pct) = Format.fprintf ppf "%s:%g" suffix pct in
+  Arg.conv (parse, print)
+
 let bench_cmd =
-  let run fresh against max_regress scale_baseline bench_exe keep =
+  let run fresh against max_regress scale_baseline bench_exe keep overhead =
     let fresh_path, cleanup =
       match fresh with
       | Some path -> (path, fun () -> ())
@@ -289,8 +373,17 @@ let bench_cmd =
        | Some b, Some f -> Printf.printf "baseline commit %s, fresh commit %s\n" b f
        | _ -> ());
       print_string (Regress.report_to_string ~max_regress report);
+      let overhead_ok =
+        List.for_all
+          (fun (suffix, max_pct) ->
+            let r = Regress.check_overhead ~suffix ~max_pct fresh in
+            print_newline ();
+            print_string (Regress.overhead_to_string r);
+            r.Regress.overhead_ok)
+          overhead
+      in
       cleanup ();
-      if report.Regress.ok then `Ok () else exit 1
+      if report.Regress.ok && overhead_ok then `Ok () else exit 1
   in
   let fresh =
     Arg.(value & pos 0 (some file) None
@@ -322,6 +415,16 @@ let bench_cmd =
     Arg.(value & flag
          & info [ "keep" ] ~doc:"Keep the temporary fresh-run JSON file.")
   in
+  let overhead =
+    Arg.(value & opt_all overhead_conv []
+         & info [ "overhead" ] ~docv:"SUFFIX:PCT"
+             ~doc:
+               "Also gate instrumentation overhead inside the fresh file: every \
+                $(i,name@SUFFIX) row must be within PCT percent of its \
+                $(i,name) base row's throughput (repeatable, e.g. \
+                $(b,--overhead flight:2 --overhead i16:5)).  Fails if no such \
+                rows exist.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
@@ -331,11 +434,13 @@ let bench_cmd =
           than $(b,--max-regress) percent.")
     Term.(
       ret
-        (const run $ fresh $ against $ max_regress $ scale_baseline $ bench_exe $ keep))
+        (const run $ fresh $ against $ max_regress $ scale_baseline $ bench_exe
+         $ keep $ overhead))
 
 let cmd =
   let doc = "analytics over ABONN JSONL traces" in
   Cmd.group (Cmd.info "abonn_trace" ~doc)
-    [ summary_cmd; tree_cmd; phases_cmd; curve_cmd; diff_cmd; watch_cmd; bench_cmd ]
+    [ summary_cmd; tree_cmd; phases_cmd; curve_cmd; diff_cmd; explain_cmd;
+      hotspots_cmd; watch_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval cmd)

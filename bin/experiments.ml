@@ -106,7 +106,10 @@ let run quick_mode progress artifacts =
       List.iter
         (fun (r : Runner.record) ->
           Registry.append
-            (Registry.make ~engine:r.Runner.engine
+            (* the harness sweep pins domains to the library default,
+               which is 1 unless ABONN_DOMAINS overrides it *)
+            (Registry.make ~domains:(Abonn_par.Pool.default_domains ())
+               ~engine:r.Runner.engine
                ~model:r.Runner.instance.Instances.model
                ~instance:r.Runner.instance.Instances.id
                ~seed:r.Runner.instance.Instances.index

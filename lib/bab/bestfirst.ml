@@ -2,6 +2,7 @@ module Budget = Abonn_util.Budget
 module Heap = Abonn_util.Heap
 module Obs = Abonn_obs.Obs
 module Ev = Abonn_obs.Event
+module Introspect = Abonn_obs.Introspect
 module Resource = Abonn_obs.Resource
 module Split = Abonn_spec.Split
 module Verdict = Abonn_spec.Verdict
@@ -65,18 +66,37 @@ let verify_seq ~appver ~heuristic ~budget problem =
              if Obs.active () then begin
                Obs.incr "bestfirst.pop";
                Obs.observe "bestfirst.depth" (float_of_int node.depth);
-               if Obs.tracing () then
+               if Obs.tracing () then begin
                  Obs.emit
                    (Ev.Frontier_pop
                       { engine = "bestfirst"; depth = node.depth;
-                        frontier = Heap.length heap; priority })
+                        frontier = Heap.length heap; priority });
+                 (* Introspection: the priority picture of this pop —
+                    chosen key vs. the best node left behind — right
+                    after the frontier_pop it explains. *)
+                 if Introspect.enabled () then begin
+                   let smp = Introspect.sample () in
+                   if smp > 0 then
+                     Obs.emit
+                       (Ev.Frontier_decision
+                          { engine = "bestfirst"; depth = node.depth; priority;
+                            runner_up =
+                              (match Heap.peek heap with
+                               | Some (p, _) -> p
+                               | None -> Float.nan);
+                            frontier = Heap.length heap; sample = smp })
+                 end
+               end
              end;
              Resource.tick resource ~open_nodes:(Heap.length heap) ~nodes:!nodes
                ~max_depth:!max_depth;
              begin match
                choose ~gamma:node.gamma ~pre_bounds:node.outcome.Outcome.pre_bounds
              with
-             | Some relu ->
+             | Some ch ->
+               let relu = ch.Branching.relu in
+               Branching.emit_decision ~engine:"bestfirst" ~kind:"relu"
+                 ~depth:node.depth ch;
                (* one shared pre-split computation per expansion: both
                   children warm-start from the popped node's state *)
                evaluate ?parent:node.state

@@ -63,7 +63,10 @@ let run_bfs ~appver ~heuristic ~budget ~record problem =
         | Some x -> finish (Verdict.Falsified x)
         | None ->
           begin match choose ~gamma ~pre_bounds:outcome.Outcome.pre_bounds with
-          | Some relu ->
+          | Some ch ->
+            let relu = ch.Branching.relu in
+            Branching.emit_decision ~engine:"bab-baseline" ~kind:"relu" ~depth
+              ch;
             (* One shared pre-split computation per expansion: both
                children warm-start from this node's state instead of
                re-deriving the parent's layer bounds independently. *)

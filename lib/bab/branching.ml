@@ -4,11 +4,22 @@ module Split = Abonn_spec.Split
 module Problem = Abonn_spec.Problem
 module Property = Abonn_spec.Property
 module Bounds = Abonn_prop.Bounds
+module Obs = Abonn_obs.Obs
+module Ev = Abonn_obs.Event
+module Introspect = Abonn_obs.Introspect
+
+type choice = {
+  relu : int;
+  score : float;
+  runner_up : int;
+  runner_up_score : float;
+  candidates : int;
+}
 
 type chooser =
   gamma:Abonn_spec.Split.gamma ->
   pre_bounds:Abonn_prop.Bounds.t array ->
-  int option
+  choice option
 
 type t = { name : string; prepare : Problem.t -> chooser }
 
@@ -26,19 +37,48 @@ let candidates affine gamma pre_bounds =
     pre_bounds;
   List.rev !acc
 
-let argmax_by score cands =
-  match cands with
+(* Best and second-best under [score], evaluating each candidate once.
+   The winner update is the strict [>] first-wins fold the heuristics
+   have always used (ties keep the earlier candidate), so the chosen
+   split is unchanged by the runner-up tracking — the runner-up exists
+   only for introspection ([branch_decision] events). *)
+let argmax2 score = function
   | [] -> None
   | first :: rest ->
-    let best =
-      List.fold_left
-        (fun (bc, bs) c ->
-          let s = score c in
-          if s > bs then (c, s) else (bc, bs))
-        (first, score first) rest
-    in
-    let (relu, _, _), _ = best in
-    Some relu
+    let best = ref first and best_s = ref (score first) in
+    let run = ref None and run_s = ref Float.nan in
+    List.iter
+      (fun c ->
+        let s = score c in
+        if s > !best_s then begin
+          run := Some !best;
+          run_s := !best_s;
+          best := c;
+          best_s := s
+        end
+        else
+          match !run with
+          | None ->
+            run := Some c;
+            run_s := s
+          | Some _ ->
+            if s > !run_s then begin
+              run := Some c;
+              run_s := s
+            end)
+      rest;
+    Some (!best, !best_s, !run, !run_s)
+
+let argmax_by score cands =
+  match argmax2 score cands with
+  | None -> None
+  | Some ((relu, _, _), s, run, run_s) ->
+    Some
+      { relu;
+        score = s;
+        runner_up = (match run with Some (r, _, _) -> r | None -> -1);
+        runner_up_score = (match run with Some _ -> run_s | None -> Float.nan);
+        candidates = List.length cands }
 
 (* Gap of the triangle relaxation at ẑ = 0: the chord evaluates to
    u·(−l)/(u−l) where the true ReLU is 0 — the BaBSR improvement proxy. *)
@@ -141,19 +181,33 @@ let fsb =
               in
               Float.min (child Split.Active) (child Split.Inactive)
             in
-            begin match top with
-            | [] -> None
-            | first :: rest ->
-              let best =
-                List.fold_left
-                  (fun (bc, bs) c ->
-                    let s = lookahead c in
-                    if s > bs then (c, s) else (bc, bs))
-                  (first, lookahead first) rest
-              in
-              let ((relu, _, _), _), _ = best in
-              Some relu
+            begin match argmax2 lookahead top with
+            | None -> None
+            | Some (((relu, _, _), _), s, run, run_s) ->
+              Some
+                { relu;
+                  score = s;
+                  runner_up =
+                    (match run with Some ((r, _, _), _) -> r | None -> -1);
+                  runner_up_score =
+                    (match run with Some _ -> run_s | None -> Float.nan);
+                  candidates = List.length cands }
             end) }
+
+(* Shared emission point for branch_decision introspection events: one
+   Introspect gate + sampling draw per recorded decision, used by every
+   splitting engine so pair-integrity semantics stay uniform.  Costs
+   nothing when tracing or introspection is off. *)
+let emit_decision ~engine ~kind ~depth ch =
+  if Obs.tracing () && Introspect.enabled () then begin
+    let smp = Introspect.sample () in
+    if smp > 0 then
+      Obs.emit
+        (Ev.Branch_decision
+           { engine; depth; kind; choice = ch.relu; score = ch.score;
+             runner_up = ch.runner_up; runner_up_score = ch.runner_up_score;
+             candidates = ch.candidates; sample = smp })
+  end
 
 let all = [ deepsplit; babsr; fsb; widest ]
 

@@ -1,9 +1,11 @@
 (** ReLU selection heuristics — the [H] of Alg. 1.
 
     Given a node Γ and the AppVer's pre-activation bounds at that node, a
-    heuristic picks the global index of an *unstable, not yet
-    constrained* ReLU to split on, or [None] when no such ReLU exists
-    (the node is then resolved exactly, see [Abonn_bab.Exact]).
+    heuristic picks an *unstable, not yet constrained* ReLU to split on
+    — returned as a {!choice} carrying the winner's global index plus
+    the introspection context (score, best rejected alternative,
+    candidate count) — or [None] when no such ReLU exists (the node is
+    then resolved exactly, see [Abonn_bab.Exact]).
 
     Heuristics are two-stage: [prepare] runs once per verification
     problem (pre-computing, e.g., layer-sensitivity matrices) and yields
@@ -12,10 +14,24 @@
     FSB-lite [15] and a widest-interval baseline are also provided, and
     ABONN is orthogonal to this choice. *)
 
+type choice = {
+  relu : int;  (** global index of the chosen ReLU (the decision) *)
+  score : float;  (** the heuristic's score for the winner *)
+  runner_up : int;
+      (** global index of the best rejected candidate ([-1] if the
+          winner was the only candidate) *)
+  runner_up_score : float;  (** its score ([nan] if none) *)
+  candidates : int;  (** how many splittable neurons were considered *)
+}
+(** A branching decision plus the context introspection needs: how
+    decisive the heuristic was (winner vs. best-rejected margin) and
+    over how many alternatives.  Engines split on [relu]; the rest
+    feeds the optional [branch_decision] trace event. *)
+
 type chooser =
   gamma:Abonn_spec.Split.gamma ->
   pre_bounds:Abonn_prop.Bounds.t array ->
-  int option
+  choice option
 
 type t = {
   name : string;
@@ -45,3 +61,12 @@ val all : t list
 val find : string -> t option
 val default : t
 (** [deepsplit]. *)
+
+val emit_decision :
+  engine:string -> kind:string -> depth:int -> choice -> unit
+(** Emit a [branch_decision] trace event for one decision, subject to
+    the {!Abonn_obs.Introspect} gate and sampling draw.  [kind] is
+    ["relu"] for the heuristics above; the inputsplit engine reuses
+    this with [kind = "input"] and the dimension index in
+    [choice.relu].  No-op (one boolean load) when tracing or
+    introspection is off. *)

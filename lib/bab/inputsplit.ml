@@ -10,19 +10,40 @@ module Matrix = Abonn_tensor.Matrix
 
 type strategy = Widest | Gradient_weighted
 
-let widest_dim (region : Region.t) =
-  let best = ref 0 and best_w = ref neg_infinity in
-  Array.iteri
-    (fun i lo ->
-      let w = region.Region.upper.(i) -. lo in
-      if w > !best_w then begin
-        best := i;
-        best_w := w
-      end)
-    region.Region.lower;
-  (!best, !best_w)
+(* Best and second-best input dimension under [score], with the same
+   first-wins strict [>] scan the engine has always used — the chosen
+   dimension is unchanged; the runner-up exists only for introspection
+   ([branch_decision] events).  Runner-up is [-1]/[nan] on 1-D boxes. *)
+let scan2 n score =
+  let best = ref 0 and best_s = ref neg_infinity in
+  let run = ref (-1) and run_s = ref Float.nan in
+  for i = 0 to n - 1 do
+    let s = score i in
+    if s > !best_s then begin
+      if i > 0 then begin
+        run := !best;
+        run_s := !best_s
+      end;
+      best := i;
+      best_s := s
+    end
+    else if !run < 0 || s > !run_s then begin
+      run := i;
+      run_s := s
+    end
+  done;
+  (!best, !best_s, !run, !run_s)
 
-let gradient_dim (problem : Problem.t) (region : Region.t) =
+let widest_choice (region : Region.t) =
+  scan2
+    (Array.length region.Region.lower)
+    (fun i -> region.Region.upper.(i) -. region.Region.lower.(i))
+
+let widest_dim (region : Region.t) =
+  let best, best_w, _, _ = widest_choice region in
+  (best, best_w)
+
+let gradient_choice (problem : Problem.t) (region : Region.t) =
   let centre = Region.center region in
   let y = Abonn_nn.Network.forward problem.Problem.network centre in
   let prop = problem.Problem.property in
@@ -35,21 +56,23 @@ let gradient_dim (problem : Problem.t) (region : Region.t) =
     vals;
   let d_out = Matrix.row prop.Property.c !worst in
   let g = Abonn_nn.Network.input_gradient problem.Problem.network centre ~d_out in
-  let best = ref 0 and best_s = ref neg_infinity in
-  Array.iteri
-    (fun i lo ->
-      let w = region.Region.upper.(i) -. lo in
-      let s = w *. Float.abs g.(i) in
-      if s > !best_s then begin
-        best := i;
-        best_s := s
-      end)
-    region.Region.lower;
+  let best, best_s, run, run_s =
+    scan2
+      (Array.length region.Region.lower)
+      (fun i ->
+        (region.Region.upper.(i) -. region.Region.lower.(i)) *. Float.abs g.(i))
+  in
   (* A vanishing gradient (dead ReLU region at the centre) carries no
      signal: fall back to the widest dimension rather than starving the
      others. *)
-  if !best_s > 0.0 then (!best, region.Region.upper.(!best) -. region.Region.lower.(!best))
-  else widest_dim region
+  if best_s > 0.0 then (best, best_s, run, run_s) else widest_choice region
+
+(* The dimension scan restated as a Branching.choice so inputsplit's
+   decisions flow through the same emission point as ReLU splits. *)
+let dim_decision ~depth (region : Region.t) (dim, score, run, run_s) =
+  Branching.emit_decision ~engine:"inputsplit" ~kind:"input" ~depth
+    { Branching.relu = dim; score; runner_up = run; runner_up_score = run_s;
+      candidates = Array.length region.Region.lower }
 
 let bisect (region : Region.t) dim =
   let mid = (region.Region.lower.(dim) +. region.Region.upper.(dim)) /. 2.0 in
@@ -108,10 +131,10 @@ let verify_seq ~appver ~strategy ~budget ~min_width problem =
         match valid_cex with
         | Some x -> finish (Verdict.Falsified x)
         | None ->
-          let dim, _ =
+          let ((dim, _, _, _) as dchoice) =
             match strategy with
-            | Widest -> widest_dim region
-            | Gradient_weighted -> gradient_dim sub region
+            | Widest -> widest_choice region
+            | Gradient_weighted -> gradient_choice sub region
           in
           (* Termination must consider the whole box: prune as a point
              only when *every* dimension has collapsed. *)
@@ -128,6 +151,7 @@ let verify_seq ~appver ~strategy ~budget ~min_width problem =
             end
           end
           else begin
+            dim_decision ~depth region dchoice;
             let left, right = bisect region dim in
             Queue.add (left, depth + 1, node_state) queue;
             Queue.add (right, depth + 1, node_state) queue;
@@ -171,10 +195,10 @@ let verify_par ~appver ~strategy ~budget ~min_width ~domains problem =
           match valid_cex with
           | Some x -> Parfrontier.note_cex st ctx x
           | None ->
-            let dim, _ =
+            let ((dim, _, _, _) as dchoice) =
               match strategy with
-              | Widest -> widest_dim region
-              | Gradient_weighted -> gradient_dim sub region
+              | Widest -> widest_choice region
+              | Gradient_weighted -> gradient_choice sub region
             in
             let _, widest = widest_dim region in
             if widest < min_width then begin
@@ -184,6 +208,7 @@ let verify_par ~appver ~strategy ~budget ~min_width ~domains problem =
               else Atomic.incr unresolved_points
             end
             else begin
+              dim_decision ~depth region dchoice;
               let left, right = bisect region dim in
               Pool.push ctx (left, depth + 1, node_state);
               Pool.push ctx (right, depth + 1, node_state);

@@ -113,7 +113,11 @@ let run_relu_split ~engine ~domains ~appver ~heuristic ~budget ~record problem =
       | None ->
         let choose = choosers.(Pool.id ctx) in
         (match choose ~gamma ~pre_bounds:outcome.Outcome.pre_bounds with
-         | Some relu ->
+         | Some ch ->
+           let relu = ch.Branching.relu in
+           (* no frontier_decision here: a work-stealing pool has no
+              global priority order to compare the pop against *)
+           Branching.emit_decision ~engine ~kind:"relu" ~depth ch;
            (* both children warm-start from this node's state *)
            Pool.push ctx
              (Split.extend gamma ~relu ~phase:Split.Active, depth + 1, node_state);

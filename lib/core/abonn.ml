@@ -3,6 +3,7 @@ module Rng = Abonn_util.Rng
 module Obs = Abonn_obs.Obs
 module Ev = Abonn_obs.Event
 module Sink = Abonn_obs.Sink
+module Introspect = Abonn_obs.Introspect
 module Resource = Abonn_obs.Resource
 module Split = Abonn_spec.Split
 module Verdict = Abonn_spec.Verdict
@@ -73,11 +74,14 @@ let eval_node ?parent s gamma depth =
     ~max_depth:s.max_depth;
   { gamma; depth; outcome; state; reward; size = 1; children = None }
 
-(* UCB1 (Alg. 1 Line 13). *)
-let ucb1 s parent child =
-  child.reward
-  +. s.config.Config.c
-     *. sqrt (2.0 *. log (float_of_int parent.size) /. float_of_int child.size)
+(* UCB1 (Alg. 1 Line 13), kept split into its exploitation (mean reward)
+   and exploration (confidence radius) terms so introspection can report
+   the decomposition without perturbing the scalar the search compares. *)
+let explore_term s parent child =
+  s.config.Config.c
+  *. sqrt (2.0 *. log (float_of_int parent.size) /. float_of_int child.size)
+
+let ucb1 s parent child = child.reward +. explore_term s parent child
 
 let select s parent (plus, minus) =
   let chosen, score =
@@ -99,8 +103,27 @@ let select s parent (plus, minus) =
   in
   if Obs.active () then begin
     Obs.incr "abonn.select";
-    if Obs.tracing () then
-      Obs.emit (Ev.Node_selected { engine = "abonn"; depth = chosen.depth; ucb = score })
+    if Obs.tracing () then begin
+      Obs.emit (Ev.Node_selected { engine = "abonn"; depth = chosen.depth; ucb = score });
+      (* Introspection: the full candidate picture behind this descent
+         step, right after the node_selected it explains.  The ablation
+         has no UCB to decompose, so it stays silent. *)
+      if Option.is_none s.rng && Introspect.enabled () then begin
+        let smp = Introspect.sample () in
+        if smp > 0 then
+          Obs.emit
+            (Ev.Ucb_decision
+               { engine = "abonn"; depth = chosen.depth;
+                 chosen = (if chosen == plus then "+" else "-");
+                 sample = smp;
+                 plus_exploit = plus.reward;
+                 plus_explore = explore_term s parent plus;
+                 plus_visits = plus.size;
+                 minus_exploit = minus.reward;
+                 minus_explore = explore_term s parent minus;
+                 minus_visits = minus.size })
+      end
+    end
   end;
   chosen
 
@@ -110,7 +133,9 @@ let expand s node =
   match
     s.choose ~gamma:node.gamma ~pre_bounds:node.outcome.Outcome.pre_bounds
   with
-  | Some relu ->
+  | Some ch ->
+    let relu = ch.Branching.relu in
+    Branching.emit_decision ~engine:"abonn" ~kind:"relu" ~depth:node.depth ch;
     (* both children warm-start from this node's state: the shared
        pre-split bounds are computed once, not re-derived per child *)
     let plus =

@@ -64,6 +64,37 @@ type t =
       stolen : int;
       idle : int;
     }
+  | Ucb_decision of {
+      engine : string;
+      depth : int;
+      chosen : string;
+      sample : int;
+      plus_exploit : float;
+      plus_explore : float;
+      plus_visits : int;
+      minus_exploit : float;
+      minus_explore : float;
+      minus_visits : int;
+    }
+  | Branch_decision of {
+      engine : string;
+      depth : int;
+      kind : string;
+      choice : int;
+      score : float;
+      runner_up : int;
+      runner_up_score : float;
+      candidates : int;
+      sample : int;
+    }
+  | Frontier_decision of {
+      engine : string;
+      depth : int;
+      priority : float;
+      runner_up : float;
+      frontier : int;
+      sample : int;
+    }
 
 type envelope = { seq : int; t : float; domain : int option; event : t }
 
@@ -82,6 +113,9 @@ let name = function
   | Verdict_reached _ -> "verdict_reached"
   | Resource_sample _ -> "resource_sample"
   | Domain_summary _ -> "domain_summary"
+  | Ucb_decision _ -> "ucb_decision"
+  | Branch_decision _ -> "branch_decision"
+  | Frontier_decision _ -> "frontier_decision"
 
 (* --- encoding --- *)
 
@@ -178,6 +212,25 @@ let to_json { seq; t; domain; event } =
     | Domain_summary { engine; domain; processed; pushed; stolen; idle } ->
       [ ("engine", S engine); ("domain", I domain); ("processed", I processed);
         ("pushed", I pushed); ("stolen", I stolen); ("idle", I idle) ]
+    | Ucb_decision
+        { engine; depth; chosen; sample; plus_exploit; plus_explore;
+          plus_visits; minus_exploit; minus_explore; minus_visits } ->
+      [ ("engine", S engine); ("depth", I depth); ("chosen", S chosen);
+        ("sample", I sample); ("plus_exploit", F plus_exploit);
+        ("plus_explore", F plus_explore); ("plus_visits", I plus_visits);
+        ("minus_exploit", F minus_exploit); ("minus_explore", F minus_explore);
+        ("minus_visits", I minus_visits) ]
+    | Branch_decision
+        { engine; depth; kind; choice; score; runner_up; runner_up_score;
+          candidates; sample } ->
+      [ ("engine", S engine); ("depth", I depth); ("kind", S kind);
+        ("choice", I choice); ("score", F score); ("runner_up", I runner_up);
+        ("runner_up_score", F runner_up_score); ("candidates", I candidates);
+        ("sample", I sample) ]
+    | Frontier_decision { engine; depth; priority; runner_up; frontier; sample } ->
+      [ ("engine", S engine); ("depth", I depth); ("priority", F priority);
+        ("runner_up", F runner_up); ("frontier", I frontier);
+        ("sample", I sample) ]
   in
   List.iter field fields;
   Buffer.add_char buf '}';
@@ -376,6 +429,24 @@ let of_json line =
         Domain_summary
           { engine = s "engine"; domain = i "domain"; processed = i "processed";
             pushed = i "pushed"; stolen = i "stolen"; idle = i "idle" }
+      | "ucb_decision" ->
+        Ucb_decision
+          { engine = s "engine"; depth = i "depth"; chosen = s "chosen";
+            sample = i "sample"; plus_exploit = f "plus_exploit";
+            plus_explore = f "plus_explore"; plus_visits = i "plus_visits";
+            minus_exploit = f "minus_exploit"; minus_explore = f "minus_explore";
+            minus_visits = i "minus_visits" }
+      | "branch_decision" ->
+        Branch_decision
+          { engine = s "engine"; depth = i "depth"; kind = s "kind";
+            choice = i "choice"; score = f "score"; runner_up = i "runner_up";
+            runner_up_score = f "runner_up_score"; candidates = i "candidates";
+            sample = i "sample" }
+      | "frontier_decision" ->
+        Frontier_decision
+          { engine = s "engine"; depth = i "depth"; priority = f "priority";
+            runner_up = f "runner_up"; frontier = i "frontier";
+            sample = i "sample" }
       | other -> raise (Bad ("unknown event " ^ other))
     in
     let domain =
@@ -428,6 +499,21 @@ let event_equal a b =
     && x.major_gcs = y.major_gcs && feq x.cpu y.cpu && feq x.wall y.wall
     && x.open_nodes = y.open_nodes && x.nodes = y.nodes
     && x.max_depth = y.max_depth && feq x.nps y.nps
+  | Ucb_decision x, Ucb_decision y ->
+    x.engine = y.engine && x.depth = y.depth && x.chosen = y.chosen
+    && x.sample = y.sample && feq x.plus_exploit y.plus_exploit
+    && feq x.plus_explore y.plus_explore && x.plus_visits = y.plus_visits
+    && feq x.minus_exploit y.minus_exploit
+    && feq x.minus_explore y.minus_explore && x.minus_visits = y.minus_visits
+  | Branch_decision x, Branch_decision y ->
+    x.engine = y.engine && x.depth = y.depth && x.kind = y.kind
+    && x.choice = y.choice && feq x.score y.score && x.runner_up = y.runner_up
+    && feq x.runner_up_score y.runner_up_score
+    && x.candidates = y.candidates && x.sample = y.sample
+  | Frontier_decision x, Frontier_decision y ->
+    x.engine = y.engine && x.depth = y.depth && feq x.priority y.priority
+    && feq x.runner_up y.runner_up && x.frontier = y.frontier
+    && x.sample = y.sample
   | (Run_started _ | Exact_leaf _ | Bound_reuse _ | Domain_summary _), _ -> a = b
   | _, _ -> false
 

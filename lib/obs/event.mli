@@ -99,6 +99,51 @@ type t =
       (** Per-domain work attribution of a parallel ([--domains N > 1])
           BaB run, emitted once per worker when the pool drains (see
           docs/PARALLELISM.md and schema §2.14). *)
+  | Ucb_decision of {
+      engine : string;
+      depth : int;  (** depth of the chosen child (= its [node_selected]) *)
+      chosen : string;  (** ["+"] or ["-"]: which phase child won *)
+      sample : int;  (** introspection sampling denominator [n] of 1/n *)
+      plus_exploit : float;  (** [+]-child mean reward term of UCB1 *)
+      plus_explore : float;  (** [+]-child [c·sqrt(2 ln N / n)] term *)
+      plus_visits : int;  (** [+]-child subtree size (visit count) *)
+      minus_exploit : float;
+      minus_explore : float;
+      minus_visits : int;
+    }
+      (** Introspection ([--introspect]): the full candidate picture of
+          one MCTS descent step — both children's UCB1 scores decomposed
+          into exploitation/exploration, immediately after the
+          [node_selected] it explains.  Not emitted under the
+          uniform-random ablation (there is no UCB to decompose). *)
+  | Branch_decision of {
+      engine : string;
+      depth : int;  (** depth of the node being split *)
+      kind : string;  (** ["relu"] (neuron index) or ["input"] (dimension) *)
+      choice : int;  (** flat index of the chosen split *)
+      score : float;  (** heuristic score of the winner *)
+      runner_up : int;  (** best rejected candidate; [-1] if none *)
+      runner_up_score : float;  (** its score; [nan] if none *)
+      candidates : int;  (** number of candidates considered *)
+      sample : int;  (** introspection sampling denominator *)
+    }
+      (** Introspection: one branching-heuristic decision — the winning
+          split against the best rejected alternative, for every engine
+          that splits (ReLU engines via [lib/bab/branching.ml],
+          inputsplit via its dimension scan). *)
+  | Frontier_decision of {
+      engine : string;
+      depth : int;  (** depth of the popped node *)
+      priority : float;  (** heap key of the chosen (popped) node *)
+      runner_up : float;  (** next-best priority left on the heap; [nan]
+                              when the heap emptied *)
+      frontier : int;  (** heap size after the pop *)
+      sample : int;  (** introspection sampling denominator *)
+    }
+      (** Introspection: the frontier-priority picture of one best-first
+          pop — chosen vs. best-rejected node — immediately after the
+          [frontier_pop] it explains.  Sequential best-first only; a
+          parallel pool has no global priority order to report. *)
 
 type envelope = { seq : int; t : float; domain : int option; event : t }
 (** What sinks receive: the event plus a per-trace sequence number

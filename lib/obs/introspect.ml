@@ -1,0 +1,30 @@
+(* Global introspection gate with deterministic every-Nth sampling.
+
+   Decision-level events (ucb_decision / branch_decision /
+   frontier_decision) can double the event volume of a trace, so they
+   sit behind an explicit opt-in with a sampling denominator: a rate of
+   [n] keeps every n-th decision, counted by a single global atomic so
+   the overhead of a skipped decision is one fetch-and-add.  Rate 0
+   (the default) means off; [enabled] is the cheap front gate engines
+   check before doing any decomposition work. *)
+
+let rate_a = Atomic.make 0
+let counter = Atomic.make 0
+
+let set r =
+  let r = match r with Some n when n > 0 -> n | Some _ | None -> 0 in
+  Atomic.set rate_a r;
+  Atomic.set counter 0
+
+let rate () = match Atomic.get rate_a with 0 -> None | n -> Some n
+let enabled () = Atomic.get rate_a > 0
+
+let sample () =
+  match Atomic.get rate_a with
+  | 0 -> 0
+  | n -> if Atomic.fetch_and_add counter 1 mod n = 0 then n else 0
+
+let with_rate r f =
+  let saved = rate () in
+  set r;
+  Fun.protect ~finally:(fun () -> set saved) f

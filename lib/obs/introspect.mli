@@ -1,0 +1,32 @@
+(** Global gate for decision-level introspection events.
+
+    Off by default.  When enabled with a sampling denominator [n]
+    (CLI [--introspect 1/n]), engines emit one decision event
+    ({!Event.Ucb_decision} / {!Event.Branch_decision} /
+    {!Event.Frontier_decision}) for every n-th decision, counted by a
+    single process-global atomic — deterministic for sequential runs,
+    cheap (one fetch-and-add per skipped decision) always.  Engines
+    must gate on {!enabled} first so a disabled run pays exactly one
+    atomic load per decision site, and none at all when tracing itself
+    is off (the [Obs.tracing] check comes first).  Sampling never
+    changes search behaviour: the gate only decides whether an event
+    is emitted, never which node is explored. *)
+
+val set : int option -> unit
+(** [set (Some n)] enables 1/n sampling ([n >= 1]; non-positive
+    disables); [set None] disables.  Resets the decision counter. *)
+
+val rate : unit -> int option
+(** Current sampling denominator, [None] when off. *)
+
+val enabled : unit -> bool
+(** [rate () <> None], as a single atomic load. *)
+
+val sample : unit -> int
+(** Draw one decision: returns the sampling denominator [n] if this
+    decision should be recorded (the event's [sample] field), or [0]
+    to skip.  Always [0] when disabled. *)
+
+val with_rate : int option -> (unit -> 'a) -> 'a
+(** Run [f] with the rate temporarily set (tests); restores the
+    previous rate even on exceptions. *)

@@ -41,3 +41,30 @@ val progress : ?out:out_channel -> ?every:float -> unit -> t
     line with a newline.  Costs one pattern match per event; installs
     like any sink, so runs without it keep the single-branch overhead
     guarantee. *)
+
+(** {1 Flight recorder}
+
+    A bounded in-memory ring that keeps the newest [capacity] events
+    plus {e every} run bracket / terminator ([run_started],
+    [run_finished], [verdict_reached]) out-of-band, so a hung or killed
+    run can be dumped post-mortem.  Emission cost is one pattern match
+    and one array store — cheap enough to leave on for every CLI run
+    (see DESIGN.md §12). *)
+
+type flight
+(** Recorder state, shared between the installed sink and the dumper. *)
+
+val flight : ?capacity:int -> unit -> t * flight
+(** A ring-buffer sink holding the newest [capacity] (default 4096)
+    non-terminator events.  Install the first component like any sink;
+    pass the second to {!flight_events} / {!flight_dump}. *)
+
+val flight_events : flight -> Event.envelope list
+(** Snapshot of the recorder contents in emission (seq) order:
+    all retained terminators plus the surviving ring window.  Safe to
+    call from a signal handler racing the emitter — envelopes are
+    immutable, so the worst case is a one-event-stale snapshot. *)
+
+val flight_dump : flight -> string -> unit
+(** Write {!flight_events} as JSONL (creating parent directories),
+    readable by every [abonn_trace] command.  Overwrites [path]. *)

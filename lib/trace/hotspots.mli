@@ -1,0 +1,44 @@
+(** Wall-time hotspot attribution: phase x tree-depth x layer.
+
+    {!Phases} answers "where did the time go" per phase; this module
+    splits the same spans by BaB-tree depth and warm-start layer so a
+    regression can be localised ("DeepPoly at depth 7, cold starts").
+    Span absorption follows the {!Phases} contract: span events are
+    emitted at span end, LP solves inside a [bound_computed] window are
+    part of its [elapsed] (not re-charged), leftover LP spans are
+    exact-check work attributed to the next [exact_leaf]'s depth, and
+    nested attack spans fold into their top-level attack.
+
+    The layer of a [bound_computed] row comes from the immediately
+    following [bound_reuse] annotation (same appver and depth) when one
+    is present; a bound with no annotation was a cold full propagation,
+    layer [0]. *)
+
+type row = {
+  phase : string;
+      (** ["appver.<name>"], ["lp.exact"] or ["attack.<name>"] *)
+  depth : int;  (** BaB-tree depth; [-1] when the phase carries none *)
+  layer : int;  (** warm-start layer ([0] = cold); [-1] = not applicable *)
+  calls : int;
+  seconds : float;
+}
+
+type t = {
+  engine : string;
+  wall : float;
+  overhead : float;  (** wall not attributed to any row *)
+  rows : row list;  (** sorted by [seconds], descending *)
+}
+
+val of_events : Abonn_obs.Event.envelope list -> t
+(** Attribute one run's segment. *)
+
+val to_string : ?limit:int -> t -> string
+(** Ranked table with per-row and cumulative wall shares; at most
+    [limit] rows (default 30). *)
+
+val to_flame : t -> string
+(** Folded-stack output for flamegraph tooling, one line per row:
+    [engine;phase;depth_D;layer_L <microseconds>] (the depth/layer
+    frames are omitted when [-1]; weights are at least 1 µs so no
+    nonzero row vanishes). *)

@@ -131,6 +131,10 @@ let feed m env =
     if not m.harness then m.finished <- true
   | Event.Domain_summary { domain; _ } ->
     if domain + 1 > m.domains then m.domains <- domain + 1
+  (* decision-level introspection annotates events already counted above *)
+  | Event.Ucb_decision _ | Event.Branch_decision _ | Event.Frontier_decision _
+    ->
+    ()
 
 let finished m = m.finished
 

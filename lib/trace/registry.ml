@@ -8,7 +8,7 @@
 module Event = Abonn_obs.Event
 module Provenance = Abonn_util.Provenance
 
-let schema_version = 1
+let schema_version = 2
 
 type record = {
   schema : int;
@@ -18,6 +18,7 @@ type record = {
   model : string;
   instance : string;
   seed : int;
+  domains : int;
   verdict : string;
   wall : float;
   calls : int;
@@ -26,8 +27,8 @@ type record = {
   peak_rss_bytes : int;
 }
 
-let make ?ts ?commit ?(peak_rss_bytes = -1) ~engine ~model ~instance ~seed
-    ~verdict ~wall ~calls ~nodes ~max_depth () =
+let make ?ts ?commit ?(peak_rss_bytes = -1) ?(domains = 1) ~engine ~model
+    ~instance ~seed ~verdict ~wall ~calls ~nodes ~max_depth () =
   let ts = match ts with Some t -> t | None -> Provenance.iso_now () in
   let commit = match commit with Some c -> c | None -> Provenance.git_commit () in
   let peak_rss_bytes =
@@ -35,17 +36,18 @@ let make ?ts ?commit ?(peak_rss_bytes = -1) ~engine ~model ~instance ~seed
     else Abonn_obs.Resource.peak_rss ()
   in
   { schema = schema_version; ts; commit; engine; model; instance; seed;
-    verdict; wall; calls; nodes; max_depth; peak_rss_bytes }
+    domains; verdict; wall; calls; nodes; max_depth; peak_rss_bytes }
 
 let to_json r =
   Printf.sprintf
     "{\"schema\":%d,\"ts\":%s,\"commit\":%s,\"engine\":%s,\"model\":%s,\
-     \"instance\":%s,\"seed\":%d,\"verdict\":%s,\"wall\":%.6f,\"calls\":%d,\
-     \"nodes\":%d,\"max_depth\":%d,\"peak_rss_bytes\":%d}"
+     \"instance\":%s,\"seed\":%d,\"domains\":%d,\"verdict\":%s,\"wall\":%.6f,\
+     \"calls\":%d,\"nodes\":%d,\"max_depth\":%d,\"peak_rss_bytes\":%d}"
     r.schema (Event.json_string r.ts) (Event.json_string r.commit)
     (Event.json_string r.engine) (Event.json_string r.model)
-    (Event.json_string r.instance) r.seed (Event.json_string r.verdict)
-    r.wall r.calls r.nodes r.max_depth r.peak_rss_bytes
+    (Event.json_string r.instance) r.seed r.domains
+    (Event.json_string r.verdict) r.wall r.calls r.nodes r.max_depth
+    r.peak_rss_bytes
 
 let of_json line =
   match Event.parse_fields line with
@@ -63,8 +65,11 @@ let of_json line =
      | ( Some schema, Some ts, Some commit, Some engine, Some model,
          Some instance, Some seed, Some verdict, Some wall, Some calls,
          Some nodes, Some max_depth, Some peak_rss_bytes ) ->
-       Ok { schema; ts; commit; engine; model; instance; seed; verdict;
-            wall; calls; nodes; max_depth; peak_rss_bytes }
+       (* [domains] arrived with schema 2; schema-1 lines predate
+          parallel bookkeeping and were all sequential runs *)
+       let domains = Option.value ~default:1 (int "domains") in
+       Ok { schema; ts; commit; engine; model; instance; seed; domains;
+            verdict; wall; calls; nodes; max_depth; peak_rss_bytes }
      | _ -> Error "registry record: missing or mistyped field")
 
 let default_path = Filename.concat "results" "registry.jsonl"

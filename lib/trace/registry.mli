@@ -16,6 +16,9 @@ type record = {
   model : string;
   instance : string;
   seed : int;
+  domains : int;
+      (** worker domains the run used; [1] = sequential (and the implied
+          value for schema-1 records, which predate the field) *)
   verdict : string;
   wall : float;  (** seconds *)
   calls : int;  (** AppVer bound computations *)
@@ -30,6 +33,7 @@ val make :
   ?ts:string ->
   ?commit:string ->
   ?peak_rss_bytes:int ->
+  ?domains:int ->
   engine:string ->
   model:string ->
   instance:string ->
@@ -43,12 +47,15 @@ val make :
   record
 (** Build a record; [ts], [commit] and [peak_rss_bytes] default to the
     current time, {!Abonn_util.Provenance.git_commit} and
-    {!Abonn_obs.Resource.peak_rss} respectively. *)
+    {!Abonn_obs.Resource.peak_rss} respectively; [domains] defaults to
+    [1] (sequential). *)
 
 val to_json : record -> string
 (** One flat JSON object, no trailing newline. *)
 
 val of_json : string -> (record, string) result
+(** Parses both current (schema 2) and legacy schema-1 lines; the
+    latter get [domains = 1]. *)
 
 val default_path : string
 (** ["results/registry.jsonl"], relative to the working directory. *)

@@ -270,6 +270,86 @@ let compare_benches ?(scale_baseline = 1.0) ~max_regress ~baseline ~fresh () =
       && (not geomean_regressed)
       && List.for_all (fun v -> not v.regressed) verdicts }
 
+(* --- instrumentation overhead gate --------------------------------
+
+   Variant rows are named [base@SUFFIX] (the bench binary re-runs an
+   instance with a sink or sampling enabled and appends the suffixed
+   row); the gate bounds how much cached throughput the variant may
+   lose against its own un-suffixed base row in the SAME file, so it
+   needs no committed baseline and is immune to machine speed. *)
+
+type overhead_verdict = {
+  name : string;  (* base row name *)
+  base_nps : float;
+  variant_nps : float;
+  overhead_pct : float;  (* positive = variant slower *)
+  exceeded : bool;
+}
+
+type overhead_report = {
+  suffix : string;
+  max_pct : float;
+  overhead_verdicts : overhead_verdict list;
+  orphan_variants : string list;  (* variant rows without a base row *)
+  overhead_ok : bool;
+}
+
+let check_overhead ~suffix ~max_pct bench =
+  let tag = "@" ^ suffix in
+  let tlen = String.length tag in
+  let verdicts = ref [] and orphans = ref [] in
+  List.iter
+    (fun (name, (v : row)) ->
+      let nlen = String.length name in
+      if nlen > tlen && String.sub name (nlen - tlen) tlen = tag then begin
+        let base = String.sub name 0 (nlen - tlen) in
+        match List.assoc_opt base bench.rows with
+        | None -> orphans := base :: !orphans
+        | Some (b : row) ->
+          let overhead_pct =
+            if b.nps_cached <= 0.0 then 0.0
+            else 100.0 *. (b.nps_cached -. v.nps_cached) /. b.nps_cached
+          in
+          verdicts :=
+            { name = base;
+              base_nps = b.nps_cached;
+              variant_nps = v.nps_cached;
+              overhead_pct;
+              exceeded = overhead_pct > max_pct }
+            :: !verdicts
+      end)
+    bench.rows;
+  let overhead_verdicts = List.rev !verdicts in
+  { suffix;
+    max_pct;
+    overhead_verdicts;
+    orphan_variants = List.rev !orphans;
+    overhead_ok =
+      (* an empty verdict list means the bench never ran the variant —
+         fail loudly rather than letting CI pass vacuously *)
+      overhead_verdicts <> []
+      && !orphans = []
+      && List.for_all (fun v -> not v.exceeded) overhead_verdicts }
+
+let overhead_to_string r =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "overhead gate @%s (max %.1f%%)" r.suffix r.max_pct;
+  line "%-16s %12s %12s %9s  %s" "instance" "base n/s" "variant n/s" "overhead"
+    "status";
+  List.iter
+    (fun v ->
+      line "%-16s %12.1f %12.1f %+8.2f%%  %s" v.name v.base_nps v.variant_nps
+        v.overhead_pct
+        (if v.exceeded then "EXCEEDED" else "ok"))
+    r.overhead_verdicts;
+  List.iter
+    (fun name -> line "%-16s variant row present but base row missing" name)
+    r.orphan_variants;
+  if r.overhead_verdicts = [] then line "no @%s rows in bench file" r.suffix;
+  line "gate: %s" (if r.overhead_ok then "PASS" else "FAIL");
+  Buffer.contents buf
+
 let mib bytes = float_of_int bytes /. (1024.0 *. 1024.0)
 
 let rss_cell = function Some b -> Printf.sprintf "%.1f" (mib b) | None -> "-"
@@ -281,7 +361,7 @@ let report_to_string ~max_regress r =
     "delta" "base MiB" "fresh MiB" "status";
   line "%s" (String.make 84 '-');
   List.iter
-    (fun v ->
+    (fun (v : verdict) ->
       line "%-16s %12.1f %12.1f %+7.1f%% %10s %10s  %s" v.name v.baseline_nps
         v.fresh_nps v.delta_pct (rss_cell v.baseline_rss) (rss_cell v.fresh_rss)
         (if v.regressed then "REGRESSED" else "ok"))

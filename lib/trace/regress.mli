@@ -61,3 +61,36 @@ val compare_benches :
 val report_to_string : max_regress:float -> report -> string
 (** Table with throughput deltas and the peak-RSS columns, ending in a
     PASS/FAIL line. *)
+
+(** {2 Instrumentation overhead gate}
+
+    The bench binary can re-run instances with a sink or introspection
+    sampling enabled, appending rows named [base@SUFFIX] (e.g.
+    [mnist_l2@flight], [mnist_l2@i16]).  {!check_overhead} bounds the
+    cached-throughput loss of each variant against its own base row in
+    the {e same} file — no committed baseline involved, so the check is
+    machine-speed independent ([abonn_trace bench --overhead]). *)
+
+type overhead_verdict = {
+  name : string;  (** base row name *)
+  base_nps : float;
+  variant_nps : float;
+  overhead_pct : float;  (** positive = variant slower *)
+  exceeded : bool;
+}
+
+type overhead_report = {
+  suffix : string;
+  max_pct : float;
+  overhead_verdicts : overhead_verdict list;
+  orphan_variants : string list;  (** variant rows without a base row *)
+  overhead_ok : bool;
+      (** every variant within budget, no orphans, and at least one
+          variant row present (an empty set fails, so CI cannot pass
+          vacuously) *)
+}
+
+val check_overhead : suffix:string -> max_pct:float -> bench -> overhead_report
+
+val overhead_to_string : overhead_report -> string
+(** Per-instance table ending in a PASS/FAIL line. *)

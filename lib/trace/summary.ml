@@ -17,6 +17,8 @@ type domain_stat = {
   events : int;  (** envelopes tagged with this domain *)
 }
 
+type pair_check = { kind : string; total : int; mismatch : int }
+
 type run = {
   engine : string;
   instance : string option;
@@ -29,6 +31,7 @@ type run = {
   composite : bool;
   domains : int;
   domain_stats : domain_stat list;
+  pairs : pair_check list;
   reported : reported option;
 }
 
@@ -85,10 +88,85 @@ let of_events events =
     (match !bracket with Some b when b <> e -> foreign := true | _ -> ())
   in
   let depth d = if d > !max_depth then max_depth := d in
+  (* --- pair integrity (schema: decision events and bound_reuse are
+     annotations emitted immediately after the event they explain).
+     [prev] is the previous event in stream order; each annotation is
+     checked against it, and each annotatable host that went unanswered
+     is counted so full-sampling ([--introspect 1]) traces can also
+     assert coverage.  Only meaningful for sequential interleavings —
+     the caller zeroes the mismatch counts when [domains > 1]. *)
+  let feq a b = (Float.is_nan a && Float.is_nan b) || a = b in
+  let ucb_total = ref 0 and ucb_mis = ref 0 and ucb_full = ref true in
+  let sel_unpaired = ref 0 in
+  let fr_total = ref 0 and fr_mis = ref 0 and fr_full = ref true in
+  let pop_unpaired = ref [] and fr_engines = ref [] in
+  let br_total = ref 0 and br_mis = ref 0 in
+  let ru_total = ref 0 and ru_mis = ref 0 in
+  (* last depth-bearing engine event: the node a branch_decision splits *)
+  let focus : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let prev = ref None in
+  let pair_step current =
+    (* obligations the previous event leaves open if not answered now *)
+    (match !prev with
+     | Some (Event.Node_selected { engine = en; depth = d; ucb })
+       when not (Float.is_nan ucb) ->
+       (match current with
+        | Some (Event.Ucb_decision { engine = en'; depth = d'; _ })
+          when en' = en && d' = d -> ()
+        | _ -> incr sel_unpaired)
+     | Some (Event.Frontier_pop { engine = en; priority; _ })
+       when not (Float.is_nan priority) ->
+       (match current with
+        | Some (Event.Frontier_decision { engine = en'; _ }) when en' = en -> ()
+        | _ -> pop_unpaired := en :: !pop_unpaired)
+     | _ -> ());
+    (* the current annotation's own pairing *)
+    (match current with
+     | Some (Event.Ucb_decision { engine = en; depth = d; sample; _ }) ->
+       incr ucb_total;
+       if sample > 1 then ucb_full := false;
+       (match !prev with
+        | Some (Event.Node_selected { engine = en'; depth = d'; ucb })
+          when en' = en && d' = d && not (Float.is_nan ucb) -> ()
+        | _ -> incr ucb_mis)
+     | Some
+         (Event.Frontier_decision { engine = en; depth = d; priority; sample; _ })
+       ->
+       incr fr_total;
+       if sample > 1 then fr_full := false;
+       if not (List.mem en !fr_engines) then fr_engines := en :: !fr_engines;
+       (match !prev with
+        | Some
+            (Event.Frontier_pop { engine = en'; depth = d'; priority = p'; _ })
+          when en' = en && d' = d && feq priority p' -> ()
+        | _ -> incr fr_mis)
+     | Some (Event.Branch_decision { engine = en; depth = d; _ }) ->
+       incr br_total;
+       (* engines with no depth-bearing host events (inputsplit) leave
+          no focus to check against; that is not a mismatch *)
+       (match Hashtbl.find_opt focus en with
+        | Some fd when fd <> d -> incr br_mis
+        | Some _ | None -> ())
+     | Some (Event.Bound_reuse { appver = a; depth = d; _ }) ->
+       incr ru_total;
+       (match !prev with
+        | Some (Event.Bound_computed { appver = a'; depth = d'; _ })
+          when a' = a && d' = d -> ()
+        | _ -> incr ru_mis)
+     | _ -> ());
+    (match current with
+     | Some (Event.Node_selected { engine = en; depth = d; _ })
+     | Some (Event.Node_evaluated { engine = en; depth = d; _ })
+     | Some (Event.Frontier_pop { engine = en; depth = d; _ }) ->
+       Hashtbl.replace focus en d
+     | _ -> ());
+    match current with Some e -> prev := Some e | None -> ()
+  in
   List.iter
     (fun env ->
       if !t_first = None then t_first := Some env.Event.t;
       t_last := env.Event.t;
+      pair_step (Some env.Event.event);
       (match env.Event.domain with
        | Some d ->
          (match Hashtbl.find_opt tagged_events d with
@@ -135,8 +213,14 @@ let of_events events =
       | Event.Domain_summary { engine = e; domain; processed; pushed; stolen; idle }
         ->
         saw_engine e;
-        summaries := (domain, processed, pushed, stolen, idle) :: !summaries)
+        summaries := (domain, processed, pushed, stolen, idle) :: !summaries
+      (* decision-level introspection annotates events already counted
+         above: it must not perturb call/node reconstruction *)
+      | Event.Ucb_decision { engine = e; _ }
+      | Event.Branch_decision { engine = e; _ }
+      | Event.Frontier_decision { engine = e; _ } -> saw_engine e)
     events;
+  pair_step None;
   let engine = Option.value ~default:"?" !engine in
   let calls, nodes =
     match engine with
@@ -195,6 +279,31 @@ let of_events events =
     | true, Some r -> (Some r.verdict, r.calls, r.nodes, r.max_depth, r.wall)
     | _ -> (!verdict, calls, nodes, !max_depth, wall)
   in
+  (* Coverage (host without annotation) is only a defect under full
+     sampling: with --introspect 1 every eligible host must be answered;
+     a sampled trace legitimately skips most.  Adjacency violations
+     (annotation with the wrong host) are always defects — except in a
+     parallel interleaving, where adjacency itself is scheduling-
+     dependent, so mismatch counts are zeroed like the reported-stats
+     checks. *)
+  let pairs =
+    let sel_mis = if !ucb_total > 0 && !ucb_full then !sel_unpaired else 0 in
+    let pop_mis =
+      if !fr_total > 0 && !fr_full then
+        List.length (List.filter (fun e -> List.mem e !fr_engines) !pop_unpaired)
+      else 0
+    in
+    List.filter
+      (fun p -> p.total > 0)
+      [ { kind = "ucb"; total = !ucb_total; mismatch = !ucb_mis + sel_mis };
+        { kind = "frontier"; total = !fr_total; mismatch = !fr_mis + pop_mis };
+        { kind = "branch"; total = !br_total; mismatch = !br_mis };
+        { kind = "bound_reuse"; total = !ru_total; mismatch = !ru_mis } ]
+  in
+  let pairs =
+    if domains > 1 then List.map (fun p -> { p with mismatch = 0 }) pairs
+    else pairs
+  in
   { engine = (if composite then Option.value ~default:engine !bracket else engine);
     instance = !instance;
     verdict;
@@ -206,6 +315,7 @@ let of_events events =
     composite;
     domains;
     domain_stats;
+    pairs;
     reported = !reported }
 
 let runs events = List.map of_events (segments events)
@@ -216,6 +326,8 @@ let consistent run =
   | Some r ->
     Some r.verdict = run.verdict && r.calls = run.calls && r.nodes = run.nodes
     && r.max_depth = run.max_depth
+
+let pairs_ok run = List.for_all (fun p -> p.mismatch = 0) run.pairs
 
 (* --- rendering --- *)
 
@@ -247,6 +359,18 @@ let to_string rs =
         Buffer.add_char buf ']'
       end;
       Buffer.add_char buf '\n';
+      if r.pairs <> [] then begin
+        Buffer.add_string buf "     pairs:";
+        List.iter
+          (fun p ->
+            Buffer.add_string buf
+              (if p.mismatch = 0 then Printf.sprintf "  %s %d ok" p.kind p.total
+               else
+                 Printf.sprintf "  %s %d [MISMATCH %d]" p.kind p.total
+                   p.mismatch))
+          r.pairs;
+        Buffer.add_char buf '\n'
+      end;
       if r.domains > 1 then
         List.iter
           (fun d ->

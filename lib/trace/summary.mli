@@ -42,6 +42,18 @@ type domain_stat = {
     merged from the run's [domain_summary] events and the envelope
     [domain] tags (schema §2.14). *)
 
+type pair_check = { kind : string; total : int; mismatch : int }
+(** Integrity of one annotation family over the segment.  Annotation
+    events are emitted immediately after the event they explain:
+    [ucb_decision] after its [node_selected], [frontier_decision] after
+    its [frontier_pop], [bound_reuse] after its [bound_computed];
+    [branch_decision] names the depth of the node last focused by its
+    engine.  [mismatch] counts adjacency violations, plus — in fully
+    sampled ([--introspect 1]) traces — eligible hosts that went
+    unannotated.  Mismatch counts are zeroed for parallel segments,
+    whose interleaving is scheduling-dependent.  Families with no
+    events in the segment are omitted. *)
+
 type run = {
   engine : string;  (** ["?"] when the segment has no engine-bearing event *)
   instance : string option;  (** from [run_started] (harness traces only) *)
@@ -64,6 +76,8 @@ type run = {
           like [composite] — verdict/calls/nodes/depth are taken from
           the engine's own report when one is present. *)
   domain_stats : domain_stat list;  (** per-domain rows, in domain order *)
+  pairs : pair_check list;
+      (** annotation pair-integrity, one row per family present *)
   reported : reported option;  (** the [run_finished] payload, if any *)
 }
 
@@ -84,6 +98,10 @@ val consistent : run -> bool
 (** When [reported] is present: does the reconstruction agree on
     verdict, calls, nodes and max depth? [true] when nothing was
     reported. *)
+
+val pairs_ok : run -> bool
+(** No annotation family has pair mismatches (vacuously [true] when the
+    segment carries no annotations). *)
 
 val to_string : run list -> string
 (** Render runs as an aligned table, flagging reconstructed-vs-reported

@@ -334,7 +334,10 @@ let lowest_relu_heuristic =
         fun ~gamma ~pre_bounds:_ ->
           let rec find i =
             if i >= k then None
-            else if Split.constrained gamma ~relu:i = None then Some i
+            else if Split.constrained gamma ~relu:i = None then
+              Some
+                { Branching.relu = i; score = 0.0; runner_up = -1;
+                  runner_up_score = Float.nan; candidates = 1 }
             else find (i + 1)
           in
           find 0) }

@@ -47,7 +47,7 @@ let test_heuristics_pick_unstable_unconstrained () =
       let choose = h.Branching.prepare problem in
       match choose ~gamma:[] ~pre_bounds with
       | None -> Alcotest.fail (h.Branching.name ^ ": expected a candidate")
-      | Some relu ->
+      | Some { Branching.relu; _ } ->
         let layer, idx = Affine.relu_position problem.Problem.affine relu in
         Alcotest.(check bool)
           (h.Branching.name ^ " picks unstable")
@@ -61,12 +61,12 @@ let test_heuristics_respect_gamma () =
   let pre_bounds = node_bounds problem [] in
   match choose ~gamma:[] ~pre_bounds with
   | None -> Alcotest.fail "expected candidate"
-  | Some first ->
+  | Some { Branching.relu = first; _ } ->
     let gamma = Split.extend [] ~relu:first ~phase:Split.Active in
     let pre_bounds' = node_bounds problem gamma in
     (match choose ~gamma ~pre_bounds:pre_bounds' with
      | None -> ()
-     | Some second ->
+     | Some { Branching.relu = second; _ } ->
        Alcotest.(check bool) "does not repick constrained relu" true (second <> first))
 
 let test_heuristics_none_when_all_stable () =

@@ -1,0 +1,626 @@
+(* Tests for the search-policy introspection layer: decision-event
+   round-trips, sampling cadence, the no-perturbation contract (an
+   introspected run takes the same search path as a plain one), the
+   flight-recorder ring (wraparound, signal dump, parallel dumps), the
+   summary pair-integrity check, the explain/hotspots analytics and the
+   committed golden introspected trace. *)
+
+module Rng = Abonn_util.Rng
+module Budget = Abonn_util.Budget
+module Region = Abonn_spec.Region
+module Property = Abonn_spec.Property
+module Verdict = Abonn_spec.Verdict
+module Problem = Abonn_spec.Problem
+module Network = Abonn_nn.Network
+module Builder = Abonn_nn.Builder
+module Result = Abonn_bab.Result
+module Event = Abonn_obs.Event
+module Sink = Abonn_obs.Sink
+module Obs = Abonn_obs.Obs
+module Introspect = Abonn_obs.Introspect
+module Reader = Abonn_trace.Reader
+module Summary = Abonn_trace.Summary
+module Explain = Abonn_trace.Explain
+module Hotspots = Abonn_trace.Hotspots
+module Registry = Abonn_trace.Registry
+module Regress = Abonn_trace.Regress
+
+let golden_introspect = "fixtures/golden_introspect.jsonl"
+
+let read_clean path =
+  let events, issues = Reader.read_file path in
+  Alcotest.(check (list string)) (path ^ " has no issues") []
+    (List.map Reader.issue_to_string issues);
+  events
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let env seq t event = { Event.seq; t; domain = None; event }
+
+let random_problem ?(seed = 0) ?(dims = [ 2; 6; 2 ]) ?(eps = 0.3) () =
+  let rng = Rng.create seed in
+  let net = Builder.mlp rng ~dims in
+  let in_dim = List.hd dims in
+  let center = Array.init in_dim (fun _ -> Rng.range rng (-0.5) 0.5) in
+  let region = Region.linf_ball ~center ~eps () in
+  let out_dim = List.nth dims (List.length dims - 1) in
+  let label = Network.predict net center in
+  let property = Property.robustness ~num_classes:out_dim ~label in
+  Problem.create ~network:net ~region ~property ()
+
+(* --- decision-event round-trips --- *)
+
+let decision_events =
+  [ Event.Ucb_decision
+      { engine = "abonn"; depth = 3; chosen = "+"; sample = 16;
+        plus_exploit = 0.42; plus_explore = 0.11; plus_visits = 7;
+        minus_exploit = 0.39; minus_explore = 0.21; minus_visits = 2 };
+    Event.Branch_decision
+      { engine = "bestfirst"; depth = 2; kind = "relu"; choice = 17;
+        score = 1.25; runner_up = 4; runner_up_score = 1.01; candidates = 24;
+        sample = 1 };
+    (* no runner-up: -1 / nan must survive the round trip *)
+    Event.Branch_decision
+      { engine = "inputsplit"; depth = 0; kind = "input"; choice = 1;
+        score = 0.5; runner_up = -1; runner_up_score = Float.nan;
+        candidates = 1; sample = 1 };
+    Event.Frontier_decision
+      { engine = "bestfirst"; depth = 4; priority = -0.07; runner_up = -0.11;
+        frontier = 9; sample = 4 } ]
+
+let test_decision_roundtrip () =
+  List.iteri
+    (fun i ev ->
+      let e = env (i + 1) (0.001 *. float_of_int i) ev in
+      let line = Event.to_json e in
+      match Event.of_json line with
+      | Error msg -> Alcotest.failf "decision event %d: %s" i msg
+      | Ok e' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "event %d round-trips" i)
+          true (Event.equal e e');
+        (* re-encoding is byte-stable, like every other event *)
+        Alcotest.(check string)
+          (Printf.sprintf "event %d re-encodes identically" i)
+          line (Event.to_json e'))
+    decision_events
+
+(* --- sampling cadence --- *)
+
+let test_sampling_cadence () =
+  Introspect.with_rate (Some 3) (fun () ->
+      Alcotest.(check bool) "enabled" true (Introspect.enabled ());
+      Alcotest.(check (list int)) "every 3rd decision, first included"
+        [ 3; 0; 0; 3; 0; 0; 3 ]
+        (List.init 7 (fun _ -> Introspect.sample ())));
+  Alcotest.(check bool) "disabled outside with_rate" false (Introspect.enabled ());
+  Alcotest.(check int) "sample is 0 when off" 0 (Introspect.sample ());
+  Introspect.with_rate (Some 1) (fun () ->
+      Alcotest.(check (list int)) "rate 1 records everything" [ 1; 1; 1 ]
+        (List.init 3 (fun _ -> Introspect.sample ())))
+
+(* --- the no-perturbation contract --- *)
+
+let is_decision = function
+  | Event.Ucb_decision _ | Event.Branch_decision _ | Event.Frontier_decision _ ->
+    true
+  | _ -> false
+
+let captured_run ?rate verify =
+  let sink, dump = Sink.memory () in
+  let result =
+    Introspect.with_rate rate (fun () -> Obs.with_sink sink verify)
+  in
+  (result, dump ())
+
+(* Same problem, with and without --introspect: stripping the decision
+   events from the introspected stream must leave the plain run's event
+   sequence (same names, same visit order, same verdict) — sampling
+   must never steer the search. *)
+let test_introspection_does_not_perturb () =
+  List.iter
+    (fun (name, verify) ->
+      let plain, plain_events = captured_run verify in
+      let intro, intro_events = captured_run ~rate:1 verify in
+      Alcotest.(check string) (name ^ " same verdict")
+        (Verdict.to_string plain.Result.verdict)
+        (Verdict.to_string intro.Result.verdict);
+      Alcotest.(check int) (name ^ " same node count")
+        plain.Result.stats.Result.nodes intro.Result.stats.Result.nodes;
+      let stripped =
+        List.filter (fun e -> not (is_decision e.Event.event)) intro_events
+      in
+      Alcotest.(check bool) (name ^ " introspected run has decision events")
+        true
+        (List.exists (fun e -> is_decision e.Event.event) intro_events);
+      Alcotest.(check (list string)) (name ^ " same event-name sequence")
+        (List.map (fun e -> Event.name e.Event.event) plain_events)
+        (List.map (fun e -> Event.name e.Event.event) stripped);
+      let gammas evs =
+        List.filter_map
+          (fun e ->
+            match e.Event.event with
+            | Event.Node_evaluated { gamma; _ } -> Some gamma
+            | _ -> None)
+          evs
+      in
+      Alcotest.(check (list string)) (name ^ " same visit order")
+        (gammas plain_events) (gammas stripped))
+    [ ( "abonn",
+        fun () ->
+          Abonn_core.Abonn.verify ~budget:(Budget.of_calls 120) ~domains:1
+            (random_problem ~seed:3 ()) );
+      ( "bestfirst",
+        fun () ->
+          Abonn_bab.Bestfirst.verify ~budget:(Budget.of_calls 120) ~domains:1
+            (random_problem ~seed:3 ()) );
+      ( "bfs",
+        fun () ->
+          Abonn_bab.Bfs.verify ~budget:(Budget.of_calls 120) ~domains:1
+            (random_problem ~seed:3 ()) );
+      ( "inputsplit",
+        fun () ->
+          Abonn_bab.Inputsplit.verify ~budget:(Budget.of_calls 120) ~domains:1
+            (random_problem ~seed:3 ()) ) ]
+
+let test_no_decisions_without_introspect () =
+  let _, events =
+    captured_run (fun () ->
+        Abonn_core.Abonn.verify ~budget:(Budget.of_calls 60)
+          (random_problem ~seed:1 ()))
+  in
+  Alcotest.(check bool) "no decision events when off" false
+    (List.exists (fun e -> is_decision e.Event.event) events)
+
+(* --- pair integrity --- *)
+
+let test_pairs_ok_on_fresh_run () =
+  List.iter
+    (fun (name, verify) ->
+      let _, events = captured_run ~rate:1 verify in
+      match Summary.runs events with
+      | [ run ] ->
+        Alcotest.(check bool) (name ^ " has pair rows") true
+          (run.Summary.pairs <> []);
+        List.iter
+          (fun p ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s %s mismatches" name p.Summary.kind)
+              0 p.Summary.mismatch)
+          run.Summary.pairs;
+        Alcotest.(check bool) (name ^ " pairs_ok") true (Summary.pairs_ok run)
+      | runs -> Alcotest.failf "%s: expected 1 run, got %d" name (List.length runs))
+    [ ( "abonn",
+        fun () ->
+          Abonn_core.Abonn.verify ~budget:(Budget.of_calls 120) ~domains:1
+            (random_problem ~seed:3 ()) );
+      ( "bestfirst",
+        fun () ->
+          Abonn_bab.Bestfirst.verify ~budget:(Budget.of_calls 120) ~domains:1
+            (random_problem ~seed:3 ()) ) ]
+
+let test_orphan_annotation_is_mismatch () =
+  (* a ucb_decision not immediately after its node_selected *)
+  let events =
+    [ env 1 0.000
+        (Event.Node_evaluated
+           { engine = "abonn"; depth = 0; gamma = "\xCE\xB5"; phat = -0.1;
+             reward = 0.1 });
+      env 2 0.001
+        (Event.Ucb_decision
+           { engine = "abonn"; depth = 1; chosen = "+"; sample = 1;
+             plus_exploit = 0.1; plus_explore = 0.2; plus_visits = 1;
+             minus_exploit = 0.0; minus_explore = 0.2; minus_visits = 1 }) ]
+  in
+  match Summary.runs events with
+  | [ run ] ->
+    let ucb = List.find (fun p -> p.Summary.kind = "ucb") run.Summary.pairs in
+    Alcotest.(check int) "orphan counted" 1 ucb.Summary.mismatch;
+    Alcotest.(check bool) "pairs_ok is false" false (Summary.pairs_ok run);
+    Alcotest.(check bool) "summary renders MISMATCH" true
+      (contains ~affix:"MISMATCH" (Summary.to_string [ run ]))
+  | runs -> Alcotest.failf "expected 1 run, got %d" (List.length runs)
+
+let test_wrong_depth_branch_is_mismatch () =
+  let events =
+    [ env 1 0.000
+        (Event.Node_evaluated
+           { engine = "abonn"; depth = 4; gamma = "r1+.r2+.r3+.r4+"; phat = -0.1;
+             reward = 0.1 });
+      env 2 0.001
+        (Event.Branch_decision
+           { engine = "abonn"; depth = 2; kind = "relu"; choice = 0; score = 1.0;
+             runner_up = -1; runner_up_score = Float.nan; candidates = 3;
+             sample = 1 }) ]
+  in
+  match Summary.runs events with
+  | [ run ] ->
+    let br = List.find (fun p -> p.Summary.kind = "branch") run.Summary.pairs in
+    Alcotest.(check int) "focus-depth disagreement counted" 1 br.Summary.mismatch
+  | runs -> Alcotest.failf "expected 1 run, got %d" (List.length runs)
+
+(* --- flight recorder --- *)
+
+let node_event i =
+  Event.Node_selected { engine = "abonn"; depth = i; ucb = float_of_int i }
+
+let test_flight_wraparound () =
+  let sink, fl = Sink.flight ~capacity:8 () in
+  sink.Sink.emit
+    (env 1 0.0 (Event.Run_started { engine = "abonn"; instance = "case" }));
+  for i = 2 to 21 do
+    sink.Sink.emit (env i (0.001 *. float_of_int i) (node_event i))
+  done;
+  sink.Sink.emit
+    (env 22 0.022
+       (Event.Verdict_reached
+          { engine = "abonn"; verdict = "timeout"; elapsed = 0.022 }));
+  let events = Sink.flight_events fl in
+  (* newest 8 ring events plus both out-of-band terminators *)
+  Alcotest.(check int) "10 events survive" 10 (List.length events);
+  Alcotest.(check (list int)) "seq order, oldest ring entries evicted"
+    [ 1; 14; 15; 16; 17; 18; 19; 20; 21; 22 ]
+    (List.map (fun e -> e.Event.seq) events);
+  sink.Sink.close ()
+
+let test_flight_dump_roundtrip () =
+  let sink, fl = Sink.flight ~capacity:4 () in
+  sink.Sink.emit
+    (env 1 0.0 (Event.Run_started { engine = "abonn"; instance = "case" }));
+  for i = 2 to 9 do
+    sink.Sink.emit (env i (0.001 *. float_of_int i) (node_event i))
+  done;
+  let path = Filename.temp_file "abonn_flight" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Sink.flight_dump fl path;
+  (* eviction leaves a seq gap between the terminator and the ring
+     window — the reader flags it (correctly: the trace IS partial) but
+     must parse every surviving line *)
+  let events, issues = Reader.read_file path in
+  Alcotest.(check bool) "only seq-gap issues on an evicted ring" true
+    (List.for_all
+       (function Reader.Seq_gap _ -> true | _ -> false)
+       issues);
+  Alcotest.(check (list int)) "dump = snapshot, in seq order"
+    (List.map (fun e -> e.Event.seq) (Sink.flight_events fl))
+    (List.map (fun e -> e.Event.seq) events);
+  sink.Sink.close ()
+
+(* SIGTERM mid-run: the handler dumps the ring; the dump must read back
+   cleanly with the run's terminator present.  The signal is raised
+   in-process against a recorder filled by a real search. *)
+let test_flight_dump_on_sigterm () =
+  let sink, fl = Sink.flight () in
+  ignore
+    (Obs.with_sink sink (fun () ->
+         Abonn_core.Abonn.verify ~budget:(Budget.of_calls 80)
+           (random_problem ~seed:2 ())));
+  let path = Filename.temp_file "abonn_flight_sig" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let dumped = ref false in
+  let previous =
+    Sys.signal Sys.sigterm
+      (Sys.Signal_handle
+         (fun _ ->
+           Sink.flight_dump fl path;
+           dumped := true))
+  in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigterm previous)
+  @@ fun () ->
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  (* delivery happens at the next safe point; allocate until it does *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not !dumped) && Unix.gettimeofday () < deadline do
+    ignore (Sys.opaque_identity (Array.make 64 0))
+  done;
+  Alcotest.(check bool) "handler ran" true !dumped;
+  let events = read_clean path in
+  Alcotest.(check bool) "dump is non-empty" true (events <> []);
+  Alcotest.(check bool) "terminator survived the ring" true
+    (List.exists
+       (fun e ->
+         match e.Event.event with Event.Verdict_reached _ -> true | _ -> false)
+       events);
+  let seqs = List.map (fun e -> e.Event.seq) events in
+  Alcotest.(check bool) "seqs strictly increasing" true
+    (List.for_all2 (fun a b -> a < b)
+       (List.filteri (fun i _ -> i < List.length seqs - 1) seqs)
+       (List.tl seqs));
+  sink.Sink.close ()
+
+let test_flight_dump_parallel () =
+  let sink, fl = Sink.flight () in
+  ignore
+    (Obs.with_sink sink (fun () ->
+         Abonn_core.Abonn.verify ~budget:(Budget.of_calls 200) ~domains:4
+           (random_problem ~seed:4 ~dims:[ 2; 8; 8; 2 ] ())));
+  let path = Filename.temp_file "abonn_flight_par" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Sink.flight_dump fl path;
+  let events = read_clean path in
+  Alcotest.(check bool) "dump is non-empty" true (events <> []);
+  (* seq-consistent per domain: each worker's events appear in its own
+     emission order (global seq order implies every per-domain
+     subsequence is ordered; assert seqs are strictly increasing and
+     therefore unique) *)
+  let by_domain = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let d = Option.value ~default:(-1) e.Event.domain in
+      Hashtbl.replace by_domain d
+        (e.Event.seq :: Option.value ~default:[] (Hashtbl.find_opt by_domain d)))
+    events;
+  Hashtbl.iter
+    (fun d seqs_rev ->
+      let seqs = List.rev seqs_rev in
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d seqs increasing" d)
+        true
+        (fst
+           (List.fold_left
+              (fun (ok, last) s -> (ok && s > last, s))
+              (true, min_int) seqs)))
+    by_domain;
+  sink.Sink.close ()
+
+(* --- explain --- *)
+
+let test_explain_golden () =
+  let events = read_clean golden_introspect in
+  let e = Explain.of_events events in
+  Alcotest.(check (option string)) "falsified" (Some "falsified") e.Explain.verdict;
+  Alcotest.(check int) "nodes" 187 e.Explain.nodes;
+  Alcotest.(check bool) "wasted work attributed" true
+    (Float.is_finite e.Explain.wasted_frac);
+  Alcotest.(check bool) "most of the tree was off the cex path" true
+    (e.Explain.wasted_frac > 0.5 && e.Explain.wasted_frac < 1.0);
+  Alcotest.(check bool) "balance table present (introspected trace)" true
+    (e.Explain.balance <> []);
+  List.iter
+    (fun (b : Explain.depth_balance) ->
+      Alcotest.(check bool) "flips bounded by decisions" true
+        (b.Explain.flips <= b.Explain.decisions);
+      Alcotest.(check bool) "explore term positive" true (b.Explain.mean_explore > 0.0))
+    e.Explain.balance;
+  Alcotest.(check bool) "reward errors present" true (e.Explain.reward_err <> []);
+  Alcotest.(check bool) "branch decisions recorded" true
+    (e.Explain.branch_decisions > 0);
+  let report = Explain.to_string e in
+  List.iter
+    (fun affix -> Alcotest.(check bool) ("report mentions " ^ affix) true
+        (contains ~affix report))
+    [ "wasted work"; "exploration/exploitation"; "reward-prediction" ]
+
+let test_explain_divergence_self () =
+  let events = read_clean golden_introspect in
+  let e = Explain.of_events ~vs:events events in
+  match e.Explain.divergence with
+  | None -> Alcotest.fail "expected divergence section"
+  | Some d ->
+    Alcotest.(check bool) "no first divergence vs self" true
+      (d.Explain.first_divergence = None);
+    Alcotest.(check (float 1e-9)) "jaccard 1.0 vs self" 1.0 d.Explain.jaccard;
+    Alcotest.(check int) "nothing exclusive to a" 0 d.Explain.only_a;
+    Alcotest.(check int) "nothing exclusive to b" 0 d.Explain.only_b
+
+(* --- hotspots --- *)
+
+let test_hotspots_golden () =
+  let events = read_clean golden_introspect in
+  let h = Hotspots.of_events events in
+  Alcotest.(check bool) "has rows" true (h.Hotspots.rows <> []);
+  Alcotest.(check bool) "wall positive" true (h.Hotspots.wall > 0.0);
+  let sorted_desc =
+    let rec ok = function
+      | (a : Hotspots.row) :: (b :: _ as rest) ->
+        a.Hotspots.seconds >= b.Hotspots.seconds && ok rest
+      | _ -> true
+    in
+    ok h.Hotspots.rows
+  in
+  Alcotest.(check bool) "rows sorted by seconds desc" true sorted_desc;
+  List.iter
+    (fun (r : Hotspots.row) ->
+      Alcotest.(check bool) "calls positive" true (r.Hotspots.calls > 0);
+      Alcotest.(check bool) "time non-negative" true (r.Hotspots.seconds >= 0.0);
+      Alcotest.(check bool) "phase is namespaced" true
+        (contains ~affix:"." r.Hotspots.phase))
+    h.Hotspots.rows;
+  let attributed =
+    List.fold_left (fun acc (r : Hotspots.row) -> acc +. r.Hotspots.seconds) 0.0
+      h.Hotspots.rows
+  in
+  Alcotest.(check bool) "attribution within wall" true
+    (attributed <= h.Hotspots.wall *. 1.05);
+  Alcotest.(check bool) "table renders ranks" true
+    (contains ~affix:"rank" (Hotspots.to_string h))
+
+let test_hotspots_flame () =
+  let events = read_clean golden_introspect in
+  let h = Hotspots.of_events events in
+  let flame = Hotspots.to_flame h in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' flame)
+  in
+  Alcotest.(check bool) "one line per nonzero row (plus overhead)" true
+    (List.length lines >= List.length h.Hotspots.rows);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "flame line has no weight: %s" line
+      | Some i ->
+        let stack = String.sub line 0 i in
+        let weight = String.sub line (i + 1) (String.length line - i - 1) in
+        Alcotest.(check bool)
+          ("weight is a positive integer: " ^ line)
+          true
+          (match int_of_string_opt weight with Some w -> w > 0 | None -> false);
+        Alcotest.(check bool)
+          ("stack rooted at engine: " ^ line)
+          true
+          (contains ~affix:"abonn;" stack))
+    lines
+
+(* --- golden introspected trace: replay + byte stability --- *)
+
+let test_golden_introspect_replay () =
+  let events = read_clean golden_introspect in
+  match Summary.runs events with
+  | [ run ] ->
+    Alcotest.(check string) "engine" "abonn" run.Summary.engine;
+    Alcotest.(check (option string)) "verdict" (Some "falsified")
+      run.Summary.verdict;
+    Alcotest.(check int) "calls" 187 run.Summary.calls;
+    Alcotest.(check bool) "all pair families clean" true (Summary.pairs_ok run);
+    Alcotest.(check bool) "ucb family present" true
+      (List.exists (fun p -> p.Summary.kind = "ucb") run.Summary.pairs);
+    Alcotest.(check bool) "branch family present" true
+      (List.exists (fun p -> p.Summary.kind = "branch") run.Summary.pairs)
+  | runs -> Alcotest.failf "expected 1 run, got %d" (List.length runs)
+
+let test_golden_introspect_byte_stable () =
+  let ic = open_in golden_introspect in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go line_no =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      (match Event.of_json line with
+       | Error msg -> Alcotest.failf "line %d does not parse: %s" line_no msg
+       | Ok e ->
+         if Event.to_json e <> line then
+           Alcotest.failf "line %d does not re-encode byte-identically" line_no);
+      go (line_no + 1)
+  in
+  go 1
+
+(* --- registry schema 2 --- *)
+
+let test_registry_domains_roundtrip () =
+  let r =
+    Registry.make ~ts:"2026-08-08T00:00:00Z" ~commit:"abc1234"
+      ~peak_rss_bytes:4096 ~domains:4 ~engine:"abonn" ~model:"mnist_l2"
+      ~instance:"i3" ~seed:0 ~verdict:"timeout" ~wall:1.5 ~calls:100 ~nodes:100
+      ~max_depth:7 ()
+  in
+  Alcotest.(check int) "schema stamped" 2 r.Registry.schema;
+  Alcotest.(check bool) "json carries domains" true
+    (contains ~affix:"\"domains\":4" (Registry.to_json r));
+  match Registry.of_json (Registry.to_json r) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r' ->
+    Alcotest.(check int) "domains round-trips" 4 r'.Registry.domains;
+    Alcotest.(check string) "record round-trips" (Registry.to_json r)
+      (Registry.to_json r')
+
+let test_registry_schema1_backward_compat () =
+  (* a literal schema-1 line, exactly as PR 5 wrote it: no domains field *)
+  let legacy =
+    "{\"schema\":1,\"ts\":\"2026-08-07T00:00:00Z\",\"commit\":\"abc1234\",\
+     \"engine\":\"abonn\",\"model\":\"mnist_l2\",\"instance\":\"i0\",\"seed\":0,\
+     \"verdict\":\"verified\",\"wall\":0.100000,\"calls\":10,\"nodes\":10,\
+     \"max_depth\":3,\"peak_rss_bytes\":1024}"
+  in
+  match Registry.of_json legacy with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    Alcotest.(check int) "legacy schema preserved" 1 r.Registry.schema;
+    Alcotest.(check int) "domains defaults to 1" 1 r.Registry.domains;
+    Alcotest.(check string) "payload intact" "verified" r.Registry.verdict
+
+(* --- overhead gate --- *)
+
+let bench_json rows =
+  Printf.sprintf
+    "{\"schema\": 1, \"commit\": \"abc\", \"date\": \"2026-08-08\", \"rows\": {%s}, \
+     \"geomean_speedup\": 1.0}"
+    (String.concat ", "
+       (List.map
+          (fun (name, nps) ->
+            Printf.sprintf
+              "%S: {\"nodes_per_sec_cached\": %.1f, \"nodes_per_sec_uncached\": \
+               %.1f, \"speedup\": 1.0, \"peak_rss_bytes\": 1024}"
+              name nps nps)
+          rows))
+
+let load_bench rows =
+  match Regress.load_string (bench_json rows) with
+  | Ok b -> b
+  | Error msg -> Alcotest.failf "bench json: %s" msg
+
+let test_overhead_gate () =
+  let bench =
+    load_bench [ ("a", 1000.0); ("a@flight", 985.0); ("b", 500.0); ("b@flight", 499.0) ]
+  in
+  let r = Regress.check_overhead ~suffix:"flight" ~max_pct:2.0 bench in
+  Alcotest.(check int) "both pairs found" 2 (List.length r.Regress.overhead_verdicts);
+  Alcotest.(check bool) "within budget" true r.Regress.overhead_ok;
+  let tight = Regress.check_overhead ~suffix:"flight" ~max_pct:1.0 bench in
+  Alcotest.(check bool) "1.5% overhead trips a 1% gate" false
+    tight.Regress.overhead_ok;
+  Alcotest.(check bool) "report names the offender" true
+    (contains ~affix:"EXCEEDED" (Regress.overhead_to_string tight))
+
+let test_overhead_gate_not_vacuous () =
+  let bench = load_bench [ ("a", 1000.0) ] in
+  let r = Regress.check_overhead ~suffix:"i16" ~max_pct:5.0 bench in
+  Alcotest.(check bool) "no variant rows fails the gate" false
+    r.Regress.overhead_ok;
+  let orphan = load_bench [ ("a@i16", 950.0) ] in
+  let r = Regress.check_overhead ~suffix:"i16" ~max_pct:5.0 orphan in
+  Alcotest.(check bool) "variant without base fails the gate" false
+    r.Regress.overhead_ok
+
+let suite =
+  [ ( "introspect.events",
+      [ Alcotest.test_case "decision events round-trip" `Quick
+          test_decision_roundtrip;
+        Alcotest.test_case "sampling cadence" `Quick test_sampling_cadence ] );
+    ( "introspect.contract",
+      [ Alcotest.test_case "introspection does not perturb the search" `Quick
+          test_introspection_does_not_perturb;
+        Alcotest.test_case "no decision events without --introspect" `Quick
+          test_no_decisions_without_introspect ] );
+    ( "introspect.pairs",
+      [ Alcotest.test_case "fresh introspected runs pair cleanly" `Quick
+          test_pairs_ok_on_fresh_run;
+        Alcotest.test_case "orphan annotation is a mismatch" `Quick
+          test_orphan_annotation_is_mismatch;
+        Alcotest.test_case "wrong-depth branch decision is a mismatch" `Quick
+          test_wrong_depth_branch_is_mismatch ] );
+    ( "introspect.flight",
+      [ Alcotest.test_case "ring wraparound keeps newest + terminators" `Quick
+          test_flight_wraparound;
+        Alcotest.test_case "dump round-trips through the reader" `Quick
+          test_flight_dump_roundtrip;
+        Alcotest.test_case "SIGTERM dump reads back cleanly" `Quick
+          test_flight_dump_on_sigterm;
+        Alcotest.test_case "parallel dump is seq-consistent per domain" `Quick
+          test_flight_dump_parallel ] );
+    ( "introspect.explain",
+      [ Alcotest.test_case "golden explain report" `Quick test_explain_golden;
+        Alcotest.test_case "divergence vs self is empty" `Quick
+          test_explain_divergence_self ] );
+    ( "introspect.hotspots",
+      [ Alcotest.test_case "golden hotspot attribution" `Quick
+          test_hotspots_golden;
+        Alcotest.test_case "folded-stack output is well-formed" `Quick
+          test_hotspots_flame ] );
+    ( "introspect.golden",
+      [ Alcotest.test_case "golden introspected trace replays" `Quick
+          test_golden_introspect_replay;
+        Alcotest.test_case "golden introspected trace is byte-stable" `Quick
+          test_golden_introspect_byte_stable ] );
+    ( "introspect.registry",
+      [ Alcotest.test_case "domains field round-trips (schema 2)" `Quick
+          test_registry_domains_roundtrip;
+        Alcotest.test_case "schema-1 lines still parse" `Quick
+          test_registry_schema1_backward_compat ] );
+    ( "introspect.overhead",
+      [ Alcotest.test_case "overhead gate passes and trips" `Quick
+          test_overhead_gate;
+        Alcotest.test_case "overhead gate is not vacuous" `Quick
+          test_overhead_gate_not_vacuous ] ) ]

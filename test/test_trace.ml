@@ -439,7 +439,11 @@ let test_diff_abonn_vs_bfs () =
    bound_reuse annotations are invisible to the visit comparison. *)
 let test_diff_cached_vs_uncached () =
   let problem = random_problem ~seed:0 () in
-  let run () = Abonn_bab.Bestfirst.verify ~budget:(Budget.of_calls 200) problem in
+  (* domains is pinned: diffing two scheduling-dependent parallel runs
+     would make the no-divergence check flaky under ABONN_DOMAINS *)
+  let run () =
+    Abonn_bab.Bestfirst.verify ~budget:(Budget.of_calls 200) ~domains:1 problem
+  in
   let r_on, cached =
     traced_run (fun () -> Abonn_prop.Incremental.with_enabled true run)
   in
