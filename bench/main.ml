@@ -102,6 +102,32 @@ let bench_appver_lp =
   Test.make ~name:"kernel_lp_call"
     (Staged.stage (fun () -> Abonn_lp.Lp_verifier.run first_problem []))
 
+let bench_appver_lp_warm =
+  (* one split below the root, phase matched to the region centre so the
+     cell stays feasible: the call re-optimises the root's cached basis
+     by dual simplex and reoptimizes the remaining property rows on the
+     live tableau instead of solving every row cold (DESIGN.md §13) *)
+  let child_gamma =
+    let affine = first_problem.Abonn_spec.Problem.affine in
+    let region = first_problem.Abonn_spec.Problem.region in
+    let centre =
+      Array.map2
+        (fun lo hi -> 0.5 *. (lo +. hi))
+        region.Abonn_spec.Region.lower region.Abonn_spec.Region.upper
+    in
+    let pre = Abonn_nn.Affine.pre_activations affine centre in
+    let layer, idx = Abonn_nn.Affine.relu_position affine 0 in
+    let phase =
+      if pre.(layer).(idx) >= 0.0 then Abonn_spec.Split.Active
+      else Abonn_spec.Split.Inactive
+    in
+    [ { Abonn_spec.Split.relu = 0; phase } ]
+  in
+  let root_state = snd (Abonn_lp.Lp_verifier.run_warm first_problem []) in
+  Test.make ~name:"kernel_lp_warm"
+    (Staged.stage (fun () ->
+         Abonn_lp.Lp_verifier.run_warm ?state:root_state first_problem child_gamma))
+
 let bench_engine_bfs =
   Test.make ~name:"engine_bfs_120calls"
     (Staged.stage (fun () ->
@@ -123,7 +149,7 @@ let tests =
     [ bench_table1; bench_fig3; bench_table2_rq1; bench_fig4_scatter;
       bench_fig5_heatmap; bench_fig6_boxes; bench_ablation; bench_appver_deeppoly;
       bench_appver_interval; bench_appver_zonotope; bench_appver_symbolic; bench_appver_lp;
-      bench_engine_bfs; bench_engine_abonn; bench_attack_pgd ]
+      bench_appver_lp_warm; bench_engine_bfs; bench_engine_abonn; bench_attack_pgd ]
 
 (* name -> (ns/run estimate, r^2), nested under "rows" with schema,
    commit and date stamps at top level so numbers stay traceable to the

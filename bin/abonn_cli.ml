@@ -96,8 +96,8 @@ let restore_default_handlers () =
   with Invalid_argument _ | Sys_error _ -> ()
 
 let verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-    progress stats no_cache registry domains introspect flight_path ~model ~instance
-    ~context =
+    progress stats no_cache registry domains introspect flight_path lp_triage
+    no_lp_warm ~model ~instance ~context =
   let heuristic =
     match Abonn_bab.Branching.find heuristic with
     | Some h -> h
@@ -110,6 +110,16 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
       | Some v -> v
       | None -> Abonn_prop.Appver.deeppoly
   in
+  (* --lp-triage: cheap DeepPoly bounds on every node, LP only for the
+     nodes that survive the escalation criterion (DESIGN.md §13) *)
+  let appver =
+    match lp_triage with
+    | Some crit ->
+      Abonn_prop.Appver.triaged ~crit ~cheap:Abonn_prop.Appver.deeppoly
+        ~expensive:Abonn_lp.Lp_verifier.appver ()
+    | None -> appver
+  in
+  Abonn_lp.Lp_verifier.set_warm_enabled (not no_lp_warm);
   let budget = Budget.combine ~calls ?seconds () in
   Introspect.set introspect;
   let flight = Option.map (fun _ -> Sink.flight ()) flight_path in
@@ -179,14 +189,14 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
 
 let run problem_file model_name index eps factor engine lambda c heuristic appver calls
     seconds models_dir trace_file progress stats no_cache registry domains introspect
-    flight no_flight =
+    flight no_flight lp_triage no_lp_warm =
   let flight_path = if no_flight then None else Some flight in
   match problem_file with
   | Some path ->
     let problem = Abonn_spec.Problem_file.load path in
     verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-      progress stats no_cache registry domains introspect flight_path
-      ~model:"problem-file"
+      progress stats no_cache registry domains introspect flight_path lp_triage
+      no_lp_warm ~model:"problem-file"
       ~instance:(Filename.basename path)
       ~context:(Printf.sprintf "problem=%s" path)
   | None ->
@@ -202,8 +212,8 @@ let run problem_file model_name index eps factor engine lambda c heuristic appve
      | `Error _ as e -> e
      | `Ok (problem, eps) ->
        verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-         progress stats no_cache registry domains introspect flight_path
-         ~model:model_name
+         progress stats no_cache registry domains introspect flight_path lp_triage
+         no_lp_warm ~model:model_name
          ~instance:(Printf.sprintf "index%d_eps%.5g" index eps)
          ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps))
 
@@ -333,6 +343,64 @@ let no_flight_arg =
            ~doc:"Disable the flight recorder entirely (no ring buffer, no \
                  signal handlers).")
 
+(* "lb=0.5,depth=3,impr=0.1,window=32" -> a triage criterion; every key
+   is optional and defaults to Appver.default_triage *)
+let triage_conv =
+  let parse s =
+    let crit = ref Abonn_prop.Appver.default_triage in
+    let bad = ref None in
+    if String.trim s <> "" then
+      List.iter
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some i ->
+            let k = String.sub kv 0 i in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            (match (k, float_of_string_opt v, int_of_string_opt v) with
+             | "lb", Some f, _ -> crit := { !crit with Abonn_prop.Appver.lb_threshold = f }
+             | "impr", Some f, _ ->
+               crit := { !crit with Abonn_prop.Appver.impr_threshold = f }
+             | "depth", _, Some n ->
+               crit := { !crit with Abonn_prop.Appver.depth_threshold = n }
+             | "window", _, Some n when n >= 1 ->
+               crit := { !crit with Abonn_prop.Appver.window = n }
+             | _ -> bad := Some kv)
+          | None -> bad := Some kv)
+        (String.split_on_char ',' s);
+    match !bad with
+    | None -> Ok !crit
+    | Some kv ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad triage field %S (expected lb=F, depth=N, impr=F or window=N)" kv))
+  in
+  let print ppf (c : Abonn_prop.Appver.triage_crit) =
+    Format.fprintf ppf "lb=%g,depth=%d,impr=%g,window=%d"
+      c.Abonn_prop.Appver.lb_threshold c.Abonn_prop.Appver.depth_threshold
+      c.Abonn_prop.Appver.impr_threshold c.Abonn_prop.Appver.window
+  in
+  Arg.conv (parse, print)
+
+let lp_triage_arg =
+  Arg.(value
+       & opt ~vopt:(Some Abonn_prop.Appver.default_triage) (some triage_conv) None
+       & info [ "lp-triage" ] ~docv:"SPEC"
+           ~doc:"Bound every node with DeepPoly first and escalate to the LP \
+                 verifier only for nodes that survive the criterion (overrides \
+                 --appver): undecided with phat >= -lb, at depth >= depth, and \
+                 while escalations keep tightening by >= impr on average over a \
+                 window.  $(docv) is a comma list of lb=F, depth=N, impr=F, \
+                 window=N; bare $(b,--lp-triage) uses lb=0.5, depth=0, impr=0.1, \
+                 window=32 (DESIGN.md \xC2\xA713).")
+
+let no_lp_warm_arg =
+  Arg.(value & flag
+       & info [ "no-lp-warm" ]
+           ~doc:"Disable warm-started LP reoptimization (basis cache, dual \
+                 simplex): every LP verifier call solves from scratch, \
+                 bit-for-bit the cold path.")
+
 let registry_arg =
   Arg.(value & opt ~vopt:(Some Registry.default_path) (some string) None
        & info [ "registry" ] ~docv:"FILE"
@@ -349,6 +417,7 @@ let cmd =
         (const run $ problem_arg $ model_arg $ index_arg $ eps_arg $ factor_arg $ engine_arg
          $ lambda_arg $ c_arg $ heuristic_arg $ appver_arg $ calls_arg $ seconds_arg
          $ models_dir_arg $ trace_arg $ progress_arg $ stats_arg $ no_cache_arg
-         $ registry_arg $ domains_arg $ introspect_arg $ flight_arg $ no_flight_arg))
+         $ registry_arg $ domains_arg $ introspect_arg $ flight_arg $ no_flight_arg
+         $ lp_triage_arg $ no_lp_warm_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -87,6 +87,8 @@ let minimise_row ~region ~maps ~coefs ~constant =
   | Abonn_lp.Lp_problem.Infeasible -> `Infeasible
   | Abonn_lp.Lp_problem.Unbounded ->
     raise (Unresolvable "leaf LP unbounded (cannot happen over a box)")
+  | Abonn_lp.Lp_problem.Pivot_limit ->
+    raise (Unresolvable "leaf LP hit its pivot limit")
 
 let resolve problem gamma =
   match Abonn_prop.Deeppoly.hidden_bounds problem gamma with

@@ -168,6 +168,13 @@ let interesting oracle_cfg family (problem : Problem.t) =
     && (match Deeppoly.hidden_bounds problem [] with
         | Some bs -> Array.exists (fun b -> Bounds.num_unstable b > 0) bs
         | None -> false)
+  | Oracle.Lp ->
+    (* basis reuse only does work along a split path, and the triangle
+       relaxation only differs from the box when neurons are unstable *)
+    Problem.num_relus problem >= 2
+    && (match Deeppoly.hidden_bounds problem [] with
+        | Some bs -> Array.exists (fun b -> Bounds.num_unstable b > 0) bs
+        | None -> false)
 
 (* Corpus entries also target both verdict polarities for the sampling
    family, so the committed set covers proves and refutes. *)
@@ -191,6 +198,14 @@ let corpus_targets : (string * Oracle.family * (Oracle.config -> Problem.t -> bo
         multi-layer prefix to skip *)
      fun cfg p ->
        interesting cfg Oracle.Incremental p
+       && Problem.num_relus p >= 4
+       && Array.length p.Problem.affine.Abonn_nn.Affine.weights >= 3);
+    ("lp", Oracle.Lp, (fun cfg p -> interesting cfg Oracle.Lp p));
+    ("lp_deep", Oracle.Lp,
+     (* enough ReLUs for a full depth-3 warm-started basis walk over a
+        multi-layer encoding *)
+     fun cfg p ->
+       interesting cfg Oracle.Lp p
        && Problem.num_relus p >= 4
        && Array.length p.Problem.affine.Abonn_nn.Affine.weights >= 3)
   ]

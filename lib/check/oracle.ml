@@ -16,6 +16,7 @@ module Deeppoly = Abonn_prop.Deeppoly
 module Symbolic = Abonn_prop.Symbolic
 module Bounds = Abonn_prop.Bounds
 module Incremental = Abonn_prop.Incremental
+module Lp_verifier = Abonn_lp.Lp_verifier
 module Bfs = Abonn_bab.Bfs
 module Bestfirst = Abonn_bab.Bestfirst
 module Inputsplit = Abonn_bab.Inputsplit
@@ -23,9 +24,9 @@ module Exact = Abonn_bab.Exact
 module Certificate = Abonn_bab.Certificate
 module Result = Abonn_bab.Result
 
-type family = Sampling | Bounds | Exact | Engines | Cert | Incremental
+type family = Sampling | Bounds | Exact | Engines | Cert | Incremental | Lp
 
-let all_families = [ Sampling; Bounds; Exact; Engines; Cert; Incremental ]
+let all_families = [ Sampling; Bounds; Exact; Engines; Cert; Incremental; Lp ]
 
 let family_name = function
   | Sampling -> "sampling"
@@ -34,6 +35,7 @@ let family_name = function
   | Engines -> "engines"
   | Cert -> "cert"
   | Incremental -> "incremental"
+  | Lp -> "lp"
 
 let family_of_string = function
   | "sampling" -> Some Sampling
@@ -42,6 +44,7 @@ let family_of_string = function
   | "engines" -> Some Engines
   | "cert" -> Some Cert
   | "incremental" -> Some Incremental
+  | "lp" -> Some Lp
   | _ -> None
 
 type failure = {
@@ -630,6 +633,155 @@ let run_incremental cfg rng problem =
     in
     List.fold_left check_engine Pass engines
 
+(* --- LP warm-start oracle --- *)
+
+(* Differential checks for the warm-started dual simplex: walk a
+   root-to-leaf split path whose phases match a concrete probe point,
+   warm-starting each LP call from its parent's cached basis exactly as
+   the BaB engines do, and check at every node
+
+   - warm vs cold: the warm p̂ and per-row bounds match a cold solve of
+     the same polytope within [tol] (same optima, different pivot order);
+   - soundness: the in-cell point's margin and row margins respect the
+     warm bounds, and no cell containing the point is declared
+     infeasible;
+   - dominance: the LP is never looser than DeepPoly on the same gamma
+     (the tightness Lp_verifier documents);
+
+   then replay BFS with the LP AppVer warm-on vs warm-off: solved
+   verdicts must agree in polarity and every Falsified witness must
+   validate. *)
+
+let run_lp cfg rng problem =
+  (* a fresh cache makes the oracle deterministic in (seed, problem) *)
+  Lp_verifier.clear_warm_cache ();
+  let k = Problem.num_relus problem in
+  let points = probe_points cfg rng problem in
+  let walk_verdict =
+    if Array.length points = 0 then Pass
+    else begin
+      let x0 = points.(0) in
+      let affine = problem.Problem.affine in
+      let pre = Affine.pre_activations affine x0 in
+      let margin0 = Problem.concrete_margin problem x0 in
+      let rows0 = row_margins problem (Abonn_nn.Network.forward problem.Problem.network x0) in
+      let steps = min 3 k in
+      let result = ref Pass in
+      let gamma = ref [] and state = ref None in
+      let check_node (warm : Outcome.t) (cold : Outcome.t) =
+        let gs = Split.to_string !gamma in
+        if warm.Outcome.infeasible || cold.Outcome.infeasible then
+          failf Lp "lp.spurious-infeasible"
+            "LP (%s) declares infeasible a cell containing a concrete point (gamma %s)"
+            (if warm.Outcome.infeasible then "warm" else "cold")
+            gs
+        else if warm.Outcome.phat > margin0 +. cfg.tol then
+          failf Lp "lp.phat-unsound"
+            "warm LP phat %.9g exceeds the margin %.9g of an in-cell point (gamma %s)"
+            warm.Outcome.phat margin0 gs
+        else if warm.Outcome.phat < cold.Outcome.phat -. cfg.tol then
+          (* one-sided: the warm path inherits monotonically tightened
+             DeepPoly pre-activation bounds from the parent state, so it
+             may legitimately be *tighter* than a from-scratch cold
+             solve — but never looser *)
+          failf Lp "lp.warm-cold-divergence"
+            "warm phat %.17g is looser than cold phat %.17g (gamma %s)"
+            warm.Outcome.phat cold.Outcome.phat gs
+        else begin
+          let row_bad = ref Pass in
+          if Array.length warm.Outcome.row_lower = Array.length rows0 then
+            Array.iteri
+              (fun r lo ->
+                if is_pass !row_bad && lo > rows0.(r) +. cfg.tol then
+                  row_bad :=
+                    failf Lp "lp.row-lower-unsound"
+                      "warm LP row %d lower bound %.9g exceeds the in-cell margin %.9g (gamma %s)"
+                      r lo rows0.(r) gs)
+              warm.Outcome.row_lower;
+          if is_pass !row_bad
+             && Array.length warm.Outcome.row_lower = Array.length cold.Outcome.row_lower
+          then
+            Array.iteri
+              (fun r lo ->
+                if is_pass !row_bad
+                   && lo < cold.Outcome.row_lower.(r) -. cfg.tol
+                then
+                  row_bad :=
+                    failf Lp "lp.warm-cold-divergence"
+                      "warm row %d lower bound %.17g is looser than cold %.17g (gamma %s)"
+                      r lo cold.Outcome.row_lower.(r) gs)
+              warm.Outcome.row_lower;
+          match !row_bad with
+          | Fail _ as f -> f
+          | Pass ->
+            let dp = Deeppoly.run problem !gamma in
+            if (not dp.Outcome.infeasible)
+               && warm.Outcome.phat < dp.Outcome.phat -. cfg.tol
+            then
+              failf Lp "lp.looser-than-deeppoly"
+                "LP phat %.9g is looser than DeepPoly phat %.9g (gamma %s)"
+                warm.Outcome.phat dp.Outcome.phat gs
+            else Pass
+        end
+      in
+      (try
+         (* i = 0 is the unsplit root (caches the first basis); each
+            further step extends gamma by one phase-matched ReLU *)
+         for i = 0 to steps do
+           if i > 0 then begin
+             let relu = (i - 1) * k / steps in
+             let layer, idx = Affine.relu_position affine relu in
+             let phase = if pre.(layer).(idx) >= 0.0 then Split.Active else Split.Inactive in
+             gamma := Split.extend !gamma ~relu ~phase
+           end;
+           let cold = Lp_verifier.run problem !gamma in
+           let warm, next = Lp_verifier.run_warm ?state:!state problem !gamma in
+           (match check_node warm cold with
+            | Pass -> ()
+            | Fail _ as f ->
+              result := f;
+              raise Exit);
+           state := next
+         done
+       with Exit -> ());
+      !result
+    end
+  in
+  match walk_verdict with
+  | Fail _ as f -> f
+  | Pass ->
+    (* warm-on vs warm-off engine agreement with the LP AppVer *)
+    let budget () = Budget.of_calls cfg.engine_budget in
+    let verdict_of () =
+      (Bfs.verify ~appver:Lp_verifier.appver ~budget:(budget ()) problem).Result.verdict
+    in
+    let on = Lp_verifier.with_warm_enabled true verdict_of in
+    let off = Lp_verifier.with_warm_enabled false verdict_of in
+    let bogus v =
+      match v with
+      | Verdict.Falsified x -> not (Problem.is_counterexample problem x)
+      | Verdict.Verified | Verdict.Timeout -> false
+    in
+    if bogus on || bogus off then
+      failf Lp "lp.bogus-cex"
+        "bfs+lp (warm %s) reported Falsified with a non-validating witness"
+        (if bogus on then "on" else "off")
+    else begin
+      let interior v =
+        match v with
+        | Verdict.Falsified x -> Problem.concrete_margin problem x < -.cfg.tol
+        | Verdict.Verified | Verdict.Timeout -> false
+      in
+      match (on, off) with
+      | Verdict.Verified, f when interior f ->
+        fail Lp "lp.warm-verdict-conflict"
+          "bfs+lp: Verified warm, interior Falsified cold"
+      | f, Verdict.Verified when interior f ->
+        fail Lp "lp.warm-verdict-conflict"
+          "bfs+lp: interior Falsified warm, Verified cold"
+      | _ -> Pass
+    end
+
 (* --- dispatch --- *)
 
 let run ?(config = default_config) ~seed family problem =
@@ -643,6 +795,7 @@ let run ?(config = default_config) ~seed family problem =
     | Engines -> run_engines
     | Cert -> run_cert
     | Incremental -> run_incremental
+    | Lp -> run_lp
   in
   try go config rng problem with
   | Stack_overflow | Out_of_memory as e -> raise e

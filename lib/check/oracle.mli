@@ -34,16 +34,27 @@
       guarantees it), be no looser than from-scratch DeepPoly, and
       reproduce itself bit-for-bit when re-evaluated from its own state;
       BFS and best-first must agree cache-on vs cache-off up to ties.
+    - {b Lp}: the warm-started dual simplex.  Along the same kind of
+      phase-matched root-to-leaf path, each warm-started LP call
+      ({!Abonn_lp.Lp_verifier.run_warm}, reusing the parent's cached
+      optimal basis) must never be looser than a from-scratch cold
+      solve of the same node (p̂ and every per-row bound; it may be
+      tighter — the warm path inherits monotonically tightened
+      pre-activation bounds from the parent), stay sound for the in-cell
+      point, never declare its cell infeasible, and never be looser than
+      DeepPoly on the same gamma; BFS with the LP AppVer must agree
+      warm-on vs warm-off up to ties.
 
     Oracles are deterministic in [(seed, problem)] and never raise: an
     escaped exception is itself reported as a failure. *)
 
-type family = Sampling | Bounds | Exact | Engines | Cert | Incremental
+type family = Sampling | Bounds | Exact | Engines | Cert | Incremental | Lp
 
 val all_families : family list
 
 val family_name : family -> string
-(** ["sampling" | "bounds" | "exact" | "engines" | "cert" | "incremental"]. *)
+(** ["sampling" | "bounds" | "exact" | "engines" | "cert" | "incremental"
+    | "lp"]. *)
 
 val family_of_string : string -> family option
 

@@ -21,6 +21,7 @@ type outcome =
   | Optimal of { objective : float; values : var -> float }
   | Infeasible
   | Unbounded
+  | Pivot_limit
 
 let create () =
   { vars = []; nvars = 0; rows = []; nrows = 0; objective = []; obj_constant = 0.0 }
@@ -71,6 +72,7 @@ let solve_boxed ?max_iters t decls =
   match sol.Boxlp.status with
   | Boxlp.Infeasible -> Infeasible
   | Boxlp.Unbounded -> Unbounded
+  | Boxlp.Pivot_limit -> Pivot_limit
   | Boxlp.Optimal ->
     Optimal
       { objective = sol.Boxlp.objective +. t.obj_constant;
@@ -175,6 +177,7 @@ let solve_standard ?max_iters t =
   match sol.Simplex.status with
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
+  | Simplex.Pivot_limit -> Pivot_limit
   | Simplex.Optimal ->
     let value v =
       let e = encodings.(v) in

@@ -16,6 +16,9 @@ type outcome =
   | Optimal of { objective : float; values : var -> float }
   | Infeasible
   | Unbounded
+  | Pivot_limit
+      (** pivot budget exhausted before convergence — inconclusive;
+          callers must treat it as "no information", never a verdict *)
 
 val create : unit -> t
 

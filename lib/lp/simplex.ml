@@ -1,8 +1,14 @@
 module Matrix = Abonn_tensor.Matrix
 
-type status = Optimal | Infeasible | Unbounded
+type status = Optimal | Infeasible | Unbounded | Pivot_limit
 
-type solution = { status : status; objective : float; x : float array; iterations : int }
+type solution = {
+  status : status;
+  objective : float;
+  x : float array;
+  iterations : int;
+  basis : int array;
+}
 
 let eps = 1e-9
 
@@ -70,8 +76,8 @@ let leaving t ~col =
 
 let run_phase t ~allowed ~max_iters ~iters =
   let rec loop () =
-    if !iters > max_iters then failwith "Simplex: iteration limit exceeded";
-    match entering t ~allowed with
+    if !iters > max_iters then `Limit
+    else match entering t ~allowed with
     | None -> `Optimal
     | Some col ->
       begin match leaving t ~col with
@@ -116,13 +122,16 @@ let solve ?(max_iters = 50_000) ~c ~(a : Matrix.t) ~b () =
   done;
   let t = { m; total; tab; basis; cost } in
   let iters = ref 0 in
-  begin match run_phase t ~allowed:total ~max_iters ~iters with
+  let fail_result status =
+    { status; objective = 0.0; x = Array.make n 0.0; iterations = !iters;
+      basis = Array.copy t.basis }
+  in
+  match run_phase t ~allowed:total ~max_iters ~iters with
   | `Unbounded -> failwith "Simplex: phase 1 unbounded (cannot happen)"
-  | `Optimal -> ()
-  end;
+  | `Limit -> fail_result Pivot_limit
+  | `Optimal ->
   let phase1_obj = -.t.cost.(total) in
-  if phase1_obj > 1e-7 then
-    { status = Infeasible; objective = 0.0; x = Array.make n 0.0; iterations = !iters }
+  if phase1_obj > 1e-7 then fail_result Infeasible
   else begin
     (* Drive any residual artificial variables out of the basis; rows
        whose coefficients over the structural variables are all zero are
@@ -154,8 +163,8 @@ let solve ?(max_iters = 50_000) ~c ~(a : Matrix.t) ~b () =
     (* Forbid artificial variables from re-entering: restrict entering
        column search to structural variables. *)
     match run_phase t ~allowed:n ~max_iters ~iters with
-    | `Unbounded ->
-      { status = Unbounded; objective = neg_infinity; x = Array.make n 0.0; iterations = !iters }
+    | `Limit -> fail_result Pivot_limit
+    | `Unbounded -> { (fail_result Unbounded) with objective = neg_infinity }
     | `Optimal ->
       let x = Array.make n 0.0 in
       for i = 0 to m - 1 do
@@ -165,5 +174,155 @@ let solve ?(max_iters = 50_000) ~c ~(a : Matrix.t) ~b () =
       for j = 0 to n - 1 do
         objective := !objective +. (c.(j) *. x.(j))
       done;
-      { status = Optimal; objective = !objective; x; iterations = !iters }
+      { status = Optimal; objective = !objective; x; iterations = !iters;
+        basis = Array.copy t.basis }
+  end
+
+type warm_result = Warm_ok of solution * int | Warm_fallback of string
+
+(* Warm re-solve from a parent basis.  The basis must be purely
+   structural (artificial-free): refactorize it against the new
+   constraint matrix, then repair any negative right-hand sides with a
+   (capped) textbook dual simplex before finishing with primal
+   phase 2.  Everything structural degrades to [Warm_fallback]. *)
+let solve_warm ?(max_iters = 50_000) ?(pivot_cap = 200) ~from ~c
+    ~(a : Matrix.t) ~b () =
+  let m = a.Matrix.rows and n = a.Matrix.cols in
+  if Array.length b <> m then invalid_arg "Simplex.solve_warm: b length mismatch";
+  if Array.length c <> n then invalid_arg "Simplex.solve_warm: c length mismatch";
+  if Array.length from <> m || Array.exists (fun j -> j < 0 || j >= n) from
+  then Warm_fallback "shape-mismatch"
+  else begin
+    let tab =
+      Array.init m (fun i ->
+          let row = Array.make (n + 1) 0.0 in
+          for j = 0 to n - 1 do
+            row.(j) <- Matrix.get a i j
+          done;
+          row.(n) <- b.(i);
+          row)
+    in
+    let t =
+      { m; total = n; tab; basis = Array.make m (-1);
+        cost = Array.make (n + 1) 0.0 }
+    in
+    (* refactorize the stored basis in, largest remaining pivot first *)
+    let used = Array.make m false in
+    let singular = ref false in
+    Array.iter
+      (fun jb ->
+        if not !singular then begin
+          let best = ref (-1) and bestv = ref 0.0 in
+          for i = 0 to m - 1 do
+            if not used.(i) then begin
+              let v = Float.abs t.tab.(i).(jb) in
+              if v > !bestv then begin
+                bestv := v;
+                best := i
+              end
+            end
+          done;
+          if !bestv < 1e-9 then singular := true
+          else begin
+            used.(!best) <- true;
+            pivot t ~row:!best ~col:jb
+          end
+        end)
+      from;
+    if !singular then Warm_fallback "singular-basis"
+    else begin
+      (* reduced costs of [c] over the refactorized basis *)
+      Array.fill t.cost 0 (n + 1) 0.0;
+      Array.blit c 0 t.cost 0 n;
+      for i = 0 to m - 1 do
+        let cb = c.(t.basis.(i)) in
+        if Float.abs cb > 0.0 then
+          for j = 0 to n do
+            t.cost.(j) <- t.cost.(j) -. (cb *. t.tab.(i).(j))
+          done
+      done;
+      let dual_feasible =
+        let ok = ref true in
+        for j = 0 to n - 1 do
+          if t.cost.(j) < -.eps then ok := false
+        done;
+        !ok
+      in
+      let primal_feasible =
+        let ok = ref true in
+        for i = 0 to m - 1 do
+          if t.tab.(i).(n) < -.eps then ok := false
+        done;
+        !ok
+      in
+      let iters = ref 0 in
+      let rec dual pivots =
+        if pivots >= pivot_cap then `Cap
+        else begin
+          let r = ref (-1) and worst = ref (-.eps) in
+          for i = 0 to m - 1 do
+            if t.tab.(i).(n) < !worst then begin
+              worst := t.tab.(i).(n);
+              r := i
+            end
+          done;
+          if !r < 0 then `Feasible
+          else begin
+            let r = !r in
+            let best = ref (-1) and best_ratio = ref infinity in
+            for j = 0 to n - 1 do
+              let arj = t.tab.(r).(j) in
+              if arj < -.eps then begin
+                let ratio = t.cost.(j) /. -.arj in
+                if ratio < !best_ratio -. eps then begin
+                  best_ratio := ratio;
+                  best := j
+                end
+              end
+            done;
+            if !best < 0 then `Infeasible
+            else begin
+              incr iters;
+              pivot t ~row:r ~col:!best;
+              dual (pivots + 1)
+            end
+          end
+        end
+      in
+      let repaired =
+        if primal_feasible then `Feasible
+        else if dual_feasible then dual 0
+        else `Dual_infeasible
+      in
+      match repaired with
+      | `Cap -> Warm_fallback "pivot-cap"
+      | `Dual_infeasible -> Warm_fallback "dual-infeasible"
+      | `Infeasible ->
+        Warm_ok
+          ( { status = Infeasible; objective = 0.0; x = Array.make n 0.0;
+              iterations = !iters; basis = Array.copy t.basis },
+            !iters )
+      | `Feasible ->
+        (match run_phase t ~allowed:n ~max_iters ~iters with
+         | `Limit -> Warm_fallback "pivot-limit"
+         | `Unbounded ->
+           Warm_ok
+             ( { status = Unbounded; objective = neg_infinity;
+                 x = Array.make n 0.0; iterations = !iters;
+                 basis = Array.copy t.basis },
+               !iters )
+         | `Optimal ->
+           let x = Array.make n 0.0 in
+           for i = 0 to m - 1 do
+             if t.basis.(i) < n then x.(t.basis.(i)) <- t.tab.(i).(n)
+           done;
+           let objective = ref 0.0 in
+           for j = 0 to n - 1 do
+             objective := !objective +. (c.(j) *. x.(j))
+           done;
+           Warm_ok
+             ( { status = Optimal; objective = !objective; x;
+                 iterations = !iters; basis = Array.copy t.basis },
+               !iters ))
+    end
   end

@@ -16,12 +16,19 @@ type status =
   | Optimal
   | Infeasible
   | Unbounded
+  | Pivot_limit
+      (** the pivot budget ([max_iters]) ran out before convergence —
+          an inconclusive solve, not a verdict *)
 
 type solution = {
   status : status;
   objective : float;     (** meaningful only when [status = Optimal] *)
   x : float array;       (** primal solution, length = #variables *)
   iterations : int;
+  basis : int array;
+      (** variable basic in each row at termination, length = #rows;
+          entries [≥ n] are artificials (only possible on non-[Optimal]
+          exits or redundant rows) *)
 }
 
 val solve :
@@ -32,5 +39,32 @@ val solve :
   unit ->
   solution
 (** [solve ~c ~a ~b ()] where [a] is [m × n], [b] length [m], [c] length
-    [n].  Raises [Invalid_argument] on dimension mismatch and [Failure]
-    if [max_iters] (default [50_000]) pivots are exceeded. *)
+    [n].  Raises [Invalid_argument] on dimension mismatch; exceeding
+    [max_iters] (default [50_000]) pivots yields
+    [{ status = Pivot_limit; _ }]. *)
+
+type warm_result =
+  | Warm_ok of solution * int
+      (** converged from the parent basis; the [int] is the pivot count
+          (dual repair + primal cleanup) *)
+  | Warm_fallback of string
+      (** basis could not be replayed (shape mismatch, artificial or
+          singular basis, dual-infeasible start, pivot cap); caller
+          must cold-[solve].  Payload names the reason. *)
+
+val solve_warm :
+  ?max_iters:int ->
+  ?pivot_cap:int ->
+  from:int array ->
+  c:float array ->
+  a:Abonn_tensor.Matrix.t ->
+  b:float array ->
+  unit ->
+  warm_result
+(** [solve_warm ~from ~c ~a ~b ()] re-solves a problem of the same shape
+    from a previously returned [solution.basis]: the basis is
+    refactorized against the (possibly perturbed) [a]/[b], negative
+    right-hand sides are repaired by at most [pivot_cap] (default 200)
+    dual-simplex pivots, and primal phase 2 finishes the job.  [from]
+    must contain structural indices only.  Raises [Invalid_argument] on
+    [b]/[c] length mismatch, like {!solve}. *)

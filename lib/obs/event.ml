@@ -39,6 +39,14 @@ type t =
       clamps : int;
     }
   | Lp_solved of { vars : int; rows : int; status : string; elapsed : float }
+  | Lp_warm of {
+      depth : int;
+      rows : int;
+      hit : bool;
+      pivots : int;
+      fallback : string;
+      elapsed : float;
+    }
   | Attack_tried of { attack : string; success : bool; elapsed : float }
   | Verdict_reached of { engine : string; verdict : string; elapsed : float }
   | Resource_sample of {
@@ -109,6 +117,7 @@ let name = function
   | Bound_computed _ -> "bound_computed"
   | Bound_reuse _ -> "bound_reuse"
   | Lp_solved _ -> "lp_solved"
+  | Lp_warm _ -> "lp_warm"
   | Attack_tried _ -> "attack_tried"
   | Verdict_reached _ -> "verdict_reached"
   | Resource_sample _ -> "resource_sample"
@@ -195,6 +204,10 @@ let to_json { seq; t; domain; event } =
         ("layers_skipped", I layers_skipped); ("clamps", I clamps) ]
     | Lp_solved { vars; rows; status; elapsed } ->
       [ ("vars", I vars); ("rows", I rows); ("status", S status);
+        ("elapsed", F elapsed) ]
+    | Lp_warm { depth; rows; hit; pivots; fallback; elapsed } ->
+      [ ("depth", I depth); ("rows", I rows); ("hit", B hit);
+        ("pivots", I pivots); ("fallback", S fallback);
         ("elapsed", F elapsed) ]
     | Attack_tried { attack; success; elapsed } ->
       [ ("attack", S attack); ("success", B success); ("elapsed", F elapsed) ]
@@ -411,6 +424,11 @@ let of_json line =
         Lp_solved
           { vars = i "vars"; rows = i "rows"; status = s "status";
             elapsed = f "elapsed" }
+      | "lp_warm" ->
+        Lp_warm
+          { depth = i "depth"; rows = i "rows"; hit = b "hit";
+            pivots = i "pivots"; fallback = s "fallback";
+            elapsed = f "elapsed" }
       | "attack_tried" ->
         Attack_tried
           { attack = s "attack"; success = b "success"; elapsed = f "elapsed" }
@@ -483,6 +501,10 @@ let event_equal a b =
     && feq x.elapsed y.elapsed
   | Lp_solved x, Lp_solved y ->
     x.vars = y.vars && x.rows = y.rows && x.status = y.status
+    && feq x.elapsed y.elapsed
+  | Lp_warm x, Lp_warm y ->
+    x.depth = y.depth && x.rows = y.rows && x.hit = y.hit
+    && x.pivots = y.pivots && x.fallback = y.fallback
     && feq x.elapsed y.elapsed
   | Attack_tried x, Attack_tried y ->
     x.attack = y.attack && x.success = y.success && feq x.elapsed y.elapsed

@@ -64,7 +64,20 @@ type t =
           tightened by intersection with the parent's.  Always emitted
           immediately after the [bound_computed] of the same call. *)
   | Lp_solved of { vars : int; rows : int; status : string; elapsed : float }
-      (** One simplex solve ([status] ∈ optimal / infeasible / unbounded). *)
+      (** One simplex solve ([status] ∈ optimal / infeasible / unbounded /
+          pivot_limit). *)
+  | Lp_warm of {
+      depth : int;  (** BaB depth of the node being bounded *)
+      rows : int;  (** property rows resolved by this verifier call *)
+      hit : bool;  (** a compatible parent basis was found in the cache *)
+      pivots : int;  (** simplex pivots spent across all warm solves *)
+      fallback : string;
+          (** non-empty when the warm path degraded to a cold solve:
+              the [Boxlp.Warm_fallback] reason, or ["no-parent"] *)
+      elapsed : float;
+    }
+      (** One warm-started LP verifier call (DESIGN.md §13).  Annotation
+          event: summaries and tree reconstruction ignore it. *)
   | Attack_tried of { attack : string; success : bool; elapsed : float }
       (** One adversarial-attack attempt. *)
   | Verdict_reached of { engine : string; verdict : string; elapsed : float }

@@ -40,6 +40,37 @@ val observed : t -> t
     while observability is off.  The built-in verifiers below are already
     observed; use this for custom AppVers. *)
 
+(** {1 Easy/hard triage} *)
+
+type triage_crit = {
+  lb_threshold : float;
+      (** escalate only when the cheap bound is undecided but close:
+          [phat >= -lb_threshold] *)
+  depth_threshold : int;  (** escalate only at BaB depth >= this *)
+  impr_threshold : float;
+      (** once [window] escalations have been observed, keep escalating
+          only while their mean tightening ([expensive.phat -
+          cheap.phat]) stays >= this *)
+  window : int;  (** escalations sampled before the improvement gate *)
+}
+(** Escalation criterion, mirroring the [hard_crit] of the
+    scaling-the-convex-barrier exemplar (DESIGN.md §13). *)
+
+val default_triage : triage_crit
+(** [{ lb_threshold = 0.5; depth_threshold = 0; impr_threshold = 1e-1;
+      window = 32 }]. *)
+
+val triaged : ?crit:triage_crit -> cheap:t -> expensive:t -> unit -> t
+(** [triaged ~cheap ~expensive ()] is the AppVer ["<cheap>+<expensive>"]
+    that bounds every node with [cheap] and re-bounds it with
+    [expensive] only when the escalation criterion fires, merging the
+    two certificates elementwise (both are sound, so the max of each
+    row bound is).  Escalation statistics are shared across worker
+    domains behind a mutex, so the combinator is safe under
+    [--domains N]; skipped nodes pass the ancestor's expensive-verifier
+    warm state through unchanged.  Counters:
+    [appver.triage.escalated] / [appver.triage.skipped]. *)
+
 val deeppoly : t
 (** DeepPoly back-substitution with the adaptive lower slope — the
     default AppVer, mirroring the paper's [7],[16] stack. *)

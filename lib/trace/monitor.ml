@@ -113,7 +113,8 @@ let feed m env =
   | Event.Bound_computed { elapsed; _ } -> m.appver_time <- m.appver_time +. elapsed
   | Event.Lp_solved { elapsed; _ } -> m.lp_time <- m.lp_time +. elapsed
   | Event.Attack_tried { elapsed; _ } -> m.attack_time <- m.attack_time +. elapsed
-  | Event.Bound_reuse _ -> ()
+  (* lp_warm annotates an lp bound_computed already counted above *)
+  | Event.Bound_reuse _ | Event.Lp_warm _ -> ()
   | Event.Resource_sample ({ engine; rss_bytes; open_nodes; _ } as s) ->
     if m.engine = None then m.engine <- Some engine;
     m.frontier <- Stdlib.max m.frontier open_nodes;

@@ -157,13 +157,24 @@ let obj_str fields name =
 let row_of_json = function
   | Obj fields ->
     (match obj_num fields "nodes_per_sec_cached" with
-     | None -> None
      | Some nps_cached ->
        Some
          { nps_cached;
            nps_uncached = obj_num fields "nodes_per_sec_uncached";
            speedup = obj_num fields "speedup";
-           peak_rss_bytes = Option.map int_of_float (obj_num fields "peak_rss_bytes") })
+           peak_rss_bytes = Option.map int_of_float (obj_num fields "peak_rss_bytes") }
+     | None ->
+       (* kernel bench rows (BENCH_kernels.json) carry ns_per_run;
+          expose them as runs/sec so the higher-is-better comparison
+          below applies unchanged *)
+       (match obj_num fields "ns_per_run" with
+        | Some ns when ns > 0.0 ->
+          Some
+            { nps_cached = 1e9 /. ns;
+              nps_uncached = None;
+              speedup = None;
+              peak_rss_bytes = None }
+        | Some _ | None -> None))
   | _ -> None
 
 let load_string text =

@@ -5,10 +5,16 @@
     a fresh run — and compares per-instance cached node throughput plus
     the geomean speedup.  Accepts both the stamped layout
     ([{"schema":1, "commit":…, "rows":{…}}]) and the pre-stamp flat
-    layout, so the gate works against historical baselines. *)
+    layout, so the gate works against historical baselines.  Kernel
+    bench files ([BENCH_kernels.json], rows carrying [ns_per_run]) are
+    accepted too: those rows are exposed as runs/sec in [nps_cached],
+    so the same higher-is-better gate covers the kernel
+    micro-benchmarks ([kernel_lp_warm] among them). *)
 
 type row = {
-  nps_cached : float;  (** [nodes_per_sec_cached] — the gated metric *)
+  nps_cached : float;
+      (** [nodes_per_sec_cached] — the gated metric; for kernel rows,
+          [1e9 / ns_per_run] *)
   nps_uncached : float option;
   speedup : float option;
   peak_rss_bytes : int option;  (** present in stamped files only *)

@@ -204,8 +204,8 @@ let of_events events =
       (* bound_reuse is a cache-effectiveness annotation on the
          preceding bound_computed, not extra AppVer work: it must not
          perturb call/node reconstruction. *)
-      | Event.Lp_solved _ | Event.Attack_tried _ | Event.Bound_reuse _
-      | Event.Resource_sample _ -> ()
+      | Event.Lp_solved _ | Event.Lp_warm _ | Event.Attack_tried _
+      | Event.Bound_reuse _ | Event.Resource_sample _ -> ()
       | Event.Verdict_reached { engine = e; verdict = v; elapsed } ->
         saw_engine e;
         verdict := Some v;

@@ -524,3 +524,187 @@ let enumeration_suite =
     ] )
 
 let suite = suite @ [ enumeration_suite ]
+
+(* --- easy/hard triage (DESIGN.md §13) --- *)
+
+module Appver = Abonn_prop.Appver
+module Lp_verifier = Abonn_lp.Lp_verifier
+module Metrics = Abonn_obs.Metrics
+
+let counter name =
+  match List.assoc_opt name (Metrics.snapshot ()).Metrics.counters with
+  | Some n -> n
+  | None -> 0
+
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.reset ();
+      Metrics.set_enabled false)
+    f
+
+let leaf_gamma k mask =
+  let gamma = ref [] in
+  for relu = k - 1 downto 0 do
+    let phase = if mask land (1 lsl relu) <> 0 then Split.Active else Split.Inactive in
+    gamma := { Split.relu; phase } :: !gamma
+  done;
+  !gamma
+
+(* Exhaustive over every phase cell of small nets: the triaged verifier
+   never loses the cheap certificate, a cell it skips is never decided
+   differently by one LP call alone (skip-with-proof implies the LP
+   proves too; dominance makes this exact), an escalated cell keeps the
+   LP bound, and no cell with an exactly-falsified interior point is
+   ever claimed proved. *)
+let test_triage_exhaustive_cells () =
+  List.iter
+    (fun seed ->
+      let problem = random_problem ~seed ~dims:[ 2; 4; 2 ] ~eps:0.3 () in
+      let k = Problem.num_relus problem in
+      with_metrics (fun () ->
+          let tri =
+            Appver.triaged ~cheap:Appver.deeppoly ~expensive:Lp_verifier.appver ()
+          in
+          for mask = 0 to (1 lsl k) - 1 do
+            let gamma = leaf_gamma k mask in
+            let esc0 = counter "appver.triage.escalated" in
+            let t_o = tri.Appver.run problem gamma in
+            let escalated = counter "appver.triage.escalated" > esc0 in
+            let cheap_o = Appver.deeppoly.Appver.run problem gamma in
+            if t_o.Outcome.phat < cheap_o.Outcome.phat -. 1e-12 then
+              Alcotest.failf "seed %d mask %d: triage lost the cheap bound (%.12g < %.12g)"
+                seed mask t_o.Outcome.phat cheap_o.Outcome.phat;
+            if escalated then begin
+              let lp_o = Lp_verifier.run problem gamma in
+              if (not lp_o.Outcome.infeasible) && (not t_o.Outcome.infeasible)
+                 && t_o.Outcome.phat < lp_o.Outcome.phat -. 1e-9
+              then
+                Alcotest.failf "seed %d mask %d: escalated cell lost the LP bound" seed mask
+            end
+            else begin
+              (* skipped: the cheap outcome is passed through unchanged *)
+              if not (Float.equal t_o.Outcome.phat cheap_o.Outcome.phat) then
+                Alcotest.failf "seed %d mask %d: skipped cell drifted from cheap phat"
+                  seed mask;
+              if Outcome.proved cheap_o && not cheap_o.Outcome.infeasible then begin
+                let lp_o = Lp_verifier.run problem gamma in
+                if not (Outcome.proved lp_o) then
+                  Alcotest.failf
+                    "seed %d mask %d: triage skipped a proved cell the LP refuses to prove"
+                    seed mask
+              end
+            end;
+            (match Exact.resolve problem gamma with
+             | `Falsified x when Problem.concrete_margin problem x < -1e-6 ->
+               if Outcome.proved t_o then
+                 Alcotest.failf
+                   "seed %d mask %d: triage proved a cell with an exact interior cex"
+                   seed mask
+             | `Falsified _ | `Verified -> ())
+          done))
+    [ 41; 42; 43 ]
+
+(* An unreachable depth gate means the triaged verifier is bitwise the
+   cheap one and never escalates. *)
+let test_triage_depth_gate_disables_escalation () =
+  let problem = random_problem ~seed:44 ~dims:[ 2; 4; 2 ] ~eps:0.3 () in
+  let k = Problem.num_relus problem in
+  with_metrics (fun () ->
+      let crit = { Appver.default_triage with Appver.depth_threshold = 1000 } in
+      let tri =
+        Appver.triaged ~crit ~cheap:Appver.deeppoly ~expensive:Lp_verifier.appver ()
+      in
+      for mask = 0 to (1 lsl k) - 1 do
+        let gamma = leaf_gamma k mask in
+        let t_o = tri.Appver.run problem gamma in
+        let cheap_o = Appver.deeppoly.Appver.run problem gamma in
+        Alcotest.(check bool) "phat bitwise" true
+          (Float.equal t_o.Outcome.phat cheap_o.Outcome.phat);
+        Alcotest.(check bool) "rows bitwise" true
+          (Array.length t_o.Outcome.row_lower = Array.length cheap_o.Outcome.row_lower
+          && Array.for_all2 Float.equal t_o.Outcome.row_lower cheap_o.Outcome.row_lower)
+      done;
+      Alcotest.(check int) "no escalations" 0 (counter "appver.triage.escalated");
+      Alcotest.(check int) "all skipped" (1 lsl k) (counter "appver.triage.skipped"))
+
+(* With every gate wide open the combinator escalates exactly the
+   undecided cells. *)
+let test_triage_open_gates_escalate_all_undecided () =
+  let problem = random_problem ~seed:45 ~dims:[ 2; 4; 2 ] ~eps:0.3 () in
+  let k = Problem.num_relus problem in
+  with_metrics (fun () ->
+      let crit =
+        { Appver.lb_threshold = infinity; depth_threshold = 0;
+          impr_threshold = neg_infinity; window = 1 }
+      in
+      let tri =
+        Appver.triaged ~crit ~cheap:Appver.deeppoly ~expensive:Lp_verifier.appver ()
+      in
+      let undecided = ref 0 in
+      for mask = 0 to (1 lsl k) - 1 do
+        let gamma = leaf_gamma k mask in
+        let cheap_o = Appver.deeppoly.Appver.run problem gamma in
+        if (not (Outcome.proved cheap_o)) && not cheap_o.Outcome.infeasible then
+          incr undecided;
+        ignore (tri.Appver.run problem gamma)
+      done;
+      Alcotest.(check int) "escalations = undecided cells" !undecided
+        (counter "appver.triage.escalated"))
+
+(* BaB on the triaged AppVer reaches the same verdict as BaB on plain
+   DeepPoly, with validating witnesses, sequentially and on 4 domains. *)
+let test_triage_engine_verdict_agreement () =
+  let check_witness problem = function
+    | Verdict.Falsified x ->
+      Alcotest.(check bool) "witness validates" true (Problem.is_counterexample problem x)
+    | Verdict.Verified | Verdict.Timeout -> ()
+  in
+  List.iter
+    (fun seed ->
+      let problem = random_problem ~seed ~dims:[ 2; 5; 2 ] ~eps:0.3 () in
+      let tri =
+        Appver.triaged ~cheap:Appver.deeppoly ~expensive:Lp_verifier.appver ()
+      in
+      let budget () = Budget.of_calls 800 in
+      let vt = (Bfs.verify ~appver:tri ~budget:(budget ()) problem).Result.verdict in
+      let vd = (Bfs.verify ~budget:(budget ()) problem).Result.verdict in
+      let vp =
+        (Bfs.verify ~appver:tri ~domains:4 ~budget:(budget ()) problem).Result.verdict
+      in
+      (* ties (witness margin within 1e-6 of zero) may land on either
+         side; only a strictly interior witness conflicts with Verified *)
+      let interior = function
+        | Verdict.Falsified x -> Problem.concrete_margin problem x < -1e-6
+        | Verdict.Verified | Verdict.Timeout -> false
+      in
+      (match (vt, vd) with
+       | Verdict.Verified, f when interior f ->
+         Alcotest.failf "seed %d: deeppoly BaB falsifies interior, triaged verifies" seed
+       | f, Verdict.Verified when interior f ->
+         Alcotest.failf "seed %d: triaged BaB falsifies interior, deeppoly verifies" seed
+       | _ -> ());
+      (match (vt, vp) with
+       | Verdict.Verified, f when interior f ->
+         Alcotest.failf "seed %d: triaged BaB domains:4 falsifies interior, seq verifies" seed
+       | f, Verdict.Verified when interior f ->
+         Alcotest.failf "seed %d: triaged BaB seq falsifies interior, domains:4 verifies" seed
+       | _ -> ());
+      List.iter (check_witness problem) [ vt; vd; vp ])
+    [ 46; 47; 48 ]
+
+let triage_suite =
+  ( "bab.triage",
+    [ Alcotest.test_case "exhaustive cells: skip never flips a decision" `Slow
+        test_triage_exhaustive_cells;
+      Alcotest.test_case "depth gate disables escalation bitwise" `Quick
+        test_triage_depth_gate_disables_escalation;
+      Alcotest.test_case "open gates escalate every undecided cell" `Quick
+        test_triage_open_gates_escalate_all_undecided;
+      Alcotest.test_case "triaged engine verdicts agree" `Slow
+        test_triage_engine_verdict_agreement
+    ] )
+
+let suite = suite @ [ triage_suite ]

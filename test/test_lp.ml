@@ -95,7 +95,7 @@ let test_lp_bounded_box () =
      check_float 1e-9 "objective" 4.0 objective;
      check_float 1e-9 "x" 1.0 (values x);
      check_float 1e-9 "y" 3.0 (values y)
-   | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected optimum")
+   | Lp.Infeasible | Lp.Unbounded | Lp.Pivot_limit -> Alcotest.fail "expected optimum")
 
 let test_lp_maximize_via_negation () =
   (* max x + y over x + y <= 5, x,y in [0,10]: minimise the negation. *)
@@ -106,7 +106,7 @@ let test_lp_maximize_via_negation () =
   Lp.set_objective lp [ (-1.0, x); (-1.0, y) ];
   (match Lp.solve lp with
    | Lp.Optimal { objective; _ } -> check_float 1e-9 "max is 5" (-5.0) objective
-   | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected optimum")
+   | Lp.Infeasible | Lp.Unbounded | Lp.Pivot_limit -> Alcotest.fail "expected optimum")
 
 let test_lp_free_variable () =
   (* Free variable pinned by an equality: x free, x = -7. *)
@@ -118,7 +118,7 @@ let test_lp_free_variable () =
    | Lp.Optimal { objective; values } ->
      check_float 1e-9 "objective" (-7.0) objective;
      check_float 1e-9 "x" (-7.0) (values x)
-   | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected optimum")
+   | Lp.Infeasible | Lp.Unbounded | Lp.Pivot_limit -> Alcotest.fail "expected optimum")
 
 let test_lp_upper_bounded_only () =
   (* x ≤ 2 (no lower bound), minimise -x: optimum at 2. *)
@@ -127,7 +127,7 @@ let test_lp_upper_bounded_only () =
   Lp.set_objective lp [ (-1.0, x) ];
   (match Lp.solve lp with
    | Lp.Optimal { values; _ } -> check_float 1e-9 "x" 2.0 (values x)
-   | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected optimum")
+   | Lp.Infeasible | Lp.Unbounded | Lp.Pivot_limit -> Alcotest.fail "expected optimum")
 
 let test_lp_ge_constraint () =
   let lp = Lp.create () in
@@ -136,7 +136,7 @@ let test_lp_ge_constraint () =
   Lp.set_objective lp [ (1.0, x) ];
   (match Lp.solve lp with
    | Lp.Optimal { objective; _ } -> check_float 1e-9 "objective" 4.0 objective
-   | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected optimum")
+   | Lp.Infeasible | Lp.Unbounded | Lp.Pivot_limit -> Alcotest.fail "expected optimum")
 
 let test_lp_infeasible () =
   let lp = Lp.create () in
@@ -156,7 +156,7 @@ let test_lp_objective_constant () =
   Lp.set_objective ~constant:10.0 lp [ (2.0, x) ];
   (match Lp.solve lp with
    | Lp.Optimal { objective; _ } -> check_float 1e-9 "objective" 12.0 objective
-   | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected optimum")
+   | Lp.Infeasible | Lp.Unbounded | Lp.Pivot_limit -> Alcotest.fail "expected optimum")
 
 let test_lp_resolve_with_new_objective () =
   (* The builder is reusable: solve twice with different objectives. *)
@@ -182,7 +182,7 @@ let test_lp_duplicate_terms_summed () =
   Lp.set_objective lp [ (-1.0, x) ];
   (match Lp.solve lp with
    | Lp.Optimal { values; _ } -> check_float 1e-9 "x" 2.0 (values x)
-   | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected optimum")
+   | Lp.Infeasible | Lp.Unbounded | Lp.Pivot_limit -> Alcotest.fail "expected optimum")
 
 (* --- LP verifier --- *)
 
@@ -445,7 +445,7 @@ let prop_boxlp_matches_standard =
         Float.abs (objective -. fast.Boxlp.objective) < 1e-5
       | Lp.Infeasible, Boxlp.Infeasible -> true
       | Lp.Unbounded, Boxlp.Unbounded -> true
-      | (Lp.Optimal _ | Lp.Infeasible | Lp.Unbounded), _ -> false)
+      | (Lp.Optimal _ | Lp.Infeasible | Lp.Unbounded | Lp.Pivot_limit), _ -> false)
 
 let boxlp_tests =
   ( "lp.boxlp",

@@ -167,7 +167,7 @@ let prop_boxlp_solution_feasible =
       in
       let sol = Boxlp.solve ~c ~lo ~hi ~rows () in
       match sol.Boxlp.status with
-      | Boxlp.Infeasible | Boxlp.Unbounded -> true
+      | Boxlp.Infeasible | Boxlp.Unbounded | Boxlp.Pivot_limit -> true
       | Boxlp.Optimal ->
         let x = sol.Boxlp.x in
         let tol = 1e-6 in

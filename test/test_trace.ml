@@ -722,6 +722,37 @@ let test_regress_both_layouts () =
        row.Regress.peak_rss_bytes
    | _ -> Alcotest.fail "expected one stamped row")
 
+(* Kernel bench rows carry ns_per_run instead of a node rate; the
+   loader exposes them as runs/sec so the same gate covers
+   BENCH_kernels.json (kernel_lp_warm among them). *)
+let kernel_bench ns =
+  Printf.sprintf
+    {|{
+  "schema": 1,
+  "commit": "abc1234",
+  "date": "2026-08-07T00:00:00Z",
+  "rows": {
+    "abonn/kernel_lp_call": {"ns_per_run": 1808530260.655, "r_square": 0.937},
+    "abonn/kernel_lp_warm": {"ns_per_run": %.3f, "r_square": 0.99}
+  }
+}|}
+    ns
+
+let test_regress_kernel_layout () =
+  let b = load_ok (kernel_bench 103_000_000.0) in
+  Alcotest.(check int) "kernel rows" 2 (List.length b.Regress.rows);
+  (match List.assoc_opt "abonn/kernel_lp_warm" b.Regress.rows with
+   | Some row ->
+     Alcotest.(check bool) "runs/sec derived" true
+       (Float.abs (row.Regress.nps_cached -. (1e9 /. 103_000_000.0)) < 1e-9)
+   | None -> Alcotest.fail "kernel_lp_warm row missing");
+  (* a 2x-slower fresh warm kernel must trip the gate *)
+  let fresh = load_ok (kernel_bench 206_000_000.0) in
+  let r = Regress.compare_benches ~max_regress:20.0 ~baseline:b ~fresh () in
+  Alcotest.(check bool) "2x slower kernel fails" false r.Regress.ok;
+  let r = Regress.compare_benches ~max_regress:20.0 ~baseline:b ~fresh:b () in
+  Alcotest.(check bool) "identical kernels pass" true r.Regress.ok
+
 let test_regress_gate_pass_and_fail () =
   let baseline = load_ok (stamped_bench 3000.0) in
   (* 10% below baseline: inside a 20% tolerance *)
@@ -824,6 +855,7 @@ let suite =
       ] );
     ( "trace.regress",
       [ Alcotest.test_case "both layouts parse" `Quick test_regress_both_layouts;
+        Alcotest.test_case "kernel ns_per_run layout" `Quick test_regress_kernel_layout;
         Alcotest.test_case "gate pass and fail" `Quick test_regress_gate_pass_and_fail;
         Alcotest.test_case "missing row fails" `Quick test_regress_missing_row_fails;
         Alcotest.test_case "report renders" `Quick test_regress_report_renders
