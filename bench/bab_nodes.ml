@@ -138,8 +138,8 @@ let throughput_instrumented ?introspect problem =
       ignore (timed_run ~cache:true ~domains:1 problem);
       throughput ~cache:true ~domains:1 problem)
 
-let bench_instance ~domain_sweep ~flight ~introspect (name, dims, eps, seed) =
-  let problem = mlp_problem ~dims ~eps seed in
+let bench_instance ~domain_sweep ~flight ~introspect (name, seed, make_problem) =
+  let problem = make_problem () in
   (* one throwaway pass per mode so both measurements run warm *)
   ignore (timed_run ~cache:false ~domains:1 problem);
   ignore (timed_run ~cache:true ~domains:1 problem);
@@ -209,9 +209,18 @@ let bench_instance ~domain_sweep ~flight ~introspect (name, dims, eps, seed) =
   (base :: flight_rows) @ introspect_rows @ par_rows
 
 let instances =
-  [ ("mlp_d6_seed1", [ 4; 24; 24; 24; 24; 24; 24; 2 ], 0.22, 1);
-    ("mlp_d6_seed5", [ 4; 24; 24; 24; 24; 24; 24; 2 ], 0.22, 5);
-    ("mlp_d8_seed3", [ 3; 20; 20; 20; 20; 20; 20; 20; 20; 2 ], 0.2, 3) ]
+  [ ("mlp_d6_seed1", 1,
+     fun () -> mlp_problem ~dims:[ 4; 24; 24; 24; 24; 24; 24; 2 ] ~eps:0.22 1);
+    ("mlp_d6_seed5", 5,
+     fun () -> mlp_problem ~dims:[ 4; 24; 24; 24; 24; 24; 24; 2 ] ~eps:0.22 5);
+    ("mlp_d8_seed3", 3,
+     fun () -> mlp_problem ~dims:[ 3; 20; 20; 20; 20; 20; 20; 20; 20; 2 ] ~eps:0.2 3);
+    (* the ACAS-style front-end instance (lib/data/acas.ml): same
+       network family the --onnx/--vnnlib tutorial verifies, sized to
+       stay sub-second per run on CI *)
+    ("acas_h4w20_p1", 1,
+     fun () ->
+       Abonn_data.Acas.problem ~hidden_layers:4 ~width:20 ~seed:1 Abonn_data.Acas.P1) ]
 
 (* Stamped layout (schema 1): provenance at top level, instances nested
    under "rows".  The regression gate (lib/trace/regress.ml) reads this
@@ -300,7 +309,8 @@ let () =
   List.iter
     (fun r ->
       Registry.append
-        (Registry.make ~engine:"bestfirst-bench" ~model:"bench_mlp" ~instance:r.name
+        (Registry.make ~source_format:"synthetic" ~engine:"bestfirst-bench"
+           ~model:"bench_mlp" ~instance:r.name
            ~seed:r.seed ~domains:r.domains ~verdict:r.verdict ~wall:r.wall
            ~calls:r.calls_used ~nodes:r.nodes ~max_depth:r.max_depth
            ~peak_rss_bytes:r.peak_rss_bytes ()))

@@ -95,9 +95,13 @@ let restore_default_handlers () =
   try Sys.set_signal Sys.sigterm Sys.Signal_default
   with Invalid_argument _ | Sys_error _ -> ()
 
-let verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-    progress stats no_cache registry domains introspect flight_path lp_triage
-    no_lp_warm ~model ~instance ~context =
+(* Run one problem through the selected engine with the requested
+   observability and print the verdict block.  Returns the engine
+   result; registry bookkeeping is left to the callers (a VNNLIB spec
+   appends one joined record for several of these runs). *)
+let verify_core problem engine lambda c heuristic appver calls seconds trace_file
+    progress stats no_cache domains introspect flight_path lp_triage no_lp_warm
+    ~context =
   let heuristic =
     match Abonn_bab.Branching.find heuristic with
     | Some h -> h
@@ -147,7 +151,7 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
   with
   | exception Sys_error msg ->
     restore_default_handlers ();
-    `Error (false, msg)
+    Error msg
   | result ->
   restore_default_handlers ();
   (* post-mortem dump on budget exhaustion: a timed-out run is exactly
@@ -169,58 +173,155 @@ let verify_problem problem engine lambda c heuristic appver calls seconds trace_
      Printf.printf "counterexample margin: %.6f (<= 0 confirms violation)\n" margin
    | None -> ());
   Option.iter (Printf.printf "trace written to: %s\n") trace_file;
-  Option.iter
-    (fun path ->
-      Registry.append ~path
-        (Registry.make ~domains ~engine ~model ~instance ~seed:0
-           ~verdict:(Verdict.to_string result.Result.verdict)
-           ~wall:result.Result.stats.Result.wall_time
-           ~calls:result.Result.stats.Result.appver_calls
-           ~nodes:result.Result.stats.Result.nodes
-           ~max_depth:result.Result.stats.Result.max_depth ());
-      Printf.printf "registry record appended to: %s\n" path)
-    registry;
   if stats then begin
     print_newline ();
     print_string (Abonn_harness.Report.stats (Metrics.snapshot ()));
     Metrics.set_enabled false
   end;
-  `Ok ()
+  Ok result
 
-let run problem_file model_name index eps factor engine lambda c heuristic appver calls
-    seconds models_dir trace_file progress stats no_cache registry domains introspect
-    flight no_flight lp_triage no_lp_warm =
+let append_registry registry ~domains ~engine ~model ~instance ~source_format
+    ~verdict ~wall ~calls ~nodes ~max_depth =
+  Option.iter
+    (fun path ->
+      Registry.append ~path
+        (Registry.make ~domains ~engine ~model ~instance ~seed:0 ~source_format
+           ~verdict ~wall ~calls ~nodes ~max_depth ());
+      Printf.printf "registry record appended to: %s\n" path)
+    registry
+
+let verify_problem problem engine lambda c heuristic appver calls seconds trace_file
+    progress stats no_cache registry domains introspect flight_path lp_triage
+    no_lp_warm ~model ~instance ~context ~source_format =
+  match
+    verify_core problem engine lambda c heuristic appver calls seconds trace_file
+      progress stats no_cache domains introspect flight_path lp_triage no_lp_warm
+      ~context
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok result ->
+    append_registry registry ~domains ~engine ~model ~instance ~source_format
+      ~verdict:(Verdict.to_string result.Result.verdict)
+      ~wall:result.Result.stats.Result.wall_time
+      ~calls:result.Result.stats.Result.appver_calls
+      ~nodes:result.Result.stats.Result.nodes
+      ~max_depth:result.Result.stats.Result.max_depth;
+    `Ok ()
+
+(* An ONNX+VNNLIB pair: one BaB run per violation disjunct, stopping
+   early at the first counterexample, then the DNF verdict join
+   (Abonn_spec.Vnnlib).  One registry record summarises the whole spec
+   (summed cost, joined verdict, source_format = "onnx+vnnlib"). *)
+let verify_spec problems engine lambda c heuristic appver calls seconds trace_file
+    progress stats no_cache registry domains introspect flight_path lp_triage
+    no_lp_warm ~model ~instance ~context =
+  let total = List.length problems in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | problem :: rest -> (
+      match
+        verify_core problem engine lambda c heuristic appver calls seconds
+          trace_file progress stats no_cache domains introspect flight_path
+          lp_triage no_lp_warm
+          ~context:(Printf.sprintf "%s disjunct=%d/%d" context (i + 1) total)
+      with
+      | Error msg -> Error msg
+      | Ok result ->
+        let acc = result :: acc in
+        if Verdict.is_falsified result.Result.verdict then Ok (List.rev acc)
+        else go (i + 1) acc rest)
+  in
+  match go 0 [] problems with
+  | Error msg -> `Error (false, msg)
+  | Ok results ->
+    let verdicts = List.map (fun r -> r.Result.verdict) results in
+    let joined = Abonn_spec.Vnnlib.join_verdicts verdicts in
+    let sum f = List.fold_left (fun acc r -> acc + f r.Result.stats) 0 results in
+    let wall =
+      List.fold_left (fun acc r -> acc +. r.Result.stats.Result.wall_time) 0.0 results
+    in
+    if total > 1 then
+      Printf.printf "joined verdict: %s (%d/%d disjuncts run)\n"
+        (Verdict.to_string joined) (List.length results) total;
+    append_registry registry ~domains ~engine ~model ~instance
+      ~source_format:"onnx+vnnlib" ~verdict:(Verdict.to_string joined) ~wall
+      ~calls:(sum (fun s -> s.Result.appver_calls))
+      ~nodes:(sum (fun s -> s.Result.nodes))
+      ~max_depth:
+        (List.fold_left
+           (fun acc r -> max acc r.Result.stats.Result.max_depth)
+           0 results);
+    `Ok ()
+
+let run problem_file onnx_file vnnlib_file model_name index eps factor engine lambda c
+    heuristic appver calls seconds models_dir trace_file progress stats no_cache
+    registry domains introspect flight no_flight lp_triage no_lp_warm =
   let flight_path = if no_flight then None else Some flight in
-  match problem_file with
-  | Some path ->
-    let problem = Abonn_spec.Problem_file.load path in
-    verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-      progress stats no_cache registry domains introspect flight_path lp_triage
-      no_lp_warm ~model:"problem-file"
-      ~instance:(Filename.basename path)
-      ~context:(Printf.sprintf "problem=%s" path)
-  | None ->
-  match Models.find model_name with
-  | None ->
-    `Error
-      (false,
-       Printf.sprintf "unknown model %s (try: %s)" model_name
-         (String.concat ", " (List.map (fun s -> s.Models.name) Models.all)))
-  | Some spec ->
-    let trained = Models.train_cached ~dir:models_dir spec in
-    (match build_problem trained index eps factor with
-     | `Error _ as e -> e
-     | `Ok (problem, eps) ->
-       verify_problem problem engine lambda c heuristic appver calls seconds trace_file
-         progress stats no_cache registry domains introspect flight_path lp_triage
-         no_lp_warm ~model:model_name
-         ~instance:(Printf.sprintf "index%d_eps%.5g" index eps)
-         ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps))
+  try
+    match (problem_file, onnx_file, vnnlib_file) with
+    | Some _, Some _, _ | Some _, _, Some _ ->
+      `Error (true, "--problem and --onnx/--vnnlib are mutually exclusive")
+    | None, Some _, None | None, None, Some _ ->
+      `Error (true, "--onnx and --vnnlib must be given together")
+    | Some path, None, None ->
+      let problem = Abonn_spec.Problem_file.load path in
+      verify_problem problem engine lambda c heuristic appver calls seconds trace_file
+        progress stats no_cache registry domains introspect flight_path lp_triage
+        no_lp_warm ~model:"problem-file"
+        ~instance:(Filename.basename path)
+        ~context:(Printf.sprintf "problem=%s" path)
+        ~source_format:"native"
+    | None, Some onnx_path, Some vnnlib_path ->
+      let network = Abonn_nn.Onnx.load onnx_path in
+      let spec = Abonn_spec.Vnnlib.load vnnlib_path in
+      let name = Filename.remove_extension (Filename.basename vnnlib_path) in
+      let problems = Abonn_spec.Vnnlib.problems ~name ~network spec in
+      verify_spec problems engine lambda c heuristic appver calls seconds trace_file
+        progress stats no_cache registry domains introspect flight_path lp_triage
+        no_lp_warm
+        ~model:(Filename.basename onnx_path)
+        ~instance:(Filename.basename vnnlib_path)
+        ~context:(Printf.sprintf "onnx=%s vnnlib=%s" onnx_path vnnlib_path)
+    | None, None, None -> (
+      match Models.find model_name with
+      | None ->
+        `Error
+          (false,
+           Printf.sprintf "unknown model %s (try: %s)" model_name
+             (String.concat ", " (List.map (fun s -> s.Models.name) Models.all)))
+      | Some spec ->
+        let trained = Models.train_cached ~dir:models_dir spec in
+        (match build_problem trained index eps factor with
+         | `Error _ as e -> e
+         | `Ok (problem, eps) ->
+           verify_problem problem engine lambda c heuristic appver calls seconds
+             trace_file progress stats no_cache registry domains introspect
+             flight_path lp_triage no_lp_warm ~model:model_name
+             ~instance:(Printf.sprintf "index%d_eps%.5g" index eps)
+             ~context:(Printf.sprintf "model=%s index=%d eps=%.5f" model_name index eps)
+             ~source_format:"synthetic"))
+  with
+  | Abonn_util.Parse_error.Error e ->
+    `Error (false, Abonn_util.Parse_error.to_string e)
+  | Sys_error msg | Invalid_argument msg -> `Error (false, msg)
 
 let problem_arg =
   Arg.(value & opt (some string) None
        & info [ "problem" ] ~docv:"FILE"
            ~doc:"Verify a problem file (see Abonn_spec.Problem_file) instead of a zoo model.")
+
+let onnx_arg =
+  Arg.(value & opt (some string) None
+       & info [ "onnx" ] ~docv:"FILE"
+           ~doc:"ONNX network to verify (requires --vnnlib; see docs/FORMATS.md for \
+                 the supported operator subset).")
+
+let vnnlib_arg =
+  Arg.(value & opt (some string) None
+       & info [ "vnnlib" ] ~docv:"FILE"
+           ~doc:"VNNLIB property for --onnx: input box plus a DNF of output \
+                 constraints; one BaB run per disjunct, verdicts joined \
+                 (docs/FORMATS.md).")
 
 let model_arg =
   Arg.(value & opt string "mnist_l2" & info [ "model" ] ~docv:"NAME" ~doc:"Benchmark model.")
@@ -414,7 +515,8 @@ let cmd =
     (Cmd.info "abonn" ~doc)
     Term.(
       ret
-        (const run $ problem_arg $ model_arg $ index_arg $ eps_arg $ factor_arg $ engine_arg
+        (const run $ problem_arg $ onnx_arg $ vnnlib_arg $ model_arg $ index_arg
+         $ eps_arg $ factor_arg $ engine_arg
          $ lambda_arg $ c_arg $ heuristic_arg $ appver_arg $ calls_arg $ seconds_arg
          $ models_dir_arg $ trace_arg $ progress_arg $ stats_arg $ no_cache_arg
          $ registry_arg $ domains_arg $ introspect_arg $ flight_arg $ no_flight_arg

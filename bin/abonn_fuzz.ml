@@ -30,7 +30,7 @@ let parse_families s =
           Error
             (Printf.sprintf
                "unknown oracle family %S (expected all, sampling, bounds, exact, \
-                engines, cert, incremental or lp)"
+                engines, cert, incremental, lp or formats)"
                p))
     in
     go [] parts
@@ -139,7 +139,7 @@ let oracle_arg =
         ~doc:
           "Oracle families to run: $(b,all) or a comma-separated subset of \
            $(b,sampling), $(b,bounds), $(b,exact), $(b,engines), $(b,cert), \
-           $(b,incremental), $(b,lp).")
+           $(b,incremental), $(b,lp), $(b,formats).")
 
 let minimize_arg =
   Arg.(

@@ -72,11 +72,50 @@ let output_result out text =
 
 (* --- subcommands --- *)
 
+(* A registry JSONL (results/registry.jsonl) is also line-oriented JSON
+   but carries run records, not events; when the file parses as one,
+   render the run table (including the schema-3 source_format column)
+   instead of event analytics. *)
+let registry_summary path =
+  match Abonn_trace.Registry.load ~path () with
+  | [], _ -> None
+  | records, errors ->
+    let rows =
+      List.map
+        (fun (r : Abonn_trace.Registry.record) ->
+          [ r.Abonn_trace.Registry.engine; r.model; r.instance;
+            string_of_int r.domains; r.source_format; r.verdict;
+            Printf.sprintf "%.3f" r.wall; string_of_int r.calls;
+            string_of_int r.nodes; string_of_int r.max_depth ])
+        records
+    in
+    let table =
+      Abonn_util.Table.render
+        ~align:
+          Abonn_util.Table.
+            [ Left; Left; Left; Right; Left; Left; Right; Right; Right; Right ]
+        ~header:
+          [ "engine"; "model"; "instance"; "dom"; "source"; "verdict"; "wall";
+            "calls"; "nodes"; "depth" ]
+        rows
+    in
+    let footer =
+      Printf.sprintf "\n%d record(s)%s\n" (List.length records)
+        (if errors = [] then ""
+         else Printf.sprintf ", %d unparseable line(s)" (List.length errors))
+    in
+    Some (table ^ footer)
+
 let summary_cmd =
   let run file =
-    with_events file (fun events ->
-        print_string (Summary.to_string (Summary.runs events));
-        `Ok ())
+    match registry_summary file with
+    | Some text ->
+      print_string text;
+      `Ok ()
+    | None ->
+      with_events file (fun events ->
+          print_string (Summary.to_string (Summary.runs events));
+          `Ok ())
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
   Cmd.v
@@ -84,7 +123,9 @@ let summary_cmd =
        ~doc:
          "Per-run statistics reconstructed from the trace: engine, verdict, AppVer \
           calls, nodes, max depth, wall time.  Harness traces are cross-checked \
-          against their run_finished ground truth.")
+          against their run_finished ground truth.  Run-registry files \
+          (results/registry.jsonl) are detected and rendered as a run table \
+          with their source format.")
     Term.(ret (const run $ file))
 
 let run_arg =

@@ -109,7 +109,7 @@ let run quick_mode progress artifacts =
             (* the harness sweep pins domains to the library default,
                which is 1 unless ABONN_DOMAINS overrides it *)
             (Registry.make ~domains:(Abonn_par.Pool.default_domains ())
-               ~engine:r.Runner.engine
+               ~source_format:"synthetic" ~engine:r.Runner.engine
                ~model:r.Runner.instance.Instances.model
                ~instance:r.Runner.instance.Instances.id
                ~seed:r.Runner.instance.Instances.index

@@ -1,0 +1,33 @@
+(* gen_formats: maintain the formats conformance corpus.
+
+     gen_formats --check          # CI: committed fixtures == recipes?
+     gen_formats                  # rewrite test/fixtures/formats
+
+   The recipes live in Abonn_check.Formats_corpus; regenerate (and
+   commit the diff) only after an intentional format change. *)
+
+module Corpus = Abonn_check.Formats_corpus
+
+let () =
+  let dir = ref (Filename.concat "test" (Filename.concat "fixtures" "formats")) in
+  let check = ref false in
+  Arg.parse
+    [ ("--dir", Arg.Set_string dir, "DIR corpus directory (default test/fixtures/formats)");
+      ("--check", Arg.Set check, " verify committed fixtures instead of writing") ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "gen_formats [--check] [--dir DIR]";
+  if !check then begin
+    match Corpus.check_dir !dir with
+    | [] -> Printf.printf "formats corpus OK (%d fixtures)\n" (List.length (Corpus.entries ()))
+    | mismatches ->
+      List.iter
+        (fun (name, reason) -> Printf.eprintf "MISMATCH %s: %s\n" name reason)
+        mismatches;
+      Printf.eprintf
+        "formats corpus out of date; run `dune exec bin/gen_formats.exe` and commit\n";
+      exit 1
+  end
+  else begin
+    Corpus.write_dir !dir;
+    Printf.printf "wrote %d fixtures to %s\n" (List.length (Corpus.entries ())) !dir
+  end

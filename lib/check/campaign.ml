@@ -175,6 +175,10 @@ let interesting oracle_cfg family (problem : Problem.t) =
     && (match Deeppoly.hidden_bounds problem [] with
         | Some bs -> Array.exists (fun b -> Bounds.num_unstable b > 0) bs
         | None -> false)
+  | Oracle.Formats ->
+    (* the lowering-agreement check only bites when BFS decides, and a
+       ReLU keeps the ONNX round-trip from degenerating to one affine *)
+    Problem.num_relus problem >= 1 && Verdict.is_solved (bfs ())
 
 (* Corpus entries also target both verdict polarities for the sampling
    family, so the committed set covers proves and refutes. *)
@@ -207,7 +211,13 @@ let corpus_targets : (string * Oracle.family * (Oracle.config -> Problem.t -> bo
      fun cfg p ->
        interesting cfg Oracle.Lp p
        && Problem.num_relus p >= 4
-       && Array.length p.Problem.affine.Abonn_nn.Affine.weights >= 3)
+       && Array.length p.Problem.affine.Abonn_nn.Affine.weights >= 3);
+    ("formats", Oracle.Formats, (fun cfg p -> interesting cfg Oracle.Formats p));
+    ("formats_multirow", Oracle.Formats,
+     (* >= 2 property rows so the conjunctive max-gadget path runs *)
+     fun cfg p ->
+       interesting cfg Oracle.Formats p
+       && Abonn_spec.Property.num_constraints p.Problem.property >= 2)
   ]
 
 let export_corpus ?(seed = 2025) ~dir () =

@@ -1,5 +1,9 @@
 module Rng = Abonn_util.Rng
 module Budget = Abonn_util.Budget
+module Parse_error = Abonn_util.Parse_error
+module Network = Abonn_nn.Network
+module Onnx = Abonn_nn.Onnx
+module Vnnlib = Abonn_spec.Vnnlib
 module Obs = Abonn_obs.Obs
 module Matrix = Abonn_tensor.Matrix
 module Vector = Abonn_tensor.Vector
@@ -24,9 +28,9 @@ module Exact = Abonn_bab.Exact
 module Certificate = Abonn_bab.Certificate
 module Result = Abonn_bab.Result
 
-type family = Sampling | Bounds | Exact | Engines | Cert | Incremental | Lp
+type family = Sampling | Bounds | Exact | Engines | Cert | Incremental | Lp | Formats
 
-let all_families = [ Sampling; Bounds; Exact; Engines; Cert; Incremental; Lp ]
+let all_families = [ Sampling; Bounds; Exact; Engines; Cert; Incremental; Lp; Formats ]
 
 let family_name = function
   | Sampling -> "sampling"
@@ -36,6 +40,7 @@ let family_name = function
   | Cert -> "cert"
   | Incremental -> "incremental"
   | Lp -> "lp"
+  | Formats -> "formats"
 
 let family_of_string = function
   | "sampling" -> Some Sampling
@@ -45,6 +50,7 @@ let family_of_string = function
   | "cert" -> Some Cert
   | "incremental" -> Some Incremental
   | "lp" -> Some Lp
+  | "formats" -> Some Formats
   | _ -> None
 
 type failure = {
@@ -782,6 +788,170 @@ let run_lp cfg rng problem =
       | _ -> Pass
     end
 
+(* --- problem-ingestion format oracle --- *)
+
+(* Differential checks for the ONNX + VNNLIB front-end (docs/FORMATS.md):
+   the in-memory problem is the ground truth, and the wire formats must
+   reproduce it.
+
+   - ONNX: serialization is deterministic, the reader accepts the
+     writer's output, the reparsed network agrees with the original on
+     every probe point, and [parse . print] is a fixpoint (byte
+     stability of the canonical form);
+   - VNNLIB: [of_problem] round-trips exactly ([%.17g] floats) through
+     [to_string] and [parse], and the printer is a fixpoint;
+   - lowering: BFS on the native problem and joined per-disjunct BFS on
+     the round-tripped spec over the round-tripped network must agree up
+     to Timeout (ties within [tol] of zero are documented ambiguity);
+   - max-gadget: on multi-row properties, lowering a conjunctive
+     two-literal disjunct must produce a network computing exactly
+     [max(g_0, g_1)] at every probe point (the exactness the
+     DNF-splitting semantics relies on). *)
+
+let run_formats cfg rng problem =
+  let network = problem.Problem.network in
+  let all_points = probe_points cfg rng problem in
+  let points =
+    if Array.length all_points > 40 then Array.sub all_points 0 40 else all_points
+  in
+  let forward_disagreement a b =
+    let bad = ref None in
+    Array.iter
+      (fun x ->
+        if !bad = None then begin
+          let ya = Network.forward a x and yb = Network.forward b x in
+          Array.iteri
+            (fun i v ->
+              if !bad = None && abs_float (v -. yb.(i)) > cfg.tol then
+                bad := Some (i, v, yb.(i)))
+            ya
+        end)
+      points;
+    !bad
+  in
+  let onnx_verdict =
+    List.fold_left
+      (fun acc (sname, style) ->
+        match acc with
+        | Fail _ -> acc
+        | Pass -> (
+          let bytes = Onnx.to_bytes ~style network in
+          if not (String.equal bytes (Onnx.to_bytes ~style network)) then
+            failf Formats "formats.onnx-nondeterministic"
+              "%s serialization of the same network differs between calls" sname
+          else
+            match Onnx.of_bytes bytes with
+            | exception Parse_error.Error e ->
+              failf Formats "formats.onnx-reject-own-output" "%s: %s" sname
+                (Parse_error.to_string e)
+            | reparsed -> (
+              match forward_disagreement network reparsed with
+              | Some (i, a, b) ->
+                failf Formats "formats.onnx-forward-drift"
+                  "%s: output %d drifts through the round-trip: %.17g vs %.17g"
+                  sname i a b
+              | None ->
+                if not (String.equal bytes (Onnx.to_bytes ~style reparsed)) then
+                  failf Formats "formats.onnx-reprint-unstable"
+                    "%s: parse . print is not a fixpoint" sname
+                else Pass)))
+      Pass
+      [ ("gemm", Onnx.Gemm); ("matmul_add", Onnx.Matmul_add) ]
+  in
+  match onnx_verdict with
+  | Fail _ as f -> f
+  | Pass -> (
+    let spec = Vnnlib.of_problem problem in
+    let text = Vnnlib.to_string spec in
+    match Vnnlib.parse text with
+    | exception Parse_error.Error e ->
+      failf Formats "formats.vnnlib-reject-own-output" "%s" (Parse_error.to_string e)
+    | spec' ->
+      if spec' <> spec then
+        fail Formats "formats.vnnlib-roundtrip-drift"
+          "parse (to_string spec) differs structurally from spec"
+      else if not (String.equal (Vnnlib.to_string spec') text) then
+        fail Formats "formats.vnnlib-reprint-unstable" "print . parse is not a fixpoint"
+      else begin
+        (* lowering agreement: native vs joined per-disjunct verdicts *)
+        let budget () = Budget.of_calls cfg.engine_budget in
+        let native =
+          (Bfs.verify ~domains:1 ~budget:(budget ()) problem).Result.verdict
+        in
+        let through =
+          Vnnlib.join_verdicts
+            (List.map
+               (fun p -> (Bfs.verify ~domains:1 ~budget:(budget ()) p).Result.verdict)
+               (Vnnlib.problems ~network:(Onnx.of_bytes (Onnx.to_bytes network)) spec'))
+        in
+        let interior v =
+          match v with
+          | Verdict.Falsified x -> Problem.concrete_margin problem x < -.cfg.tol
+          | Verdict.Verified | Verdict.Timeout -> false
+        in
+        let conflict =
+          match (native, through) with
+          | Verdict.Verified, f when interior f ->
+            failf Formats "formats.lowering-verdict-conflict"
+              "native BFS claims Verified, the onnx+vnnlib path Falsified (margin %.9g)"
+              (Problem.concrete_margin problem
+                 (Option.get (Verdict.counterexample through)))
+          | f, Verdict.Verified when interior f ->
+            failf Formats "formats.lowering-verdict-conflict"
+              "native BFS claims Falsified (margin %.9g), the onnx+vnnlib path Verified"
+              (Problem.concrete_margin problem
+                 (Option.get (Verdict.counterexample native)))
+          | _ -> Pass
+        in
+        match conflict with
+        | Fail _ as f -> f
+        | Pass ->
+          let prop = problem.Problem.property in
+          let nrows = Property.num_constraints prop in
+          if nrows < 2 then Pass
+          else begin
+            (* exact max-gadget: lower a conjunctive 2-literal disjunct *)
+            let region = problem.Problem.region in
+            let lit r =
+              { Vnnlib.coeffs = Matrix.row prop.Property.c r;
+                offset = prop.Property.d.(r) }
+            in
+            let conj =
+              { Vnnlib.num_inputs = Region.dim region;
+                num_outputs = Network.output_dim network;
+                lower = Array.copy region.Region.lower;
+                upper = Array.copy region.Region.upper;
+                disjuncts = [ [ lit 0; lit 1 ] ] }
+            in
+            match Vnnlib.problems ~network conj with
+            | [ gp ] ->
+              let bad = ref Pass in
+              Array.iter
+                (fun x ->
+                  if is_pass !bad then begin
+                    let y = Network.forward network x in
+                    let g r =
+                      let l = lit r in
+                      let acc = ref l.Vnnlib.offset in
+                      Array.iteri (fun i c -> acc := !acc +. (c *. y.(i))) l.Vnnlib.coeffs;
+                      !acc
+                    in
+                    let expected = Float.max (g 0) (g 1) in
+                    let got = (Network.forward gp.Problem.network x).(0) in
+                    if abs_float (expected -. got) > cfg.tol then
+                      bad :=
+                        failf Formats "formats.gadget-inexact"
+                          "max-gadget output %.17g differs from max(g0, g1) = %.17g"
+                          got expected
+                  end)
+                points;
+              !bad
+            | probs ->
+              failf Formats "formats.lowering-shape"
+                "one conjunctive disjunct lowered to %d problems" (List.length probs)
+          end
+      end)
+
 (* --- dispatch --- *)
 
 let run ?(config = default_config) ~seed family problem =
@@ -796,6 +966,7 @@ let run ?(config = default_config) ~seed family problem =
     | Cert -> run_cert
     | Incremental -> run_incremental
     | Lp -> run_lp
+    | Formats -> run_formats
   in
   try go config rng problem with
   | Stack_overflow | Out_of_memory as e -> raise e

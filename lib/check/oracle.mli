@@ -34,6 +34,15 @@
       guarantees it), be no looser than from-scratch DeepPoly, and
       reproduce itself bit-for-bit when re-evaluated from its own state;
       BFS and best-first must agree cache-on vs cache-off up to ties.
+    - {b Formats}: the problem-ingestion front-end (docs/FORMATS.md).
+      ONNX serialization must be deterministic, accepted back by its own
+      reader with no forward drift beyond [tol], and a [parse . print]
+      fixpoint; [Vnnlib.of_problem] must round-trip exactly through
+      [to_string] and [parse]; BFS on the native problem and joined
+      per-disjunct BFS on the round-tripped spec over the round-tripped
+      network must agree up to [Timeout]; and on multi-row properties
+      the lowered conjunctive max-gadget must compute [max(g_0, g_1)]
+      exactly at every probe point.
     - {b Lp}: the warm-started dual simplex.  Along the same kind of
       phase-matched root-to-leaf path, each warm-started LP call
       ({!Abonn_lp.Lp_verifier.run_warm}, reusing the parent's cached
@@ -48,13 +57,13 @@
     Oracles are deterministic in [(seed, problem)] and never raise: an
     escaped exception is itself reported as a failure. *)
 
-type family = Sampling | Bounds | Exact | Engines | Cert | Incremental | Lp
+type family = Sampling | Bounds | Exact | Engines | Cert | Incremental | Lp | Formats
 
 val all_families : family list
 
 val family_name : family -> string
 (** ["sampling" | "bounds" | "exact" | "engines" | "cert" | "incremental"
-    | "lp"]. *)
+    | "lp" | "formats"]. *)
 
 val family_of_string : string -> family option
 

@@ -1,0 +1,84 @@
+module Rng = Abonn_util.Rng
+module Vnnlib = Abonn_spec.Vnnlib
+
+type property_id = P1 | P2 | P3 | P4
+
+let property_ids = [ P1; P2; P3; P4 ]
+
+let property_name = function
+  | P1 -> "prop1"
+  | P2 -> "prop2"
+  | P3 -> "prop3"
+  | P4 -> "prop4"
+
+let property_index = function P1 -> 1 | P2 -> 2 | P3 -> 3 | P4 -> 4
+
+let network ?(hidden_layers = 6) ?(width = 50) ~seed () =
+  let rng = Rng.create (0xaca5 + seed) in
+  Abonn_nn.Builder.mlp rng
+    ~dims:((5 :: List.init hidden_layers (fun _ -> width)) @ [ 5 ])
+
+(* Normalised ACAS-style boxes: P1/P2 is the distant head-on encounter,
+   P3/P4 are the two close-range geometries. *)
+let base_box = function
+  | P1 | P2 ->
+    ( [| 0.60; -0.50; -0.50; 0.45; -0.50 |],
+      [| 0.68; 0.50; 0.50; 0.50; -0.45 |] )
+  | P3 ->
+    ( [| -0.30; -0.01; 0.49; 0.45; 0.45 |],
+      [| -0.29; 0.01; 0.50; 0.50; 0.50 |] )
+  | P4 ->
+    ( [| -0.30; -0.01; -0.50; 0.45; 0.00 |],
+      [| -0.29; 0.01; -0.49; 0.50; 0.50 |] )
+
+let spec ?(hardness = 0.05) ~network ~seed pid =
+  let rng = Rng.create (0x5afe + (31 * seed) + property_index pid) in
+  let base_lower, base_upper = base_box pid in
+  let lower = Array.copy base_lower and upper = Array.copy base_upper in
+  for i = 0 to 4 do
+    (* translate the whole interval: the box keeps its width and never
+       degenerates *)
+    let shift = Rng.range rng (-0.02) 0.02 in
+    lower.(i) <- lower.(i) +. shift;
+    upper.(i) <- upper.(i) +. shift
+  done;
+  let disjuncts =
+    match pid with
+    | P1 ->
+      (* violation Y_0 >= c, written c - Y_0 <= 0; calibrate c just
+         beyond the sampled output maximum so the run has to work *)
+      let region = Abonn_spec.Region.create ~lower ~upper in
+      let y0s =
+        Array.init 64 (fun _ ->
+            (Abonn_nn.Network.forward network (Abonn_spec.Region.sample rng region)).(0))
+      in
+      let hi = Array.fold_left max neg_infinity y0s in
+      let lo = Array.fold_left min infinity y0s in
+      let c = hi +. (hardness *. (hi -. lo +. 0.1)) in
+      [ [ { Vnnlib.coeffs = [| -1.0; 0.0; 0.0; 0.0; 0.0 |]; offset = c } ] ]
+    | P2 ->
+      (* violation: Y_0 maximal, i.e. Y_i - Y_0 <= 0 for i = 1..4 *)
+      [ List.init 4 (fun i ->
+            let coeffs = Array.make 5 0.0 in
+            coeffs.(0) <- -1.0;
+            coeffs.(i + 1) <- 1.0;
+            { Vnnlib.coeffs; offset = 0.0 }) ]
+    | P3 | P4 ->
+      (* violation: Y_0 minimal, i.e. Y_0 - Y_i <= 0 for i = 1..4 *)
+      [ List.init 4 (fun i ->
+            let coeffs = Array.make 5 0.0 in
+            coeffs.(0) <- 1.0;
+            coeffs.(i + 1) <- -1.0;
+            { Vnnlib.coeffs; offset = 0.0 }) ]
+  in
+  { Vnnlib.num_inputs = 5; num_outputs = 5; lower; upper; disjuncts }
+
+let problem ?hidden_layers ?width ?hardness ~seed pid =
+  let net = network ?hidden_layers ?width ~seed () in
+  let s = spec ?hardness ~network:net ~seed pid in
+  let name = Printf.sprintf "acas_%d_%s" seed (property_name pid) in
+  match Vnnlib.problems ~name ~network:net s with
+  | [ p ] -> p
+  | ps ->
+    invalid_arg
+      (Printf.sprintf "Acas.problem: expected one disjunct, got %d" (List.length ps))

@@ -1,0 +1,54 @@
+(** Synthetic ACAS-Xu-style benchmark instances.
+
+    The real ACAS-Xu suite is 45 trained collision-avoidance networks
+    (5 inputs, 6 hidden layers of 50 ReLUs, 5 advisory outputs) checked
+    against ten safety properties.  The trained weights are not
+    redistributable here, so this module generates {e seeded synthetic
+    stand-ins} of the same shape: 5-in/5-out MLPs (default 6×50,
+    scalable down for tests) with the classic property-1..4 shapes —
+
+    - {b P1}: the clear-of-conflict score [Y_0] stays below a
+      threshold (violation: [Y_0 ≥ c], a single literal);
+    - {b P2}: [Y_0] is never the {e maximal} score (violation:
+      [∧_{i≥1} Y_i ≤ Y_0], a 4-literal conjunction exercising the
+      VNNLIB max-gadget);
+    - {b P3}/{b P4}: [Y_0] is never the {e minimal} score on two
+      different approach geometries (violation: [∧_{i≥1} Y_0 ≤ Y_i]).
+
+    Input boxes follow the normalised ACAS geometry, jittered per seed;
+    the P1 threshold is calibrated against sampled outputs so the
+    instance is neither vacuous nor trivially violated.  Everything is
+    deterministic in [seed]. *)
+
+type property_id = P1 | P2 | P3 | P4
+
+val property_ids : property_id list
+val property_name : property_id -> string
+(** ["prop1"] … ["prop4"]. *)
+
+val network :
+  ?hidden_layers:int -> ?width:int -> seed:int -> unit -> Abonn_nn.Network.t
+(** He-initialised 5-in/5-out MLP (default [~hidden_layers:6]
+    [~width:50], the ACAS-Xu shape). *)
+
+val spec :
+  ?hardness:float ->
+  network:Abonn_nn.Network.t ->
+  seed:int ->
+  property_id ->
+  Abonn_spec.Vnnlib.t
+(** The property as a VNNLIB violation spec against [network] (which
+    must be 5-in/5-out).  [hardness] (default 0.05) shifts the P1
+    threshold beyond the sampled output maximum, as a fraction of the
+    sampled spread. *)
+
+val problem :
+  ?hidden_layers:int ->
+  ?width:int ->
+  ?hardness:float ->
+  seed:int ->
+  property_id ->
+  Abonn_spec.Problem.t
+(** [network] + [spec] lowered through {!Abonn_spec.Vnnlib.problems}
+    (each property is a single disjunct, so exactly one problem; P2–P4
+    carry the max-gadget). *)

@@ -127,3 +127,21 @@ let generate ?(count = 20) ?(bands = default_bands) (trained : Models.trained) =
       else build acc n (attempt + 1) rest
   in
   build [] 0 0 correct
+
+let acas ?(count = 8) ?(seed = 0) ?hidden_layers ?width () =
+  List.init count (fun i ->
+      let pid = List.nth Acas.property_ids (i mod List.length Acas.property_ids) in
+      let s = seed + (i / List.length Acas.property_ids) in
+      let problem = Acas.problem ?hidden_layers ?width ~seed:s pid in
+      let region = problem.Abonn_spec.Problem.region in
+      let radius = Abonn_spec.Region.radius region in
+      let eps =
+        Array.fold_left ( +. ) 0.0 radius /. float_of_int (Array.length radius)
+      in
+      { id = Printf.sprintf "acas_%d/%s" s (Acas.property_name pid);
+        model = "acas";
+        index = s;
+        eps;
+        factor = 1.0;
+        band = Between 0.0;
+        problem })

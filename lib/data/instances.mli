@@ -73,3 +73,17 @@ val generate :
     cycling over [bands] and the correctly-classified test images,
     keeping only problems the root AppVer call cannot decide.
     Deterministic. *)
+
+val acas :
+  ?count:int ->
+  ?seed:int ->
+  ?hidden_layers:int ->
+  ?width:int ->
+  unit ->
+  t list
+(** Synthetic ACAS-Xu-style instances (see {!Acas}): [count] (default
+    8) instances cycling properties 1–4 over successive seeds starting
+    at [seed].  [eps] reports the mean per-coordinate half-width of the
+    input box and [band] is a placeholder ([Between 0.]) — the ACAS
+    boxes are fixed by the property, not calibrated per image.
+    Deterministic. *)

@@ -1,0 +1,723 @@
+module Matrix = Abonn_tensor.Matrix
+module Parse_error = Abonn_util.Parse_error
+
+type style = Gemm | Matmul_add
+type precision = F32 | F64
+
+(* --- protobuf wire reader ---------------------------------------------
+
+   A reader is a window [pos, limit) into the whole model's bytes;
+   nested messages narrow [limit] but keep absolute offsets, so every
+   error names the byte position in the file. *)
+
+type rd = { src : string; buf : string; mutable pos : int; mutable limit : int }
+
+let err_at r offset token fmt =
+  Parse_error.error ~source:r.src ~pos:(Parse_error.Byte { offset }) ~token fmt
+
+let err r fmt = err_at r r.pos "" fmt
+
+let read_byte r =
+  if r.pos >= r.limit then err r "truncated protobuf: unexpected end of input";
+  let b = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let read_varint r =
+  let start = r.pos in
+  let rec go shift acc =
+    if shift > 63 then err_at r start "" "varint longer than 10 bytes";
+    let b = read_byte r in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0L
+
+let read_fixed32 r =
+  let start = r.pos in
+  if start + 4 > r.limit then err r "truncated protobuf: unexpected end of input";
+  let byte i = Int32.of_int (Char.code r.buf.[start + i]) in
+  r.pos <- start + 4;
+  Int32.logor (byte 0)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 8)
+       (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
+
+let read_fixed64 r =
+  let start = r.pos in
+  if start + 8 > r.limit then err r "truncated protobuf: unexpected end of input";
+  let acc = ref 0L in
+  for i = 7 downto 0 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code r.buf.[start + i]))
+  done;
+  r.pos <- start + 8;
+  !acc
+
+let read_len r =
+  let start = r.pos in
+  let n = read_varint r in
+  let n = Int64.to_int n in
+  if n < 0 || r.pos + n > r.limit then
+    err_at r start "" "length-delimited field of %d bytes overruns the input" n;
+  n
+
+let read_string r =
+  let n = read_len r in
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* field number * wire type, at the current position *)
+let read_tag r =
+  let start = r.pos in
+  let tag = Int64.to_int (read_varint r) in
+  let field = tag lsr 3 and wire = tag land 7 in
+  if field < 1 then err_at r start "" "invalid field number %d" field;
+  (field, wire, start)
+
+let skip_field r wire tag_pos =
+  match wire with
+  | 0 -> ignore (read_varint r)
+  | 1 -> ignore (read_fixed64 r)
+  | 2 ->
+    let n = read_len r in
+    r.pos <- r.pos + n
+  | 5 -> ignore (read_fixed32 r)
+  | w -> err_at r tag_pos "" "unsupported wire type %d" w
+
+(* Run [f] over every field of a nested message, with [limit] narrowed
+   to the message body. *)
+let in_message r f =
+  let n = read_len r in
+  let saved = r.limit in
+  r.limit <- r.pos + n;
+  let finish = r.limit in
+  while r.pos < r.limit do
+    let field, wire, tag_pos = read_tag r in
+    f field wire tag_pos
+  done;
+  r.pos <- finish;
+  r.limit <- saved
+
+(* Packed repeated scalars arrive as one length-delimited blob. *)
+let read_packed r read_one =
+  let n = read_len r in
+  let stop = r.pos + n in
+  let acc = ref [] in
+  while r.pos < stop do
+    acc := read_one r :: !acc
+  done;
+  List.rev !acc
+
+let f32 bits = Int32.float_of_bits bits
+let f64 bits = Int64.float_of_bits bits
+
+(* --- ONNX message subset ------------------------------------------- *)
+
+type tensor = {
+  t_name : string;
+  t_dims : int array;
+  t_data : float array;
+  t_pos : int;  (* byte offset of the TensorProto, for error reports *)
+}
+
+type attr = {
+  a_name : string;
+  a_f : float option;
+  a_i : int64 option;
+  a_ints : int64 list;
+}
+
+type node = {
+  op : string;
+  n_inputs : string list;
+  n_outputs : string list;
+  n_attrs : attr list;
+  n_pos : int;
+}
+
+type graph = {
+  g_nodes : node list;
+  g_inits : tensor list;
+  g_inputs : (string * int list) list;  (* name, dims (symbolic = -1) *)
+  g_outputs : string list;
+}
+
+let parse_tensor r t_pos =
+  let dims = ref [] and dtype = ref 1 and name = ref "" in
+  let raw = ref None and floats = ref [] and doubles = ref [] in
+  in_message r (fun field wire tag_pos ->
+      match (field, wire) with
+      | 1, 0 -> dims := Int64.to_int (read_varint r) :: !dims
+      | 1, 2 -> dims := !dims @ List.rev_map Int64.to_int (read_packed r read_varint)
+      | 2, 0 -> dtype := Int64.to_int (read_varint r)
+      | 4, 5 -> floats := f32 (read_fixed32 r) :: !floats
+      | 4, 2 -> floats := List.rev_append (read_packed r (fun r -> f32 (read_fixed32 r))) !floats
+      | 8, 2 -> name := read_string r
+      | 9, 2 -> raw := Some (tag_pos, read_string r)
+      | 10, 1 -> doubles := f64 (read_fixed64 r) :: !doubles
+      | 10, 2 ->
+        doubles := List.rev_append (read_packed r (fun r -> f64 (read_fixed64 r))) !doubles
+      | _ -> skip_field r wire tag_pos);
+  let data =
+    match (!dtype, !raw) with
+    | 1, Some (pos, bytes) ->
+      let n = String.length bytes in
+      if n mod 4 <> 0 then
+        err_at r pos !name "float32 raw_data of %d bytes is not a multiple of 4" n;
+      Array.init (n / 4)
+        (fun i ->
+          let byte j = Int32.of_int (Char.code bytes.[(4 * i) + j]) in
+          f32
+            (Int32.logor (byte 0)
+               (Int32.logor
+                  (Int32.shift_left (byte 1) 8)
+                  (Int32.logor (Int32.shift_left (byte 2) 16)
+                     (Int32.shift_left (byte 3) 24)))))
+    | 11, Some (pos, bytes) ->
+      let n = String.length bytes in
+      if n mod 8 <> 0 then
+        err_at r pos !name "float64 raw_data of %d bytes is not a multiple of 8" n;
+      Array.init (n / 8)
+        (fun i ->
+          let acc = ref 0L in
+          for j = 7 downto 0 do
+            acc := Int64.logor (Int64.shift_left !acc 8)
+                     (Int64.of_int (Char.code bytes.[(8 * i) + j]))
+          done;
+          f64 !acc)
+    | 1, None -> Array.of_list (List.rev !floats)
+    | 11, None -> Array.of_list (List.rev !doubles)
+    | dt, _ ->
+      err_at r t_pos !name "unsupported tensor data type %d (only float32/float64)" dt
+  in
+  let dims = Array.of_list (List.rev !dims) in
+  let expected = Array.fold_left ( * ) 1 dims in
+  if Array.length dims > 0 && expected <> Array.length data then
+    err_at r t_pos !name "tensor data has %d element(s) but dims imply %d"
+      (Array.length data) expected;
+  { t_name = !name; t_dims = dims; t_data = data; t_pos }
+
+let parse_attr r =
+  let name = ref "" and fval = ref None and ival = ref None and ints = ref [] in
+  in_message r (fun field wire tag_pos ->
+      match (field, wire) with
+      | 1, 2 -> name := read_string r
+      | 2, 5 -> fval := Some (f32 (read_fixed32 r))
+      | 3, 0 -> ival := Some (read_varint r)
+      | 8, 0 -> ints := read_varint r :: !ints
+      | 8, 2 -> ints := List.rev_append (read_packed r read_varint) !ints
+      | _ -> skip_field r wire tag_pos);
+  { a_name = !name; a_f = !fval; a_i = !ival; a_ints = List.rev !ints }
+
+let parse_node r n_pos =
+  let op = ref "" and inputs = ref [] and outputs = ref [] and attrs = ref [] in
+  in_message r (fun field wire tag_pos ->
+      match (field, wire) with
+      | 1, 2 -> inputs := read_string r :: !inputs
+      | 2, 2 -> outputs := read_string r :: !outputs
+      | 4, 2 -> op := read_string r
+      | 5, 2 -> attrs := parse_attr r :: !attrs
+      | _ -> skip_field r wire tag_pos);
+  { op = !op;
+    n_inputs = List.rev !inputs;
+    n_outputs = List.rev !outputs;
+    n_attrs = List.rev !attrs;
+    n_pos }
+
+(* ValueInfoProto -> (name, dims); a dim_param (symbolic batch) is -1 *)
+let parse_value_info r =
+  let name = ref "" and dims = ref [] in
+  in_message r (fun field wire tag_pos ->
+      match (field, wire) with
+      | 1, 2 -> name := read_string r
+      | 2, 2 ->
+        (* TypeProto *)
+        in_message r (fun field wire tag_pos ->
+            match (field, wire) with
+            | 1, 2 ->
+              (* TypeProto.Tensor *)
+              in_message r (fun field wire tag_pos ->
+                  match (field, wire) with
+                  | 2, 2 ->
+                    (* TensorShapeProto *)
+                    in_message r (fun field wire tag_pos ->
+                        match (field, wire) with
+                        | 1, 2 ->
+                          (* Dimension *)
+                          let value = ref (-1) in
+                          in_message r (fun field wire tag_pos ->
+                              match (field, wire) with
+                              | 1, 0 -> value := Int64.to_int (read_varint r)
+                              | _ -> skip_field r wire tag_pos);
+                          dims := !value :: !dims
+                        | _ -> skip_field r wire tag_pos)
+                  | _ -> skip_field r wire tag_pos)
+            | _ -> skip_field r wire tag_pos)
+      | _ -> skip_field r wire tag_pos);
+  (!name, List.rev !dims)
+
+let parse_graph r =
+  let nodes = ref [] and inits = ref [] and inputs = ref [] and outputs = ref [] in
+  in_message r (fun field wire tag_pos ->
+      match (field, wire) with
+      | 1, 2 -> nodes := parse_node r tag_pos :: !nodes
+      | 5, 2 -> inits := parse_tensor r tag_pos :: !inits
+      | 11, 2 -> inputs := parse_value_info r :: !inputs
+      | 12, 2 -> outputs := fst (parse_value_info r) :: !outputs
+      | _ -> skip_field r wire tag_pos);
+  { g_nodes = List.rev !nodes;
+    g_inits = List.rev !inits;
+    g_inputs = List.rev !inputs;
+    g_outputs = List.rev !outputs }
+
+let parse_model r =
+  let graph = ref None in
+  while r.pos < r.limit do
+    let field, wire, tag_pos = read_tag r in
+    match (field, wire) with
+    | 7, 2 -> graph := Some (parse_graph r)
+    | _ -> skip_field r wire tag_pos
+  done;
+  match !graph with
+  | Some g -> g
+  | None -> err_at r 0 "" "ModelProto has no graph"
+
+(* --- lowering to Network.t ----------------------------------------- *)
+
+type shape = Flat of int | Spatial of int * int * int
+
+let flat_width = function Flat n -> n | Spatial (c, h, w) -> c * h * w
+
+let attr_f node name default =
+  match List.find_opt (fun a -> a.a_name = name) node.n_attrs with
+  | Some { a_f = Some f; _ } -> f
+  | _ -> default
+
+let attr_i node name default =
+  match List.find_opt (fun a -> a.a_name = name) node.n_attrs with
+  | Some { a_i = Some i; _ } -> Int64.to_int i
+  | _ -> default
+
+let attr_ints node name =
+  match List.find_opt (fun a -> a.a_name = name) node.n_attrs with
+  | Some { a_ints = (_ :: _) as ints; _ } -> Some (List.map Int64.to_int ints)
+  | _ -> None
+
+let matrix_of rows cols (data : float array) =
+  Matrix.init rows cols (fun i j -> data.((i * cols) + j))
+
+let lower r graph =
+  let nerr node fmt = err_at r node.n_pos node.op fmt in
+  let tensors = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace tensors t.t_name t) graph.g_inits;
+  let flow_inputs =
+    List.filter (fun (name, _) -> not (Hashtbl.mem tensors name)) graph.g_inputs
+  in
+  let input_name, input_dims =
+    match flow_inputs with
+    | [ one ] -> one
+    | [] -> err_at r 0 "" "graph has no non-initializer input"
+    | _ -> err_at r 0 "" "graph has %d data inputs; only one is supported"
+             (List.length flow_inputs)
+  in
+  let shape =
+    (* drop a leading batch dimension (1 or symbolic) when more dims follow *)
+    let dims =
+      match input_dims with
+      | d :: (_ :: _ as rest) when d = 1 || d = -1 -> rest
+      | dims -> dims
+    in
+    match dims with
+    | [ c; h; w ] when c > 0 && h > 0 && w > 0 -> Spatial (c, h, w)
+    | [] -> err_at r 0 "" "graph input %s has no shape" input_name
+    | dims ->
+      if List.exists (fun d -> d <= 0) dims then
+        err_at r 0 "" "graph input %s has a non-positive or symbolic dimension"
+          input_name;
+      Flat (List.fold_left ( * ) 1 dims)
+  in
+  let init_of node name =
+    match Hashtbl.find_opt tensors name with
+    | Some t -> t
+    | None -> nerr node "input %s is not an initializer" name
+  in
+  let cur = ref input_name and shape = ref shape in
+  let layers = ref [] and last_was_matmul = ref false in
+  let push layer = layers := layer :: !layers in
+  let out_name node =
+    match node.n_outputs with
+    | o :: _ -> o
+    | [] -> nerr node "node has no output"
+  in
+  let check_flow node = function
+    | f :: _ when f = !cur -> ()
+    | f :: _ ->
+      nerr node "input %s is not the current activation (%s): only a single \
+                 sequential path is supported" f !cur
+    | [] -> nerr node "node has no inputs"
+  in
+  List.iter
+    (fun node ->
+      check_flow node node.n_inputs;
+      let was_matmul = !last_was_matmul in
+      last_was_matmul := false;
+      (match node.op with
+       | "Relu" -> push (Layer.Relu (flat_width !shape))
+       | "Flatten" ->
+         let axis = attr_i node "axis" 1 in
+         if axis <> 1 && axis <> 0 then nerr node "Flatten axis %d is unsupported" axis;
+         shape := Flat (flat_width !shape)
+       | "Gemm" ->
+         let w, b =
+           match node.n_inputs with
+           | [ _; w ] -> (init_of node w, None)
+           | [ _; w; b ] -> (init_of node w, Some (init_of node b))
+           | _ -> nerr node "Gemm takes 2 or 3 inputs"
+         in
+         if attr_i node "transA" 0 <> 0 then nerr node "Gemm transA=1 is unsupported";
+         let trans_b = attr_i node "transB" 0 <> 0 in
+         let alpha = attr_f node "alpha" 1.0 and beta = attr_f node "beta" 1.0 in
+         (match w.t_dims with
+          | [| d0; d1 |] ->
+            let rows, cols = if trans_b then (d0, d1) else (d1, d0) in
+            if cols <> flat_width !shape then
+              nerr node "Gemm weight expects %d inputs but the activation has %d"
+                cols (flat_width !shape);
+            let weight =
+              if trans_b then matrix_of rows cols w.t_data
+              else Matrix.transpose (matrix_of d0 d1 w.t_data)
+            in
+            let weight = if alpha = 1.0 then weight else Matrix.scale alpha weight in
+            let bias =
+              match b with
+              | None -> Array.make rows 0.0
+              | Some b ->
+                if Array.length b.t_data <> rows then
+                  nerr node "Gemm bias has %d element(s), expected %d"
+                    (Array.length b.t_data) rows;
+                if beta = 1.0 then Array.copy b.t_data
+                else Array.map (fun v -> beta *. v) b.t_data
+            in
+            push (Layer.linear weight bias);
+            shape := Flat rows
+          | _ -> nerr node "Gemm weight must be 2-D")
+       | "MatMul" ->
+         let w =
+           match node.n_inputs with
+           | [ _; w ] -> init_of node w
+           | _ -> nerr node "MatMul takes 2 inputs"
+         in
+         (match w.t_dims with
+          | [| d0; d1 |] ->
+            if d0 <> flat_width !shape then
+              nerr node "MatMul weight expects %d inputs but the activation has %d"
+                d0 (flat_width !shape);
+            (* activation row-vector convention: y = x W, so W is in x out *)
+            push (Layer.linear (Matrix.transpose (matrix_of d0 d1 w.t_data))
+                    (Array.make d1 0.0));
+            shape := Flat d1;
+            last_was_matmul := true
+          | _ -> nerr node "MatMul weight must be 2-D")
+       | "Add" ->
+         let b =
+           match node.n_inputs with
+           | [ _; b ] -> init_of node b
+           | _ -> nerr node "Add takes 2 inputs"
+         in
+         if not was_matmul then
+           nerr node "Add is only supported as the bias of a preceding MatMul";
+         (match !layers with
+          | Layer.Linear { weight; bias } :: rest ->
+            if Array.length b.t_data <> Array.length bias then
+              nerr node "Add bias has %d element(s), expected %d"
+                (Array.length b.t_data) (Array.length bias);
+            layers := Layer.linear weight (Array.copy b.t_data) :: rest
+          | _ -> nerr node "Add is only supported as the bias of a preceding MatMul")
+       | "Conv" ->
+         let w, b =
+           match node.n_inputs with
+           | [ _; w ] -> (init_of node w, None)
+           | [ _; w; b ] -> (init_of node w, Some (init_of node b))
+           | _ -> nerr node "Conv takes 2 or 3 inputs"
+         in
+         let c, h, wd =
+           match !shape with
+           | Spatial (c, h, w) -> (c, h, w)
+           | Flat _ -> nerr node "Conv requires a spatial (C,H,W) activation"
+         in
+         (match w.t_dims with
+          | [| oc; ic; kh; kw |] ->
+            if ic <> c then
+              nerr node "Conv weight expects %d input channel(s) but the activation \
+                         has %d" ic c;
+            (match attr_ints node "kernel_shape" with
+             | Some ks when ks <> [ kh; kw ] ->
+               nerr node "Conv kernel_shape disagrees with the weight tensor"
+             | _ -> ());
+            if attr_i node "group" 1 <> 1 then nerr node "Conv group != 1 is unsupported";
+            (match attr_ints node "dilations" with
+             | Some ds when List.exists (fun d -> d <> 1) ds ->
+               nerr node "Conv dilations != 1 are unsupported"
+             | _ -> ());
+            let stride =
+              match attr_ints node "strides" with
+              | None -> 1
+              | Some [ s1; s2 ] when s1 = s2 -> s1
+              | Some _ -> nerr node "Conv strides must be square"
+            in
+            let padding =
+              match attr_ints node "pads" with
+              | None -> 0
+              | Some (p :: rest) when List.for_all (( = ) p) rest -> p
+              | Some _ -> nerr node "Conv pads must be symmetric"
+            in
+            let bias =
+              match b with
+              | None -> Array.make oc 0.0
+              | Some b ->
+                if Array.length b.t_data <> oc then
+                  nerr node "Conv bias has %d element(s), expected %d"
+                    (Array.length b.t_data) oc;
+                Array.copy b.t_data
+            in
+            let conv =
+              { Conv.in_channels = c; in_h = h; in_w = wd; out_channels = oc;
+                kernel_h = kh; kernel_w = kw; stride; padding;
+                weight = Array.copy w.t_data; bias }
+            in
+            let oh = Conv.out_h conv and ow = Conv.out_w conv in
+            if oh <= 0 || ow <= 0 then
+              nerr node "Conv produces an empty %dx%d output" oh ow;
+            push (Layer.Conv2d conv);
+            shape := Spatial (oc, oh, ow)
+          | _ -> nerr node "Conv weight must be 4-D (OC,IC,KH,KW)")
+       | op -> nerr node "unsupported op %s" op);
+      cur := out_name node)
+    graph.g_nodes;
+  (match graph.g_outputs with
+   | out :: _ when out <> !cur ->
+     err_at r 0 out "graph output %s is not produced by the node chain (last \
+                     value: %s)" out !cur
+   | _ -> ());
+  match List.rev !layers with
+  | [] -> err_at r 0 "" "graph has no supported layers"
+  | layers -> (
+    match Network.create layers with
+    | net -> net
+    | exception Invalid_argument msg -> err_at r 0 "" "inconsistent network: %s" msg)
+
+let of_bytes ?(source = "<bytes>") bytes =
+  let r = { src = source; buf = bytes; pos = 0; limit = String.length bytes } in
+  lower r (parse_model r)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let bytes = really_input_string ic n in
+      of_bytes ~source:path bytes)
+
+(* --- protobuf wire writer ------------------------------------------
+
+   Deterministic: fields are emitted in ascending tag order with fixed
+   tensor/value names, so equal networks serialize to equal bytes (the
+   golden corpus relies on this). *)
+
+let add_varint buf n =
+  let rec go n =
+    let low = Int64.to_int (Int64.logand n 0x7fL) in
+    let rest = Int64.shift_right_logical n 7 in
+    if rest = 0L then Buffer.add_char buf (Char.chr low)
+    else begin
+      Buffer.add_char buf (Char.chr (low lor 0x80));
+      go rest
+    end
+  in
+  go n
+
+let add_key buf field wire = add_varint buf (Int64.of_int ((field lsl 3) lor wire))
+
+let add_int buf field n =
+  add_key buf field 0;
+  add_varint buf (Int64.of_int n)
+
+let add_f32 buf field v =
+  add_key buf field 5;
+  let bits = Int32.bits_of_float v in
+  for i = 0 to 3 do
+    Buffer.add_char buf
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical bits (8 * i)) 0xffl)))
+  done
+
+let add_bytes buf field s =
+  add_key buf field 2;
+  add_varint buf (Int64.of_int (String.length s));
+  Buffer.add_string buf s
+
+let add_sub buf field f =
+  let b = Buffer.create 64 in
+  f b;
+  add_bytes buf field (Buffer.contents b)
+
+let raw_of_floats precision (data : float array) =
+  let n = Array.length data in
+  match precision with
+  | F32 ->
+    let bytes = Bytes.create (4 * n) in
+    Array.iteri
+      (fun i v -> Bytes.set_int32_le bytes (4 * i) (Int32.bits_of_float v))
+      data;
+    Bytes.unsafe_to_string bytes
+  | F64 ->
+    let bytes = Bytes.create (8 * n) in
+    Array.iteri
+      (fun i v -> Bytes.set_int64_le bytes (8 * i) (Int64.bits_of_float v))
+      data;
+    Bytes.unsafe_to_string bytes
+
+let add_tensor buf ~precision ~name ~dims data =
+  add_sub buf 5 (fun b ->
+      List.iter (fun d -> add_int b 1 d) dims;
+      add_int b 2 (match precision with F32 -> 1 | F64 -> 11);
+      add_bytes b 8 name;
+      add_bytes b 9 (raw_of_floats precision data))
+
+let add_value_info buf ~field ~name ~elem_type dims =
+  add_sub buf field (fun b ->
+      add_bytes b 1 name;
+      add_sub b 2 (fun t ->
+          add_sub t 1 (fun tt ->
+              add_int tt 1 elem_type;
+              add_sub tt 2 (fun sh ->
+                  List.iter (fun d -> add_sub sh 1 (fun dim -> add_int dim 1 d)) dims))))
+
+type out_attr = Af of string * float | Ai of string * int | Aints of string * int list
+
+let add_attr buf attr =
+  add_sub buf 5 (fun b ->
+      match attr with
+      | Af (name, v) ->
+        add_bytes b 1 name;
+        add_f32 b 2 v;
+        add_int b 20 1 (* FLOAT *)
+      | Ai (name, v) ->
+        add_bytes b 1 name;
+        add_int b 3 v;
+        add_int b 20 2 (* INT *)
+      | Aints (name, vs) ->
+        add_bytes b 1 name;
+        List.iter (fun v -> add_int b 8 v) vs;
+        add_int b 20 7 (* INTS *))
+
+let add_node buf ~op ~inputs ~outputs attrs =
+  add_sub buf 1 (fun b ->
+      List.iter (fun i -> add_bytes b 1 i) inputs;
+      List.iter (fun o -> add_bytes b 2 o) outputs;
+      add_bytes b 4 op;
+      List.iter (add_attr b) attrs)
+
+let to_bytes ?(style = Gemm) ?(precision = F64) (net : Network.t) =
+  let nodes = Buffer.create 1024 and inits = Buffer.create 4096 in
+  let cur = ref "input" and next_value = ref 0 and next_param = ref 0 in
+  let fresh () =
+    incr next_value;
+    Printf.sprintf "t%d" !next_value
+  in
+  let spatial0 =
+    match Network.layers net with
+    | Layer.Conv2d c :: _ -> Some (c.Conv.in_channels, c.Conv.in_h, c.Conv.in_w)
+    | _ -> None
+  in
+  let spatial = ref spatial0 in
+  List.iter
+    (fun layer ->
+      match layer with
+      | Layer.Relu _ ->
+        let out = fresh () in
+        add_node nodes ~op:"Relu" ~inputs:[ !cur ] ~outputs:[ out ] [];
+        cur := out
+      | Layer.Linear { weight; bias } ->
+        if !spatial <> None then begin
+          (* the dense head consumes the conv tower's flat view *)
+          let out = fresh () in
+          add_node nodes ~op:"Flatten" ~inputs:[ !cur ] ~outputs:[ out ]
+            [ Ai ("axis", 1) ];
+          cur := out;
+          spatial := None
+        end;
+        let k = !next_param in
+        incr next_param;
+        let wname = Printf.sprintf "w%d" k and bname = Printf.sprintf "b%d" k in
+        let rows = weight.Matrix.rows and cols = weight.Matrix.cols in
+        (match style with
+         | Gemm ->
+           add_tensor inits ~precision ~name:wname ~dims:[ rows; cols ]
+             weight.Matrix.data;
+           add_tensor inits ~precision ~name:bname ~dims:[ rows ] bias;
+           let out = fresh () in
+           add_node nodes ~op:"Gemm" ~inputs:[ !cur; wname; bname ]
+             ~outputs:[ out ]
+             [ Af ("alpha", 1.0); Af ("beta", 1.0); Ai ("transB", 1) ];
+           cur := out
+         | Matmul_add ->
+           let wt = Matrix.transpose weight in
+           add_tensor inits ~precision ~name:wname ~dims:[ cols; rows ]
+             wt.Matrix.data;
+           add_tensor inits ~precision ~name:bname ~dims:[ rows ] bias;
+           let mid = fresh () in
+           add_node nodes ~op:"MatMul" ~inputs:[ !cur; wname ] ~outputs:[ mid ] [];
+           let out = fresh () in
+           add_node nodes ~op:"Add" ~inputs:[ mid; bname ] ~outputs:[ out ] [];
+           cur := out)
+      | Layer.Conv2d c ->
+        let k = !next_param in
+        incr next_param;
+        let wname = Printf.sprintf "w%d" k and bname = Printf.sprintf "b%d" k in
+        add_tensor inits ~precision ~name:wname
+          ~dims:[ c.Conv.out_channels; c.Conv.in_channels; c.Conv.kernel_h;
+                  c.Conv.kernel_w ]
+          c.Conv.weight;
+        add_tensor inits ~precision ~name:bname ~dims:[ c.Conv.out_channels ]
+          c.Conv.bias;
+        let out = fresh () in
+        add_node nodes ~op:"Conv" ~inputs:[ !cur; wname; bname ] ~outputs:[ out ]
+          [ Aints ("dilations", [ 1; 1 ]);
+            Ai ("group", 1);
+            Aints ("kernel_shape", [ c.Conv.kernel_h; c.Conv.kernel_w ]);
+            Aints ("pads", [ c.Conv.padding; c.Conv.padding; c.Conv.padding;
+                             c.Conv.padding ]);
+            Aints ("strides", [ c.Conv.stride; c.Conv.stride ]) ];
+        cur := out;
+        spatial := Some (c.Conv.out_channels, Conv.out_h c, Conv.out_w c))
+    (Network.layers net);
+  let elem_type = match precision with F32 -> 1 | F64 -> 11 in
+  let input_dims =
+    match spatial0 with
+    | Some (c, h, w) -> [ 1; c; h; w ]
+    | None -> [ 1; Network.input_dim net ]
+  in
+  let output_dims =
+    match !spatial with
+    | Some (c, h, w) -> [ 1; c; h; w ]
+    | None -> [ 1; Network.output_dim net ]
+  in
+  let model = Buffer.create 8192 in
+  add_int model 1 8;  (* ir_version *)
+  add_bytes model 2 "abonn";  (* producer_name *)
+  add_sub model 7 (fun g ->
+      Buffer.add_buffer g nodes;
+      add_bytes g 2 "abonn";
+      Buffer.add_buffer g inits;
+      add_value_info g ~field:11 ~name:"input" ~elem_type input_dims;
+      add_value_info g ~field:12 ~name:!cur ~elem_type output_dims);
+  add_sub model 8 (fun op -> add_int op 2 13);  (* opset_import { version = 13 } *)
+  Buffer.contents model
+
+let save ?style ?precision net path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_bytes ?style ?precision net))

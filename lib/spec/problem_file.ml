@@ -1,15 +1,8 @@
 module Matrix = Abonn_tensor.Matrix
+module Parse_error = Abonn_util.Parse_error
 
 let floats_to_line arr =
   String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") arr))
-
-let floats_of_words words =
-  words
-  |> List.map (fun s ->
-         match float_of_string_opt s with
-         | Some f -> f
-         | None -> failwith (Printf.sprintf "Problem_file: bad float %S" s))
-  |> Array.of_list
 
 let to_string (problem : Problem.t) ~network_ref =
   let buf = Buffer.create 1024 in
@@ -28,6 +21,7 @@ let to_string (problem : Problem.t) ~network_ref =
 
 type partial = {
   mutable network : string option;
+  mutable network_pos : int * int * string;  (* line, col, token of the directive *)
   mutable lower : float array option;
   mutable upper : float array option;
   mutable center : float array option;
@@ -37,48 +31,110 @@ type partial = {
   mutable constraints : (float * float array) list;  (* reversed *)
 }
 
-let of_string ?(dir = ".") text =
+(* Words of [line] with their 1-based starting columns. *)
+let words_with_cols line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done;
+    if !i < n then begin
+      let start = !i in
+      while !i < n && line.[!i] <> ' ' && line.[!i] <> '\t' do incr i done;
+      out := (String.sub line start (!i - start), start + 1) :: !out
+    end
+  done;
+  List.rev !out
+
+let of_string ?(dir = ".") ?(source = "<string>") text =
+  let err ~line ~col ~token fmt =
+    Parse_error.error ~source ~pos:(Parse_error.Line { line; col }) ~token fmt
+  in
+  let float_of ~line (w, col) =
+    match float_of_string_opt w with
+    | Some f -> f
+    | None -> err ~line ~col ~token:w "expected a float"
+  in
+  let int_of ~line (w, col) =
+    match int_of_string_opt w with
+    | Some i -> i
+    | None -> err ~line ~col ~token:w "expected an integer"
+  in
+  let floats_of ~line ws = Array.of_list (List.map (float_of ~line) ws) in
   let p =
-    { network = None; lower = None; upper = None; center = None; eps = None; clip = None;
-      robustness = None; constraints = [] }
+    { network = None; network_pos = (0, 0, ""); lower = None; upper = None;
+      center = None; eps = None; clip = None; robustness = None; constraints = [] }
   in
-  let lines =
-    String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
-  in
-  (match lines with
-   | "abonn-problem 1" :: _ -> ()
-   | _ -> failwith "Problem_file: missing 'abonn-problem 1' header");
+  let raw_lines = String.split_on_char '\n' text in
+  let seen_header = ref false in
   List.iteri
-    (fun i line ->
-      if i > 0 then begin
-        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-        | "network" :: [ path ] -> p.network <- Some path
-        | "box-lower" :: rest -> p.lower <- Some (floats_of_words rest)
-        | "box-upper" :: rest -> p.upper <- Some (floats_of_words rest)
-        | "center" :: rest -> p.center <- Some (floats_of_words rest)
-        | [ "eps"; v ] -> p.eps <- Some (float_of_string v)
-        | [ "clip"; a; b ] -> p.clip <- Some (float_of_string a, float_of_string b)
-        | [ "robustness"; classes; label ] ->
-          p.robustness <- Some (int_of_string classes, int_of_string label)
-        | "constraint" :: offset :: rest ->
-          p.constraints <- (float_of_string offset, floats_of_words rest) :: p.constraints
-        | _ -> failwith (Printf.sprintf "Problem_file: bad line %S" line)
+    (fun idx raw ->
+      let line = idx + 1 in
+      let trimmed = String.trim raw in
+      if trimmed <> "" && trimmed.[0] <> '#' then begin
+        let ws = words_with_cols raw in
+        if not !seen_header then begin
+          match ws with
+          | [ ("abonn-problem", _); ("1", _) ] -> seen_header := true
+          | (w, col) :: _ ->
+            err ~line ~col ~token:w "expected 'abonn-problem 1' header"
+          | [] -> assert false
+        end
+        else begin
+          match ws with
+          | (("network", col) as _d) :: rest -> (
+            match rest with
+            | [ (path, _) ] ->
+              p.network <- Some path;
+              p.network_pos <- (line, col, path)
+            | _ -> err ~line ~col ~token:"network" "network takes exactly one path")
+          | ("box-lower", _) :: rest -> p.lower <- Some (floats_of ~line rest)
+          | ("box-upper", _) :: rest -> p.upper <- Some (floats_of ~line rest)
+          | ("center", _) :: rest -> p.center <- Some (floats_of ~line rest)
+          | [ ("eps", _); v ] -> p.eps <- Some (float_of ~line v)
+          | [ ("clip", _); a; b ] ->
+            p.clip <- Some (float_of ~line a, float_of ~line b)
+          | [ ("robustness", _); classes; label ] ->
+            p.robustness <- Some (int_of ~line classes, int_of ~line label)
+          | ("constraint", col) :: rest -> (
+            match rest with
+            | offset :: coefs when coefs <> [] ->
+              p.constraints <-
+                (float_of ~line offset, floats_of ~line coefs) :: p.constraints
+            | _ ->
+              err ~line ~col ~token:"constraint"
+                "constraint takes an offset followed by coefficients")
+          | ("eps", col) :: _ -> err ~line ~col ~token:"eps" "eps takes exactly one value"
+          | ("clip", col) :: _ ->
+            err ~line ~col ~token:"clip" "clip takes exactly two values"
+          | ("robustness", col) :: _ ->
+            err ~line ~col ~token:"robustness" "robustness takes num_classes and label"
+          | (w, col) :: _ -> err ~line ~col ~token:w "unknown directive"
+          | [] -> assert false
+        end
       end)
-    lines;
+    raw_lines;
+  if not !seen_header then
+    err ~line:1 ~col:1 ~token:"" "missing 'abonn-problem 1' header";
   let network_path =
     match p.network with
     | Some path -> if Filename.is_relative path then Filename.concat dir path else path
-    | None -> failwith "Problem_file: missing network"
+    | None -> err ~line:1 ~col:1 ~token:"" "missing network directive"
   in
-  let network = Abonn_nn.Serialize.load network_path in
+  let network =
+    match Abonn_nn.Serialize.load network_path with
+    | net -> net
+    | exception (Failure msg | Sys_error msg) ->
+      let line, col, token = p.network_pos in
+      err ~line ~col ~token "cannot load network: %s" msg
+  in
   let region =
     match p.lower, p.upper, p.center, p.eps with
     | Some lower, Some upper, None, None -> Region.create ~lower ~upper
     | None, None, Some center, Some eps -> Region.linf_ball ?clip:p.clip ~center ~eps ()
     | _ ->
-      failwith "Problem_file: give either box-lower/box-upper or center/eps (not a mixture)"
+      err ~line:1 ~col:1 ~token:""
+        "give either box-lower/box-upper or center/eps (not a mixture)"
   in
   let property =
     match p.robustness, List.rev p.constraints with
@@ -88,13 +144,14 @@ let of_string ?(dir = ".") text =
       List.iter
         (fun (_, coefs) ->
           if Array.length coefs <> ncols then
-            failwith "Problem_file: constraint rows of unequal width")
+            err ~line:1 ~col:1 ~token:"constraint" "constraint rows of unequal width")
         rows;
       let c = Matrix.init (List.length rows) ncols (fun i j -> snd (List.nth rows i) |> fun a -> a.(j)) in
       let d = Array.of_list (List.map fst rows) in
       Property.create ~description:"from problem file" c d
-    | Some _, _ :: _ -> failwith "Problem_file: robustness and constraint are exclusive"
-    | None, [] -> failwith "Problem_file: missing property"
+    | Some _, _ :: _ ->
+      err ~line:1 ~col:1 ~token:"" "robustness and constraint are exclusive"
+    | None, [] -> err ~line:1 ~col:1 ~token:"" "missing property"
   in
   Problem.create ~name:"problem-file" ~network ~region ~property ()
 
@@ -105,7 +162,7 @@ let load path =
     (fun () ->
       let n = in_channel_length ic in
       let text = really_input_string ic n in
-      of_string ~dir:(Filename.dirname path) text)
+      of_string ~dir:(Filename.dirname path) ~source:path text)
 
 let save problem ~network_path path =
   Abonn_nn.Serialize.save problem.Problem.network network_path;

@@ -30,8 +30,9 @@
 
 val load : string -> Problem.t
 (** [load path] parses the problem file and its referenced network.
-    Raises [Failure] with a descriptive message on malformed input,
-    [Sys_error] on missing files. *)
+    Raises {!Abonn_util.Parse_error.Error} with the 1-based line/column
+    and offending token on malformed input (including an unloadable
+    network reference), [Sys_error] on a missing problem file. *)
 
 val save : Problem.t -> network_path:string -> string -> unit
 (** [save problem ~network_path path] writes the problem file to [path]
@@ -42,6 +43,7 @@ val to_string : Problem.t -> network_ref:string -> string
 (** Render just the problem file body, referencing the network as
     [network_ref]. *)
 
-val of_string : ?dir:string -> string -> Problem.t
+val of_string : ?dir:string -> ?source:string -> string -> Problem.t
 (** Parse from a string; [dir] (default ".") resolves the network
-    reference. *)
+    reference, [source] (default ["<string>"]) labels positions in
+    error messages. *)

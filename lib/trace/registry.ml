@@ -8,7 +8,7 @@
 module Event = Abonn_obs.Event
 module Provenance = Abonn_util.Provenance
 
-let schema_version = 2
+let schema_version = 3
 
 type record = {
   schema : int;
@@ -19,6 +19,7 @@ type record = {
   instance : string;
   seed : int;
   domains : int;
+  source_format : string;
   verdict : string;
   wall : float;
   calls : int;
@@ -27,8 +28,9 @@ type record = {
   peak_rss_bytes : int;
 }
 
-let make ?ts ?commit ?(peak_rss_bytes = -1) ?(domains = 1) ~engine ~model
-    ~instance ~seed ~verdict ~wall ~calls ~nodes ~max_depth () =
+let make ?ts ?commit ?(peak_rss_bytes = -1) ?(domains = 1)
+    ?(source_format = "native") ~engine ~model ~instance ~seed ~verdict ~wall
+    ~calls ~nodes ~max_depth () =
   let ts = match ts with Some t -> t | None -> Provenance.iso_now () in
   let commit = match commit with Some c -> c | None -> Provenance.git_commit () in
   let peak_rss_bytes =
@@ -36,16 +38,19 @@ let make ?ts ?commit ?(peak_rss_bytes = -1) ?(domains = 1) ~engine ~model
     else Abonn_obs.Resource.peak_rss ()
   in
   { schema = schema_version; ts; commit; engine; model; instance; seed;
-    domains; verdict; wall; calls; nodes; max_depth; peak_rss_bytes }
+    domains; source_format; verdict; wall; calls; nodes; max_depth;
+    peak_rss_bytes }
 
 let to_json r =
   Printf.sprintf
     "{\"schema\":%d,\"ts\":%s,\"commit\":%s,\"engine\":%s,\"model\":%s,\
-     \"instance\":%s,\"seed\":%d,\"domains\":%d,\"verdict\":%s,\"wall\":%.6f,\
+     \"instance\":%s,\"seed\":%d,\"domains\":%d,\"source_format\":%s,\
+     \"verdict\":%s,\"wall\":%.6f,\
      \"calls\":%d,\"nodes\":%d,\"max_depth\":%d,\"peak_rss_bytes\":%d}"
     r.schema (Event.json_string r.ts) (Event.json_string r.commit)
     (Event.json_string r.engine) (Event.json_string r.model)
     (Event.json_string r.instance) r.seed r.domains
+    (Event.json_string r.source_format)
     (Event.json_string r.verdict) r.wall r.calls r.nodes r.max_depth
     r.peak_rss_bytes
 
@@ -66,10 +71,14 @@ let of_json line =
          Some instance, Some seed, Some verdict, Some wall, Some calls,
          Some nodes, Some max_depth, Some peak_rss_bytes ) ->
        (* [domains] arrived with schema 2; schema-1 lines predate
-          parallel bookkeeping and were all sequential runs *)
+          parallel bookkeeping and were all sequential runs.
+          [source_format] arrived with schema 3; older lines were all
+          native-format problems. *)
        let domains = Option.value ~default:1 (int "domains") in
+       let source_format = Option.value ~default:"native" (str "source_format") in
        Ok { schema; ts; commit; engine; model; instance; seed; domains;
-            verdict; wall; calls; nodes; max_depth; peak_rss_bytes }
+            source_format; verdict; wall; calls; nodes; max_depth;
+            peak_rss_bytes }
      | _ -> Error "registry record: missing or mistyped field")
 
 let default_path = Filename.concat "results" "registry.jsonl"

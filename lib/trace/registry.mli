@@ -19,6 +19,12 @@ type record = {
   domains : int;
       (** worker domains the run used; [1] = sequential (and the implied
           value for schema-1 records, which predate the field) *)
+  source_format : string;
+      (** where the problem came from: ["native"] (zoo model or abonn
+          problem file), ["onnx+vnnlib"] (--onnx/--vnnlib front-end) or
+          ["synthetic"] (generated in-process, e.g. bench MLPs).  The
+          implied value for schema-1/2 records, which predate the field,
+          is ["native"]. *)
   verdict : string;
   wall : float;  (** seconds *)
   calls : int;  (** AppVer bound computations *)
@@ -34,6 +40,7 @@ val make :
   ?commit:string ->
   ?peak_rss_bytes:int ->
   ?domains:int ->
+  ?source_format:string ->
   engine:string ->
   model:string ->
   instance:string ->
@@ -48,14 +55,14 @@ val make :
 (** Build a record; [ts], [commit] and [peak_rss_bytes] default to the
     current time, {!Abonn_util.Provenance.git_commit} and
     {!Abonn_obs.Resource.peak_rss} respectively; [domains] defaults to
-    [1] (sequential). *)
+    [1] (sequential) and [source_format] to ["native"]. *)
 
 val to_json : record -> string
 (** One flat JSON object, no trailing newline. *)
 
 val of_json : string -> (record, string) result
-(** Parses both current (schema 2) and legacy schema-1 lines; the
-    latter get [domains = 1]. *)
+(** Parses current (schema 3) and legacy lines: schema-1 lines get
+    [domains = 1], schema-1/2 lines get [source_format = "native"]. *)
 
 val default_path : string
 (** ["results/registry.jsonl"], relative to the working directory. *)

@@ -1,0 +1,26 @@
+type pos = Line of { line : int; col : int } | Byte of { offset : int }
+
+type t = {
+  source : string;
+  pos : pos;
+  token : string;
+  msg : string;
+}
+
+exception Error of t
+
+let error ~source ~pos ~token fmt =
+  Printf.ksprintf (fun msg -> raise (Error { source; pos; token; msg })) fmt
+
+let to_string e =
+  let where =
+    match e.pos with
+    | Line { line; col } -> Printf.sprintf "%s:%d:%d" e.source line col
+    | Byte { offset } -> Printf.sprintf "%s: byte %d" e.source offset
+  in
+  if e.token = "" then Printf.sprintf "%s: %s" where e.msg
+  else Printf.sprintf "%s: %s (at %S)" where e.msg e.token
+
+let with_source source f =
+  try f ()
+  with Error e when e.source = "<string>" -> raise (Error { e with source })

@@ -1,0 +1,38 @@
+(** Positioned parse errors shared by every front-end parser.
+
+    The text parsers ({!Abonn_spec.Problem_file}, {!Abonn_spec.Vnnlib})
+    report 1-based line/column positions plus the offending token; the
+    binary ONNX reader ({!Abonn_nn.Onnx}) reports a byte offset.  Both
+    raise the same exception so [abonn_cli] (and any other consumer)
+    prints one uniform diagnostic shape:
+
+    {v
+    file.vnnlib:12:9: unbalanced ')' (at ")")
+    net.onnx: byte 132: truncated varint
+    v} *)
+
+type pos =
+  | Line of { line : int; col : int }  (** 1-based, text formats *)
+  | Byte of { offset : int }  (** 0-based, binary formats *)
+
+type t = {
+  source : string;  (** file path, or a caller-chosen label like ["<string>"] *)
+  pos : pos;
+  token : string;  (** offending token / byte rendering; [""] when none applies *)
+  msg : string;
+}
+
+exception Error of t
+
+val error :
+  source:string -> pos:pos -> token:string -> ('a, unit, string, 'b) format4 -> 'a
+(** [error ~source ~pos ~token fmt ...] raises {!Error} with a formatted
+    message. *)
+
+val to_string : t -> string
+(** [source:line:col: msg (at token)] or [source: byte N: msg]. *)
+
+val with_source : string -> (unit -> 'a) -> 'a
+(** Re-raise any escaping {!Error} with [source] substituted for the
+    placeholder ["<string>"] — lets [of_string]-style parsers stay
+    path-agnostic while [load path] reports the real file. *)

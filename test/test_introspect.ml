@@ -497,7 +497,7 @@ let test_golden_introspect_byte_stable () =
   in
   go 1
 
-(* --- registry schema 2 --- *)
+(* --- registry schema (domains since 2, source_format since 3) --- *)
 
 let test_registry_domains_roundtrip () =
   let r =
@@ -506,7 +506,7 @@ let test_registry_domains_roundtrip () =
       ~instance:"i3" ~seed:0 ~verdict:"timeout" ~wall:1.5 ~calls:100 ~nodes:100
       ~max_depth:7 ()
   in
-  Alcotest.(check int) "schema stamped" 2 r.Registry.schema;
+  Alcotest.(check int) "schema stamped" Registry.schema_version r.Registry.schema;
   Alcotest.(check bool) "json carries domains" true
     (contains ~affix:"\"domains\":4" (Registry.to_json r));
   match Registry.of_json (Registry.to_json r) with

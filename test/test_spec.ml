@@ -335,15 +335,35 @@ let test_problem_file_constraints_form () =
         (Property.margin problem.Problem.property [| 0.0 |]))
 
 let test_problem_file_rejects_garbage () =
-  Alcotest.(check bool) "no header" true
-    (try ignore (Problem_file.of_string "network foo\n"); false with Failure _ -> true);
+  (* malformed input raises the shared positioned error with the
+     offending token and a 1-based line/column (satellite of PR 9) *)
+  (match Problem_file.of_string "network foo\n" with
+   | _ -> Alcotest.fail "no header accepted"
+   | exception Abonn_util.Parse_error.Error e ->
+     Alcotest.(check string) "token" "network" e.Abonn_util.Parse_error.token;
+     (match e.Abonn_util.Parse_error.pos with
+      | Abonn_util.Parse_error.Line { line; col } ->
+        Alcotest.(check int) "line" 1 line;
+        Alcotest.(check int) "col" 1 col
+      | Abonn_util.Parse_error.Byte _ -> Alcotest.fail "expected a line position"));
   Alcotest.(check bool) "mixture" true
     (try
        ignore
          (Problem_file.of_string
             "abonn-problem 1\nnetwork x\nbox-lower 0\ncenter 0\neps 1\nrobustness 2 0\n");
        false
-     with Failure _ | Sys_error _ -> true)
+     with Abonn_util.Parse_error.Error _ -> true);
+  (match
+     Problem_file.of_string "abonn-problem 1\nnetwork x\nbox-lower 0 oops 1\n"
+   with
+   | _ -> Alcotest.fail "bad float accepted"
+   | exception Abonn_util.Parse_error.Error e ->
+     Alcotest.(check string) "bad token" "oops" e.Abonn_util.Parse_error.token;
+     (match e.Abonn_util.Parse_error.pos with
+      | Abonn_util.Parse_error.Line { line; col } ->
+        Alcotest.(check int) "bad float line" 3 line;
+        Alcotest.(check int) "bad float col" 13 col
+      | Abonn_util.Parse_error.Byte _ -> Alcotest.fail "expected a line position"))
 
 let problem_file_tests =
   ( "spec.problem_file",
