@@ -16,6 +16,7 @@ module Check = Abonn_check
 module Oracle = Abonn_check.Oracle
 module Campaign = Abonn_check.Campaign
 module Finding = Abonn_check.Finding
+module Registry = Abonn_trace.Registry
 
 let parse_families s =
   if String.trim s = "all" then Ok Oracle.all_families
@@ -58,13 +59,14 @@ let with_sinks ~trace_file ~findings_file f =
   Fun.protect ~finally (fun () -> f log_finding)
 
 let run_campaign seed cases families minimize out_dir trace_file findings_file
-    samples engine_budget quiet =
+    samples engine_budget quiet registry =
   let oracle =
     { Oracle.default_config with Oracle.samples; engine_budget }
   in
   let cfg =
     { Campaign.seed; cases; families; minimize; out_dir; oracle }
   in
+  let started = Unix.gettimeofday () in
   let outcome =
     with_sinks ~trace_file ~findings_file (fun log_finding ->
         let on_case (case : Check.Gen.case) =
@@ -80,9 +82,28 @@ let run_campaign seed cases families minimize out_dir trace_file findings_file
         in
         Campaign.run ~on_finding ~on_case cfg)
   in
+  let findings_n = List.length outcome.Campaign.findings in
   Printf.printf "%d case(s), %d oracle check(s), %d finding(s)\n"
-    outcome.Campaign.cases_run outcome.Campaign.checks_run
-    (List.length outcome.Campaign.findings);
+    outcome.Campaign.cases_run outcome.Campaign.checks_run findings_n;
+  (* one campaign-summary line in the run registry, so nightly fuzz runs
+     show up in cross-commit trend reports (abonn_trace report) *)
+  Option.iter
+    (fun path ->
+      let record =
+        Registry.make ~engine:"fuzz"
+          ~model:(String.concat "," (List.map Oracle.family_name families))
+          ~instance:(Printf.sprintf "campaign_seed%d" seed)
+          ~seed ~domains:1 ~source_format:"synthetic"
+          ~verdict:
+            (if findings_n = 0 then "ok"
+             else Printf.sprintf "findings:%d" findings_n)
+          ~wall:(Unix.gettimeofday () -. started)
+          ~calls:outcome.Campaign.checks_run ~nodes:outcome.Campaign.cases_run
+          ~max_depth:0 ()
+      in
+      Registry.append ~path record;
+      Printf.printf "registry record appended to: %s\n" path)
+    registry;
   if outcome.Campaign.findings = [] then `Ok () else exit 1
 
 let run_replay path family_str seed samples engine_budget =
@@ -113,7 +134,7 @@ let run_export dir seed =
   | exception Failure msg -> `Error (false, msg)
 
 let main seed cases oracle_str minimize out_dir trace_file findings_file samples
-    engine_budget quiet replay family export_corpus =
+    engine_budget quiet replay family export_corpus registry =
   match (replay, export_corpus) with
   | Some path, None -> run_replay path family seed samples engine_budget
   | None, Some dir -> run_export dir seed
@@ -123,7 +144,7 @@ let main seed cases oracle_str minimize out_dir trace_file findings_file samples
     | Error msg -> `Error (true, msg)
     | Ok families ->
       run_campaign seed cases families minimize out_dir trace_file findings_file
-        samples engine_budget quiet)
+        samples engine_budget quiet registry)
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
@@ -203,6 +224,16 @@ let export_arg =
           "Regenerate the committed fuzz corpus: one minimized, oracle-passing \
            problem per family plus a corpus.txt manifest.")
 
+let registry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "registry" ] ~docv:"FILE"
+        ~doc:
+          "Append one campaign-summary record (engine $(b,fuzz), cases as nodes, \
+           checks as calls, verdict $(b,ok) or $(b,findings:N)) to this run \
+           registry, so fuzz campaigns appear in $(b,abonn_trace report) trends.")
+
 let cmd =
   let doc = "deterministic differential fuzzing of the ABONN verification stack" in
   let man =
@@ -222,6 +253,6 @@ let cmd =
       ret
         (const main $ seed_arg $ cases_arg $ oracle_arg $ minimize_arg $ out_arg
        $ trace_arg $ findings_arg $ samples_arg $ budget_arg $ quiet_arg
-       $ replay_arg $ family_arg $ export_arg))
+       $ replay_arg $ family_arg $ export_arg $ registry_arg))
 
 let () = exit (Cmd.eval cmd)

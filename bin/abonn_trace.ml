@@ -22,6 +22,24 @@ module Monitor = Abonn_trace.Monitor
 module Regress = Abonn_trace.Regress
 module Explain = Abonn_trace.Explain
 module Hotspots = Abonn_trace.Hotspots
+module Campaign = Abonn_trace.Campaign
+module Perfetto = Abonn_trace.Perfetto
+module Registry = Abonn_trace.Registry
+module Parse_error = Abonn_util.Parse_error
+
+(* Uniform failure contract: an empty, missing or truncated-beyond-
+   recovery input exits non-zero with a positioned diagnostic (the
+   shared lib/util/parse_error format all front-ends use) — never an
+   empty table with exit 0. *)
+let positioned ?(line = 1) path fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Parse_error.to_string
+        { Parse_error.source = path;
+          pos = Parse_error.Line { line; col = 1 };
+          token = "";
+          msg })
+    fmt
 
 let load path =
   match Reader.read_file path with
@@ -40,7 +58,14 @@ let with_events path f =
   | Error msg -> `Error (false, msg)
   | Ok (events, issues) ->
     print_issues issues;
-    if events = [] then `Error (false, Printf.sprintf "%s: no parseable events" path)
+    if events = [] then
+      `Error
+        ( false,
+          match issues with
+          | [] -> positioned path "empty trace: no events"
+          | i :: _ ->
+            positioned ~line:(Reader.issue_line i) path
+              "no parseable events (malformed or truncated beyond recovery)" )
     else f events
 
 (* Select one run segment out of a (possibly multi-run) trace. *)
@@ -478,10 +503,240 @@ let bench_cmd =
         (const run $ fresh $ against $ max_regress $ scale_baseline $ bench_exe
          $ keep $ overhead))
 
+(* --- report: campaign analytics over the run registry --- *)
+
+let default_registries = function [] -> [ Registry.default_path ] | l -> l
+
+(* Shared campaign ingestion: positioned issues to stderr; an empty or
+   all-malformed registry is a positioned hard error, not a blank page. *)
+let load_campaign registries =
+  let registries = default_registries registries in
+  match Campaign.load registries with
+  | Error msg -> Error msg
+  | Ok t ->
+    List.iter
+      (fun (i : Campaign.issue) ->
+        Printf.eprintf "%s\n" (positioned ~line:i.Campaign.line i.Campaign.file "%s" i.Campaign.msg))
+      t.Campaign.issues;
+    if t.Campaign.issues <> [] then flush stderr;
+    if t.Campaign.records = [] then
+      Error
+        (match t.Campaign.issues with
+         | [] -> positioned (List.hd registries) "empty registry: no run records"
+         | i :: _ ->
+           positioned ~line:i.Campaign.line i.Campaign.file
+             "no parseable run records (malformed or truncated beyond recovery)")
+    else Ok t
+
+let registries_opt_arg =
+  Arg.(value & opt_all string []
+       & info [ "registry" ] ~docv:"FILE"
+           ~doc:
+             "Registry JSONL file to ingest (repeatable; default \
+              results/registry.jsonl).  Any mix of record schemas 1-3 is \
+              accepted.")
+
+let report_cmd =
+  let run registries against commit fmt_s budget trace_base trace_head out =
+    match Campaign.format_of_string fmt_s with
+    | None ->
+      `Error (true, Printf.sprintf "unknown --format %S (expected md, csv or svg)" fmt_s)
+    | Some fmt ->
+      (match load_campaign registries with
+       | Error msg -> `Error (false, msg)
+       | Ok t ->
+         let trace_pair =
+           match (trace_base, trace_head) with
+           | None, None -> Ok None
+           | Some _, None | None, Some _ ->
+             Error "--trace-base and --trace-head must be given together"
+           | Some base_path, Some head_path ->
+             (match (load base_path, load head_path) with
+              | Error msg, _ | _, Error msg -> Error msg
+              | Ok (base, bi), Ok (head, hi) ->
+                print_issues bi;
+                print_issues hi;
+                if base = [] then Error (positioned base_path "empty trace: no events")
+                else if head = [] then
+                  Error (positioned head_path "empty trace: no events")
+                else Ok (Some (Campaign.trace_attribute ~base ~head)))
+         in
+         (match trace_pair with
+          | Error msg -> `Error (false, msg)
+          | Ok trace_pair ->
+            (match Campaign.report ?against ?trace_pair ?budget:budget ?commit t fmt with
+             | Error msg -> `Error (false, msg)
+             | Ok text -> output_result out text)))
+  in
+  let against =
+    Arg.(value & opt (some string) None
+         & info [ "against" ] ~docv:"COMMIT"
+             ~doc:
+               "Attribute the head commit's changes against this base commit: \
+                per-run wall-time deltas joined on (engine, model, instance, \
+                seed, domains, source format), newly solved/unsolved counts.")
+  in
+  let commit =
+    Arg.(value & opt (some string) None
+         & info [ "commit" ] ~docv:"COMMIT"
+             ~doc:"Report this commit's runs (default: the newest commit).")
+  in
+  let fmt =
+    Arg.(value & opt string "md"
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:
+               "$(b,md) renders the full report (PAR-2, cactus quantiles, \
+                engine x family matrix, cross-commit trend, attribution); \
+                $(b,csv) and $(b,svg) render the cactus curves.")
+  in
+  let budget =
+    Arg.(value & opt (some float) None
+         & info [ "par-budget" ] ~docv:"SECONDS"
+             ~doc:
+               "PAR-2 budget (unsolved runs cost twice this).  Default: the \
+                longest wall time in the selection, since the registry records \
+                no per-run budget.")
+  in
+  let trace_base =
+    Arg.(value & opt (some file) None
+         & info [ "trace-base" ] ~docv:"TRACE"
+             ~doc:
+               "Base-commit trace of one instance; with $(b,--trace-head), adds \
+                a phase-level attribution naming the dominant slower phase.")
+  in
+  let trace_head =
+    Arg.(value & opt (some file) None
+         & info [ "trace-head" ] ~docv:"TRACE" ~doc:"Head-commit trace paired with $(b,--trace-base).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Campaign analytics over the run registry: solved-vs-time cactus \
+          curves, PAR-2 scores, per-engine x per-family win/loss matrix, \
+          cross-commit trends, and — with $(b,--against) — a \"why did this \
+          commit get slower\" attribution.  Output is deterministic and \
+          byte-stable, suitable for golden tests and CI artifacts.")
+    Term.(
+      ret
+        (const run $ registries_opt_arg $ against $ commit $ fmt $ budget
+         $ trace_base $ trace_head $ out_arg))
+
+(* --- export: trace-event (Perfetto / chrome://tracing) exporter --- *)
+
+let export_cmd =
+  let run file perfetto out =
+    if not perfetto then
+      `Error (true, "export: no target format given (use --perfetto)")
+    else with_events file (fun events -> output_result out (Perfetto.to_string events))
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let perfetto =
+    Arg.(value & flag
+         & info [ "perfetto" ]
+             ~doc:
+               "Chrome trace-event JSON: span events become duration slices, \
+                domain tags become named thread tracks, resource_sample becomes \
+                counter tracks.  Open in ui.perfetto.dev or chrome://tracing.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Convert a trace to an external viewer format.  Currently \
+          $(b,--perfetto) (trace-event JSON for the Perfetto UI / \
+          chrome://tracing / speedscope).")
+    Term.(ret (const run $ file $ perfetto $ out_arg))
+
+(* --- registry: inspect and maintain the run registry --- *)
+
+let registry_files_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"FILE"
+           ~doc:"Registry JSONL files (default results/registry.jsonl).")
+
+let registry_ls_cmd =
+  let run files =
+    match load_campaign files with
+    | Error msg -> `Error (false, msg)
+    | Ok t ->
+      let rows =
+        List.map
+          (fun (r : Registry.record) ->
+            [ r.Registry.ts; r.commit; string_of_int r.schema; r.engine; r.model;
+              r.instance; string_of_int r.domains; r.source_format; r.verdict;
+              Printf.sprintf "%.3f" r.wall ])
+          t.Campaign.records
+      in
+      print_string
+        (Abonn_util.Table.render
+           ~align:
+             Abonn_util.Table.
+               [ Left; Left; Right; Left; Left; Left; Right; Left; Left; Right ]
+           ~header:
+             [ "ts"; "commit"; "sch"; "engine"; "model"; "instance"; "dom";
+               "source"; "verdict"; "wall" ]
+           rows);
+      Printf.printf "\n%d record(s), %d commit(s)\n"
+        (List.length t.Campaign.records)
+        (List.length (Campaign.commits t));
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "ls"
+       ~doc:
+         "List every registry record (all schemas) across the given files, \
+          with append time, commit and source format.")
+    Term.(ret (const run $ registry_files_arg))
+
+let registry_lint_cmd =
+  let run files gc =
+    let files = default_registries files in
+    match Registry.lint files with
+    | exception Sys_error msg -> `Error (false, msg)
+    | report ->
+      print_string (Registry.lint_report_to_string report);
+      if report.Registry.lines = 0 then
+        `Error (false, positioned (List.hd files) "empty registry: no run records")
+      else if gc then begin
+        List.iter
+          (fun f ->
+            let kept, dropped = Registry.gc f in
+            Printf.printf "%s: kept %d record(s), dropped %d line(s)\n" f kept dropped)
+          files;
+        `Ok ()
+      end
+      else if report.Registry.lint_issues = [] then `Ok ()
+      else exit 1
+  in
+  let gc =
+    Arg.(value & flag
+         & info [ "gc" ]
+             ~doc:
+               "Dedup-compact each file in place: keep the first occurrence of \
+                every distinct record with its original bytes, drop malformed \
+                lines and later duplicates (atomic rewrite via a .tmp sibling).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "One pass over any mix of schema-1/2/3 registry files reporting \
+          malformed lines, duplicate records and records whose commit/ts \
+          stamp is unusable for cross-commit joins.  Exits non-zero when \
+          issues are found (unless $(b,--gc) repairs them).")
+    Term.(ret (const run $ registry_files_arg $ gc))
+
+let registry_cmd =
+  Cmd.group
+    (Cmd.info "registry"
+       ~doc:
+         "Inspect and maintain the append-only run registry \
+          (results/registry.jsonl): $(b,ls) lists records, $(b,lint) reports \
+          malformed/duplicate/unstamped lines and $(b,lint --gc) compacts.")
+    [ registry_ls_cmd; registry_lint_cmd ]
+
 let cmd =
   let doc = "analytics over ABONN JSONL traces" in
   Cmd.group (Cmd.info "abonn_trace" ~doc)
     [ summary_cmd; tree_cmd; phases_cmd; curve_cmd; diff_cmd; explain_cmd;
-      hotspots_cmd; watch_cmd; bench_cmd ]
+      hotspots_cmd; watch_cmd; bench_cmd; report_cmd; export_cmd; registry_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,199 @@
+(* Chrome trace-event / Perfetto exporter: map the ABONN envelope +
+   span events (docs/TRACE_SCHEMA.md section 1-2) onto the trace-event
+   JSON array format so any trace opens in chrome://tracing, Perfetto UI
+   or speedscope without bespoke tooling.
+
+   Mapping:
+   - the envelope [domain] tag becomes the thread id, so each OCaml
+     domain renders as its own named track ("main" for untagged
+     sequential events, "domain N" otherwise);
+   - span events that carry [elapsed] (bound_computed, lp_solved,
+     lp_warm, attack_tried, verdict_reached, run_finished) become
+     complete ("X") events whose ts is rewound by their duration —
+     exactly the span-window convention [Phases] uses;
+   - point events (selections, evaluations, frontier pops, decisions,
+     bound_reuse, domain_summary) become thread-scoped instants ("i");
+   - resource_sample becomes counter ("C") tracks for RSS/heap bytes,
+     node totals and throughput.
+
+   Timestamps are microseconds as the format requires.  The output is
+   deterministic: event order follows the input, floats print with
+   fixed formats, and metadata rows are sorted. *)
+
+module Event = Abonn_obs.Event
+
+let us t = t *. 1e6
+
+(* trace-event "args" payloads reuse the envelope's own JSON encoders *)
+let jstr = Event.json_string
+
+let fnum f =
+  if Float.is_nan f then "\"nan\""
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" f
+
+type row = {
+  ph : char;
+  name : string;
+  cat : string;
+  ts : float;    (* microseconds *)
+  dur : float;   (* microseconds; meaningful for 'X' rows only *)
+  tid : int;
+  args : (string * string) list;  (* key -> pre-encoded JSON value *)
+}
+
+let tid_of env = match env.Event.domain with Some d -> d | None -> 0
+
+let rows_of_event env =
+  let t = env.Event.t in
+  let tid = tid_of env in
+  let complete ?(cat = "span") name elapsed args =
+    [ { ph = 'X';
+        name;
+        cat;
+        ts = us (Float.max 0.0 (t -. elapsed));
+        dur = us (Float.max 0.0 elapsed);
+        tid;
+        args } ]
+  in
+  let instant ?(cat = "point") name args =
+    [ { ph = 'i'; name; cat; ts = us t; dur = 0.0; tid; args } ]
+  in
+  let counter name args =
+    [ { ph = 'C'; name; cat = "resource"; ts = us t; dur = 0.0; tid; args } ]
+  in
+  match env.Event.event with
+  | Event.Run_started { engine; instance } ->
+    instant ~cat:"run" "run_started"
+      [ ("engine", jstr engine); ("instance", jstr instance) ]
+  | Event.Run_finished { engine; instance; verdict; calls; nodes; max_depth; wall } ->
+    complete ~cat:"run" ("run:" ^ engine) wall
+      [ ("instance", jstr instance); ("verdict", jstr verdict);
+        ("calls", string_of_int calls); ("nodes", string_of_int nodes);
+        ("max_depth", string_of_int max_depth) ]
+  | Event.Verdict_reached { engine; verdict; elapsed } ->
+    complete ~cat:"run" ("run:" ^ engine) elapsed [ ("verdict", jstr verdict) ]
+  | Event.Bound_computed { appver; depth; phat; elapsed } ->
+    complete ("appver:" ^ appver) elapsed
+      [ ("depth", string_of_int depth); ("phat", fnum phat) ]
+  | Event.Lp_solved { vars; rows; status; elapsed } ->
+    complete "lp" elapsed
+      [ ("vars", string_of_int vars); ("rows", string_of_int rows);
+        ("status", jstr status) ]
+  | Event.Lp_warm { depth; rows; hit; pivots; fallback; elapsed } ->
+    complete "lp_warm" elapsed
+      [ ("depth", string_of_int depth); ("rows", string_of_int rows);
+        ("hit", if hit then "true" else "false");
+        ("pivots", string_of_int pivots); ("fallback", jstr fallback) ]
+  | Event.Attack_tried { attack; success; elapsed } ->
+    complete ("attack:" ^ attack) elapsed
+      [ ("success", if success then "true" else "false") ]
+  | Event.Node_selected { engine; depth; ucb } ->
+    instant "node_selected"
+      [ ("engine", jstr engine); ("depth", string_of_int depth); ("ucb", fnum ucb) ]
+  | Event.Node_evaluated { engine; depth; gamma; phat; reward } ->
+    instant "node_evaluated"
+      [ ("engine", jstr engine); ("depth", string_of_int depth);
+        ("gamma", jstr gamma); ("phat", fnum phat); ("reward", fnum reward) ]
+  | Event.Backprop { engine; depth; reward; size } ->
+    instant "backprop"
+      [ ("engine", jstr engine); ("depth", string_of_int depth);
+        ("reward", fnum reward); ("size", string_of_int size) ]
+  | Event.Frontier_pop { engine; depth; frontier; priority } ->
+    instant "frontier_pop"
+      [ ("engine", jstr engine); ("depth", string_of_int depth);
+        ("frontier", string_of_int frontier); ("priority", fnum priority) ]
+  | Event.Exact_leaf { engine; depth; verified } ->
+    instant "exact_leaf"
+      [ ("engine", jstr engine); ("depth", string_of_int depth);
+        ("verified", if verified then "true" else "false") ]
+  | Event.Bound_reuse { appver; depth; from_layer; layers_skipped; clamps } ->
+    instant ~cat:"cache" "bound_reuse"
+      [ ("appver", jstr appver); ("depth", string_of_int depth);
+        ("from_layer", string_of_int from_layer);
+        ("layers_skipped", string_of_int layers_skipped);
+        ("clamps", string_of_int clamps) ]
+  | Event.Resource_sample { rss_bytes; heap_bytes; open_nodes; nodes; nps; _ } ->
+    counter "memory_bytes"
+      [ ("rss", string_of_int rss_bytes); ("heap", string_of_int heap_bytes) ]
+    @ counter "nodes"
+        [ ("total", string_of_int nodes); ("open", string_of_int open_nodes) ]
+    @ counter "nodes_per_sec" [ ("nps", fnum nps) ]
+  | Event.Domain_summary { engine; domain; processed; pushed; stolen; idle } ->
+    (* describes [domain]'s whole run: pin it to that domain's track *)
+    [ { ph = 'i';
+        name = "domain_summary";
+        cat = "par";
+        ts = us t;
+        dur = 0.0;
+        tid = domain;
+        args =
+          [ ("engine", jstr engine); ("processed", string_of_int processed);
+            ("pushed", string_of_int pushed); ("stolen", string_of_int stolen);
+            ("idle", string_of_int idle) ] } ]
+  | Event.Ucb_decision { engine; depth; chosen; sample; _ } ->
+    instant ~cat:"decision" "ucb_decision"
+      [ ("engine", jstr engine); ("depth", string_of_int depth);
+        ("chosen", jstr chosen); ("sample", string_of_int sample) ]
+  | Event.Branch_decision { engine; depth; kind; choice; candidates; sample; _ } ->
+    instant ~cat:"decision" "branch_decision"
+      [ ("engine", jstr engine); ("depth", string_of_int depth);
+        ("kind", jstr kind); ("choice", string_of_int choice);
+        ("candidates", string_of_int candidates); ("sample", string_of_int sample) ]
+  | Event.Frontier_decision { engine; depth; frontier; sample; _ } ->
+    instant ~cat:"decision" "frontier_decision"
+      [ ("engine", jstr engine); ("depth", string_of_int depth);
+        ("frontier", string_of_int frontier); ("sample", string_of_int sample) ]
+
+let row_to_json ~pid r =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":%s,\"cat\":%s,\"ph\":\"%c\",\"ts\":%.3f" (jstr r.name)
+       (jstr r.cat) r.ph r.ts);
+  if r.ph = 'X' then Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" r.dur);
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid r.tid);
+  if r.ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+  if r.args <> [] then begin
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (jstr k);
+        Buffer.add_char buf ':';
+        Buffer.add_string buf v)
+      r.args;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let metadata_rows ~pid tids =
+  let meta name tid args =
+    Printf.sprintf
+      "{\"name\":%s,\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{%s}}" (jstr name)
+      pid tid args
+  in
+  meta "process_name" 0 "\"name\":\"abonn\""
+  :: List.map
+       (fun tid ->
+         let label = if tid = 0 then "main" else Printf.sprintf "domain %d" tid in
+         meta "thread_name" tid (Printf.sprintf "\"name\":%s" (jstr label)))
+       tids
+
+let to_string events =
+  let pid = 1 in
+  let rows = List.concat_map rows_of_event events in
+  let tids =
+    List.sort_uniq compare (0 :: List.map (fun r -> r.tid) rows)
+  in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let all = metadata_rows ~pid tids @ List.map (row_to_json ~pid) rows in
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf line)
+    all;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf

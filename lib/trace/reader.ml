@@ -101,9 +101,11 @@ let tail_line t report f line =
         f env));
   t.line_no <- t.line_no + 1
 
-let tail_poll t ~f =
-  let issues = ref [] in
-  let report i = issues := i :: !issues in
+(* Drain every complete line that has arrived since the last poll and
+   hand it to [line] (with its 1-based line number); a final record cut
+   mid-line by the writer's buffer stays in [pending] until its '\n'
+   shows up on a later poll. *)
+let tail_drain t ~line:deliver =
   let rec drain () =
     match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
     | 0 -> ()
@@ -114,10 +116,24 @@ let tail_poll t ~f =
         | '\n' ->
           let line = Buffer.contents t.pending in
           Buffer.clear t.pending;
-          tail_line t report f line
+          deliver line
         | c -> Buffer.add_char t.pending c
       done;
       drain ()
   in
-  drain ();
+  drain ()
+
+let tail_poll t ~f =
+  let issues = ref [] in
+  let report i = issues := i :: !issues in
+  tail_drain t ~line:(fun line -> tail_line t report f line);
   List.rev !issues
+
+(* Raw-line variant for line-oriented files that are not event traces
+   (the run registry among them): same partial-line deferral across
+   polls, no envelope parsing or integrity checks.  Empty lines are
+   skipped but still advance the line counter. *)
+let tail_poll_lines t ~f =
+  tail_drain t ~line:(fun line ->
+      (match line with "" -> () | line -> f ~line_no:t.line_no line);
+      t.line_no <- t.line_no + 1)

@@ -58,6 +58,14 @@ val tail_poll : tail -> f:(Abonn_obs.Event.envelope -> unit) -> issue list
     order).  Non-blocking in the sense that it stops at end-of-file
     rather than waiting for more data. *)
 
+val tail_poll_lines : tail -> f:(line_no:int -> string -> unit) -> unit
+(** Raw-line variant of {!tail_poll} for line-oriented files that are
+    not event traces (the run registry among them): delivers every
+    complete non-empty line appended since the last poll with its
+    1-based line number, with the same partial-line deferral across
+    polls, and no envelope parsing or seq/t integrity checks.  Do not
+    mix with {!tail_poll} on the same tail: both consume the stream. *)
+
 val tail_offset : tail -> int
 (** Bytes consumed so far (including any buffered partial line). *)
 

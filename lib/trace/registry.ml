@@ -116,3 +116,138 @@ let load ?(path = default_path) () =
     go 1;
     (List.rev !records, List.rev !errors)
   end
+
+(* --- lint / gc ----------------------------------------------------
+
+   The registry accretes lines from many writers over many commits, so
+   it degrades in predictable ways: truncated appends (malformed JSON),
+   double appends from retried CI jobs (duplicate records), and records
+   written outside a git checkout (commit "unknown" / "") that parse
+   fine but cannot be joined by commit.  [lint] makes one pass over any
+   mix of schema-1/2/3 files and reports all three classes; [gc]
+   rewrites a file keeping the first occurrence of every distinct
+   record, preserving original line bytes (no silent schema upgrade). *)
+
+type lint_issue =
+  | Lint_malformed of { file : string; line : int; msg : string }
+  | Lint_duplicate of { file : string; line : int; first_file : string; first_line : int }
+  | Lint_unstamped of { file : string; line : int; field : string }
+
+let lint_issue_pos = function
+  | Lint_malformed { file; line; _ }
+  | Lint_duplicate { file; line; _ }
+  | Lint_unstamped { file; line; _ } -> (file, line)
+
+let lint_issue_to_string = function
+  | Lint_malformed { file; line; msg } ->
+    Printf.sprintf "%s:%d: malformed record: %s" file line msg
+  | Lint_duplicate { file; line; first_file; first_line } ->
+    Printf.sprintf "%s:%d: duplicate of %s:%d" file line first_file first_line
+  | Lint_unstamped { file; line; field } ->
+    Printf.sprintf "%s:%d: record without usable %s (cannot be joined by commit)"
+      file line field
+
+type lint_report = {
+  files : string list;
+  lines : int;        (* non-empty lines seen *)
+  parsed : int;       (* lines that parsed as records *)
+  distinct : int;     (* parsed minus duplicates *)
+  by_schema : (int * int) list;  (* schema version -> record count *)
+  lint_issues : lint_issue list; (* file order, then line order *)
+}
+
+(* a record is unstamped when it parses but its provenance fields carry
+   no usable value — "unknown" is what Provenance.git_commit degrades to
+   outside a checkout *)
+let unstamped_field r =
+  if r.commit = "" || r.commit = "unknown" then Some "commit"
+  else if r.ts = "" then Some "ts"
+  else None
+
+let fold_lines path ~init ~f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go acc line_no =
+    match input_line ic with
+    | exception End_of_file -> acc
+    | "" -> go acc (line_no + 1)
+    | line -> go (f acc line_no line) (line_no + 1)
+  in
+  go init 1
+
+let lint paths =
+  let issues = ref [] and by_schema = Hashtbl.create 4 in
+  let seen : (record, string * int) Hashtbl.t = Hashtbl.create 256 in
+  let lines = ref 0 and parsed = ref 0 in
+  List.iter
+    (fun file ->
+      ignore
+        (fold_lines file ~init:() ~f:(fun () line_no line ->
+             incr lines;
+             match of_json line with
+             | Error msg ->
+               issues := Lint_malformed { file; line = line_no; msg } :: !issues
+             | Ok r ->
+               incr parsed;
+               Hashtbl.replace by_schema r.schema
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt by_schema r.schema));
+               (match unstamped_field r with
+                | Some field ->
+                  issues := Lint_unstamped { file; line = line_no; field } :: !issues
+                | None -> ());
+               (match Hashtbl.find_opt seen r with
+                | Some (first_file, first_line) ->
+                  issues :=
+                    Lint_duplicate { file; line = line_no; first_file; first_line }
+                    :: !issues
+                | None -> Hashtbl.replace seen r (file, line_no)))))
+    paths;
+  { files = paths;
+    lines = !lines;
+    parsed = !parsed;
+    distinct = Hashtbl.length seen;
+    by_schema =
+      Hashtbl.fold (fun s c acc -> (s, c) :: acc) by_schema []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    lint_issues = List.rev !issues }
+
+let lint_report_to_string r =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "registry lint: %s" (String.concat ", " r.files);
+  line "  %d line(s), %d parsed, %d distinct record(s)" r.lines r.parsed r.distinct;
+  List.iter (fun (s, c) -> line "  schema %d: %d record(s)" s c) r.by_schema;
+  List.iter (fun i -> line "  %s" (lint_issue_to_string i)) r.lint_issues;
+  line "lint: %s"
+    (if r.lint_issues = [] then "OK"
+     else Printf.sprintf "%d issue(s)" (List.length r.lint_issues));
+  Buffer.contents buf
+
+(* Dedup-compact in place (or to [out]): keep the first occurrence of
+   every distinct record with its original bytes, drop malformed lines
+   and later duplicates.  Returns (kept, dropped). *)
+let gc ?out path =
+  let seen : (record, unit) Hashtbl.t = Hashtbl.create 256 in
+  let kept = ref [] and dropped = ref 0 in
+  ignore
+    (fold_lines path ~init:() ~f:(fun () _line_no line ->
+         match of_json line with
+         | Error _ -> incr dropped
+         | Ok r ->
+           if Hashtbl.mem seen r then incr dropped
+           else begin
+             Hashtbl.replace seen r ();
+             kept := line :: !kept
+           end));
+  let target = Option.value ~default:path out in
+  let tmp = target ^ ".tmp" in
+  mkdir_p (Filename.dirname target);
+  let oc = open_out tmp in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        (List.rev !kept));
+  Sys.rename tmp target;
+  (List.length !kept, !dropped)

@@ -74,3 +74,57 @@ val load : ?path:string -> unit -> record list * (int * string) list
 (** All parseable records in file order, plus [(line, message)] pairs
     for lines that failed to parse.  A missing file is empty, not an
     error. *)
+
+val fold_lines : string -> init:'a -> f:('a -> int -> string -> 'a) -> 'a
+(** Fold [f acc line_no line] over every non-empty line of the file
+    (1-based line numbers, empty lines counted but skipped).  Unlike
+    {!load}, a missing file raises [Sys_error] — lint and campaign
+    ingestion must distinguish "nothing ran" from "wrong path". *)
+
+(** {1 Lint / compaction}
+
+    The registry accretes lines from many writers over many commits:
+    truncated appends (malformed JSON), double appends from retried CI
+    jobs (duplicates), and records stamped outside a git checkout
+    (commit ["unknown"]) that parse fine but cannot be joined by
+    commit.  {!lint} reports all three classes in one pass over any mix
+    of schema-1/2/3 files; {!gc} dedup-compacts a file in place. *)
+
+type lint_issue =
+  | Lint_malformed of { file : string; line : int; msg : string }
+  | Lint_duplicate of {
+      file : string;
+      line : int;
+      first_file : string;
+      first_line : int;
+    }  (** An identical record already appeared at [first_file:first_line]. *)
+  | Lint_unstamped of { file : string; line : int; field : string }
+      (** The record parses but its [commit] (empty / ["unknown"]) or
+          [ts] (empty) is unusable for cross-commit joins. *)
+
+val lint_issue_pos : lint_issue -> string * int
+(** [(file, 1-based line)] the issue was found at. *)
+
+val lint_issue_to_string : lint_issue -> string
+
+type lint_report = {
+  files : string list;
+  lines : int;  (** non-empty lines seen *)
+  parsed : int;  (** lines that parsed as records *)
+  distinct : int;  (** parsed minus duplicates *)
+  by_schema : (int * int) list;  (** schema version -> record count *)
+  lint_issues : lint_issue list;  (** file order, then line order *)
+}
+
+val lint : string list -> lint_report
+(** One pass over the given files.  Raises [Sys_error] on a missing
+    file. *)
+
+val lint_report_to_string : lint_report -> string
+
+val gc : ?out:string -> string -> int * int
+(** Rewrite [path] (or [out] when given) keeping the first occurrence
+    of every distinct record with its original bytes — no silent schema
+    upgrade — and dropping malformed lines and later duplicates.  The
+    write goes through a [.tmp] sibling and a rename.  Returns
+    [(kept, dropped)].  Raises [Sys_error] on a missing file. *)

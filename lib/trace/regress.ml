@@ -7,10 +7,13 @@
    flat layout (rows at top level, no schema/commit/date) so the gate
    works against historical baselines. *)
 
-(* --- minimal JSON reader (objects, strings, numbers, bools, null) --- *)
+(* --- minimal JSON reader (objects, arrays, strings, numbers, bools,
+   null) --- also the structural validator behind the Perfetto-export
+   tests, which need arrays the flat trace parser cannot express *)
 
 type json =
   | Obj of (string * json) list
+  | Arr of json list
   | Str of string
   | Num of float
   | Bool of bool
@@ -120,6 +123,28 @@ let parse_json (s : string) : json =
         in
         members []
       end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
     | Some '"' -> Str (parse_string ())
     | Some 't' -> literal "true" (Bool true)
     | Some 'f' -> literal "false" (Bool false)
@@ -131,6 +156,9 @@ let parse_json (s : string) : json =
   skip_ws ();
   if !pos <> n then fail "trailing garbage";
   v
+
+let parse_json_string s =
+  match parse_json s with v -> Ok v | exception Bad msg -> Error msg
 
 (* --- bench file model --- *)
 

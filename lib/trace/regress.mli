@@ -11,6 +11,24 @@
     so the same higher-is-better gate covers the kernel
     micro-benchmarks ([kernel_lp_warm] among them). *)
 
+(** {2 Minimal JSON reader}
+
+    Bench files nest one level and the Perfetto exporter emits arrays,
+    neither of which the flat trace-line parser can express, so this
+    module carries its own small reader.  Exported so tests can
+    structurally validate whole JSON documents (e.g. a Perfetto
+    export). *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+val parse_json_string : string -> (json, string) result
+
 type row = {
   nps_cached : float;
       (** [nodes_per_sec_cached] — the gated metric; for kernel rows,
